@@ -1,0 +1,300 @@
+//! Functional threaded AMPI execution.
+//!
+//! Each `pic-comm` rank plays one physical core driving its assigned VPs.
+//! The VP→core assignment table is replicated: load-balancing decisions are
+//! computed from an allgathered VP-load vector by the *same* deterministic
+//! strategy on every core, so no broadcast of the decision is needed —
+//! exactly like deterministic replicated decision-making in runtime
+//! systems. VP migration is a particle hand-off: the receiving core
+//! re-derives VP membership from particle positions.
+//!
+//! The run is fully verified (analytic trajectories + id checksum), which
+//! is the point of the PRK: a lost particle in any migration or exchange
+//! fails the run.
+
+use crate::balancer::Balancer;
+use crate::model::AmpiParams;
+use crate::vp::VpGrid;
+use pic_comm::collective::{
+    allgatherv, allreduce_f64, allreduce_u128, allreduce_u64, decode_u64s, encode_u64s,
+};
+use pic_comm::comm::{Communicator, ReduceOp};
+use pic_core::events::{Event, EventKind};
+use pic_core::init::build_injection;
+use pic_core::motion::advance_all;
+use pic_core::particle::Particle;
+use pic_core::verify::{verify_all, VerifyReport, DEFAULT_TOLERANCE};
+use pic_par::exchange::route_particles;
+use pic_par::runner::{ParConfig, ParOutcome};
+
+/// Run the AMPI-style implementation on this core. All ranks must call it
+/// with identical `cfg` and `params`.
+pub fn run_ampi(comm: &Communicator, cfg: &ParConfig, params: &AmpiParams) -> ParOutcome {
+    assert!(params.interval > 0, "LB interval must be positive");
+    let grid = cfg.setup.grid;
+    let consts = cfg.setup.consts;
+    let cores = comm.size();
+    let me = comm.rank();
+    let vps = VpGrid::new(grid.ncells(), cores, params.d);
+    let nvps = vps.vp_count();
+    let mut assignment = vps.initial_assignment();
+
+    let owner_of =
+        |p: &Particle, vps: &VpGrid, assignment: &[usize]| -> usize {
+            let (c, r) = p_cell(&grid, p);
+            assignment[vps.vp_of_cell(c, r)]
+        };
+
+    // Local population: particles whose VP is initially assigned to me.
+    let mut particles: Vec<Particle> = cfg
+        .setup
+        .particles
+        .iter()
+        .filter(|p| owner_of(p, &vps, &assignment) == me)
+        .copied()
+        .collect();
+
+    let mut events = cfg.setup.events.clone();
+    events.sort_by_key(|e| e.at_step);
+    let mut next_event = 0usize;
+    let mut expected_id_sum = cfg.setup.initial_id_sum();
+    let mut next_id = cfg.setup.next_id;
+
+    for s in 1..=cfg.steps {
+        let step_idx = s - 1;
+        // Events due at the start of this step.
+        while next_event < events.len() && events[next_event].at_step == step_idx {
+            let e: Event = events[next_event];
+            next_event += 1;
+            match e.kind {
+                EventKind::Inject { count, k, m, dir } => {
+                    let newcomers = build_injection(
+                        grid, consts, e.region, count, k, m, dir, step_idx, &mut next_id,
+                    );
+                    for p in &newcomers {
+                        expected_id_sum += p.id as u128;
+                        if owner_of(p, &vps, &assignment) == me {
+                            particles.push(*p);
+                        }
+                    }
+                }
+                EventKind::Remove { count } => {
+                    let mut local_ids: Vec<u64> = particles
+                        .iter()
+                        .filter(|p| e.region.contains_point(p.x, p.y))
+                        .map(|p| p.id)
+                        .collect();
+                    local_ids.sort_unstable();
+                    let gathered = allgatherv(comm, encode_u64s(&local_ids));
+                    let mut all: Vec<u64> =
+                        gathered.iter().flat_map(|b| decode_u64s(b)).collect();
+                    all.sort_unstable();
+                    all.truncate(count as usize);
+                    let doomed: std::collections::HashSet<u64> = all.iter().copied().collect();
+                    for &id in &all {
+                        expected_id_sum -= id as u128;
+                    }
+                    particles.retain(|p| !doomed.contains(&p.id));
+                }
+            }
+        }
+
+        // Advance each VP's particles (one pass — VP membership only
+        // matters for routing and accounting).
+        advance_all(&grid, &consts, &mut particles);
+        route_particles(comm, me, |p| owner_of(p, &vps, &assignment), &mut particles);
+
+        // Runtime load balancing.
+        if s % params.interval == 0 && s < cfg.steps {
+            rebalance(
+                comm,
+                &vps,
+                &mut assignment,
+                params.balancer,
+                &mut particles,
+                me,
+                &grid,
+            );
+        }
+    }
+
+    // Distributed verification.
+    let local = verify_all(&grid, &particles, cfg.steps, 0, DEFAULT_TOLERANCE);
+    let checked = allreduce_u64(comm, local.checked, ReduceOp::Sum);
+    let failures = allreduce_u64(comm, local.position_failures, ReduceOp::Sum);
+    let max_error = allreduce_f64(comm, local.max_error, ReduceOp::Max);
+    let id_sum = allreduce_u128(comm, local.id_sum, ReduceOp::Sum);
+    let local_count = particles.len() as u64;
+    let max_count = allreduce_u64(comm, local_count, ReduceOp::Max);
+    let total_count = allreduce_u64(comm, local_count, ReduceOp::Sum);
+    let _ = nvps;
+    ParOutcome {
+        verify: VerifyReport {
+            checked,
+            position_failures: failures,
+            max_error,
+            failing_ids: local.failing_ids,
+            id_sum,
+            expected_id_sum,
+            tolerance: DEFAULT_TOLERANCE,
+        },
+        local_count: particles.len(),
+        max_count,
+        total_count,
+        steps: cfg.steps,
+        local_particles: particles,
+    }
+}
+
+#[inline]
+fn p_cell(grid: &pic_core::geometry::Grid, p: &Particle) -> (usize, usize) {
+    grid.cell_of_point(p.x, p.y)
+}
+
+/// One LB round: allgather per-VP loads, rebalance deterministically on
+/// every core, migrate the particles of reassigned VPs.
+fn rebalance(
+    comm: &Communicator,
+    vps: &VpGrid,
+    assignment: &mut Vec<usize>,
+    balancer: Balancer,
+    particles: &mut Vec<Particle>,
+    me: usize,
+    grid: &pic_core::geometry::Grid,
+) {
+    let nvps = vps.vp_count();
+    // Local per-VP counts.
+    let mut counts = vec![0u64; nvps];
+    for p in particles.iter() {
+        let (c, r) = p_cell(grid, p);
+        counts[vps.vp_of_cell(c, r)] += 1;
+    }
+    // Sum across cores (each VP lives on exactly one core, but the vector
+    // sum is the simplest way to assemble the global view).
+    let gathered = allgatherv(comm, encode_u64s(&counts));
+    let mut global = vec![0u64; nvps];
+    for buf in &gathered {
+        for (i, v) in decode_u64s(buf).into_iter().enumerate() {
+            global[i] += v;
+        }
+    }
+    let loads: Vec<f64> = global.iter().map(|&c| c as f64).collect();
+    let new_assignment = balancer.rebalance(&loads, assignment, comm.size());
+    *assignment = new_assignment;
+    // Migrate: particles whose VP moved away get routed to the new owner.
+    route_particles(
+        comm,
+        me,
+        |p| {
+            let (c, r) = p_cell(grid, p);
+            assignment[vps.vp_of_cell(c, r)]
+        },
+        particles,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pic_comm::world::run_threads;
+    use pic_core::dist::Distribution;
+    use pic_core::events::Region;
+    use pic_core::geometry::Grid;
+    use pic_core::init::InitConfig;
+    use pic_core::verify::triangular_id_sum;
+
+    fn cfg(n: u64, dist: Distribution, steps: u32) -> ParConfig {
+        ParConfig {
+            setup: InitConfig::new(Grid::new(32).unwrap(), n, dist)
+                .with_m(1)
+                .build()
+                .unwrap(),
+            steps,
+        }
+    }
+
+    fn params(d: usize, interval: u32) -> AmpiParams {
+        AmpiParams { d, interval, balancer: Balancer::paper_default() }
+    }
+
+    #[test]
+    fn verified_run_with_migration() {
+        let c = cfg(500, Distribution::Geometric { r: 0.85 }, 60);
+        let p = params(4, 5);
+        let outcomes = run_threads(4, |comm| run_ampi(&comm, &c, &p));
+        for o in &outcomes {
+            assert!(o.verify.passed(), "{:?}", o.verify);
+            assert_eq!(o.total_count, 500);
+            assert_eq!(o.verify.id_sum, triangular_id_sum(500));
+        }
+    }
+
+    #[test]
+    fn migration_reduces_max_count() {
+        let c = cfg(2000, Distribution::Geometric { r: 0.8 }, 30);
+        let none = run_threads(4, |comm| {
+            run_ampi(&comm, &c, &AmpiParams { d: 4, interval: 5, balancer: Balancer::None })
+        });
+        let refine = run_threads(4, |comm| run_ampi(&comm, &c, &params(4, 5)));
+        assert!(none[0].verify.passed());
+        assert!(refine[0].verify.passed());
+        assert!(
+            refine[0].max_count < none[0].max_count,
+            "refine {} must beat none {}",
+            refine[0].max_count,
+            none[0].max_count
+        );
+    }
+
+    #[test]
+    fn greedy_strategy_also_verifies() {
+        let c = cfg(600, Distribution::Sinusoidal, 24);
+        let p = AmpiParams { d: 8, interval: 4, balancer: Balancer::Greedy };
+        let outcomes = run_threads(2, |comm| run_ampi(&comm, &c, &p));
+        for o in outcomes {
+            assert!(o.verify.passed(), "{:?}", o.verify);
+        }
+    }
+
+    #[test]
+    fn events_work_under_virtualization() {
+        let region = Region { x0: 8, x1: 24, y0: 8, y1: 24 };
+        let mut c = cfg(300, Distribution::Uniform, 40);
+        c.setup = c
+            .setup
+            .with_event(Event::inject(8, region, 80, 0, 1, 1))
+            .with_event(Event::remove(25, Region::whole(32), 50));
+        let p = params(4, 6);
+        let outcomes = run_threads(4, |comm| run_ampi(&comm, &c, &p));
+        for o in &outcomes {
+            assert!(o.verify.passed(), "{:?}", o.verify);
+            assert_eq!(o.total_count, 330);
+        }
+    }
+
+    #[test]
+    fn single_core_single_vp_trivial() {
+        let c = cfg(100, Distribution::Uniform, 10);
+        let p = params(1, 3);
+        let outcomes = run_threads(1, |comm| run_ampi(&comm, &c, &p));
+        assert!(outcomes[0].verify.passed());
+        assert_eq!(outcomes[0].local_count, 100);
+    }
+
+    #[test]
+    fn fast_particles_under_virtualization() {
+        let c = ParConfig {
+            setup: InitConfig::new(Grid::new(32).unwrap(), 200, Distribution::Uniform)
+                .with_k(3)
+                .with_m(-2)
+                .build()
+                .unwrap(),
+            steps: 30,
+        };
+        let p = params(4, 4);
+        let outcomes = run_threads(4, |comm| run_ampi(&comm, &c, &p));
+        for o in outcomes {
+            assert!(o.verify.passed(), "{:?}", o.verify);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Ablation: the diffusion balancer's three interfering parameters.
+//!
+//! Paper §IV-B: "The selected strategy includes three parameters: the
+//! frequency of load balancing actions, the threshold τ that triggers
+//! actual load migration, and the width of the border regions that are
+//! exchanged. These parameters have interfering results ... and therefore
+//! should be co-tuned." This binary sweeps each around the tuned optimum
+//! of the 192-core strong-scaling point.
+//!
+//! Usage: `ablation_diffusion [--scale N]`
+
+use pic_bench::report::scale_from_args;
+use pic_par::diffusion::DiffusionParams;
+use pic_par::model_impl::{model_diffusion, ModelConfig};
+
+fn main() {
+    let scale = scale_from_args();
+    let cfg = ModelConfig::paper_strong(192).shortened(scale);
+    let t = |interval: u32, tau: u64, w: usize| {
+        let out = model_diffusion(&cfg, DiffusionParams { interval, tau, border_w: w });
+        (out.seconds * scale as f64, out.stats.imbalance)
+    };
+    let base_tau = (cfg.n / 192 / 20).max(1);
+
+    println!("# interval sweep (w = 2×interval, tau = {base_tau})");
+    println!("interval,seconds,imbalance");
+    for f in [5u32, 10, 20, 50, 100, 200] {
+        let f_s = (f as u64 / scale).max(1) as u32;
+        let (s, imb) = t(f_s, base_tau, 2 * f_s as usize);
+        println!("{f},{s:.2},{imb:.2}");
+    }
+
+    println!("# border-width sweep (interval = 10)");
+    println!("border_w_per_step,seconds,imbalance");
+    let f_s = (10u64 / scale).max(1) as u32;
+    for wps in [1usize, 2, 4, 8, 16, 32] {
+        let (s, imb) = t(f_s, base_tau, wps * f_s as usize);
+        println!("{wps},{s:.2},{imb:.2}");
+    }
+
+    println!("# threshold sweep (interval = 10, w = 2×interval)");
+    println!("tau_frac_of_ideal,seconds,imbalance");
+    for div in [2u64, 5, 20, 100, 1000] {
+        let tau = (cfg.n / 192 / div).max(1);
+        let (s, imb) = t(f_s, tau, 2 * f_s as usize);
+        println!("1/{div},{s:.2},{imb:.2}");
+    }
+    eprintln!("\nExpected: a U-shaped interval curve (tracking the drift vs");
+    eprintln!("overshoot), an optimal border width near the drift speed, and");
+    eprintln!("mild threshold sensitivity.");
+}

@@ -1,0 +1,19 @@
+//! Figure 5: sensitivity of the AMPI implementation to the LB interval `F`
+//! and the over-decomposition degree `d`.
+//!
+//! Usage: `fig5_ampi_tuning [--scale N]` — N divides the 6,000 steps
+//! (default 1 = full scale).
+
+use pic_bench::report::{scale_from_args, tuning_csv};
+use pic_bench::{fig5_d_sweep, fig5_f_sweep};
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("# Figure 5 — 5,998² cells, 6.4M particles, 6,000/{scale} steps, 192 cores");
+    let f = fig5_f_sweep(scale);
+    println!("# F sweep (d = 4)");
+    print!("{}", tuning_csv(&f, "F"));
+    let d = fig5_d_sweep(scale);
+    println!("# d sweep (F = 1000)");
+    print!("{}", tuning_csv(&d, "d"));
+}

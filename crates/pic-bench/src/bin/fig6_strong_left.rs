@@ -1,0 +1,13 @@
+//! Figure 6 (left): strong scaling on one node, 1–24 cores.
+//! 2,998² cells, 600 k particles, 6,000 steps, geometric skew r = 0.999.
+
+use pic_bench::fig6_left;
+use pic_bench::report::{scale_from_args, scaling_csv, scaling_markdown};
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("# Figure 6 left — strong scaling, single node (6,000/{scale} steps)");
+    let pts = fig6_left(scale);
+    print!("{}", scaling_csv(&pts));
+    eprint!("{}", scaling_markdown(&pts));
+}

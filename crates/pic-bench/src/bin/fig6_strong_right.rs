@@ -1,0 +1,21 @@
+//! Figure 6 (right): strong scaling across nodes, 24–384 cores.
+//! Same configuration as the left panel.
+
+use pic_bench::report::{scale_from_args, scaling_csv, scaling_markdown};
+use pic_bench::{fig6_right, strong_serial_seconds};
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("# Figure 6 right — strong scaling, multi-node (6,000/{scale} steps)");
+    let pts = fig6_right(scale);
+    print!("{}", scaling_csv(&pts));
+    eprint!("{}", scaling_markdown(&pts));
+    let serial = strong_serial_seconds(scale);
+    if let Some(p) = pts.last() {
+        eprintln!(
+            "max speedup over serial ({serial:.0} s): diffusion {:.0}×, ampi {:.0}×",
+            serial / p.diffusion_s,
+            serial / p.ampi_s
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! Figure 7: weak scaling, 48–3,072 cores.
+//! 11,998² cells; 400 k particles at 48 cores, scaled with the core count.
+
+use pic_bench::fig7;
+use pic_bench::report::{scale_from_args, scaling_csv, scaling_markdown};
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("# Figure 7 — weak scaling (6,000/{scale} steps)");
+    let pts = fig7(scale);
+    print!("{}", scaling_csv(&pts));
+    eprint!("{}", scaling_markdown(&pts));
+    if let Some(p) = pts.last() {
+        let (a, d) = p.speedup_over_baseline();
+        eprintln!("at {} cores: ampi {:.1}× / diffusion {:.1}× over baseline (paper: 2.4× / 1.8×)", p.cores, a, d);
+    }
+}

@@ -1,0 +1,93 @@
+//! Run every experiment of the paper's §V and write the results to
+//! `results/` (CSV per figure plus a combined markdown summary suitable
+//! for pasting into EXPERIMENTS.md).
+//!
+//! Usage: `paper_all [--scale N] [--out DIR]`
+
+use pic_bench::report::*;
+use pic_bench::*;
+use std::fs;
+use std::path::PathBuf;
+
+fn out_dir() -> PathBuf {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == "--out" {
+            if let Some(v) = args.get(i + 1) {
+                return PathBuf::from(v);
+            }
+        }
+    }
+    PathBuf::from("results")
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let dir = out_dir();
+    fs::create_dir_all(&dir).expect("create results dir");
+    let mut summary = String::new();
+    summary.push_str(&format!(
+        "# PIC PRK — reproduced evaluation (steps scale 1/{scale})\n\n"
+    ));
+
+    eprintln!("[1/5] Figure 5 (AMPI tuning)...");
+    let f = fig5_f_sweep(scale);
+    let d = fig5_d_sweep(scale);
+    fs::write(dir.join("fig5_f_sweep.csv"), tuning_csv(&f, "F")).unwrap();
+    fs::write(dir.join("fig5_d_sweep.csv"), tuning_csv(&d, "d")).unwrap();
+    let f_best = f.iter().cloned().min_by(|a, b| a.seconds.partial_cmp(&b.seconds).unwrap()).unwrap();
+    let d_best = d.iter().cloned().min_by(|a, b| a.seconds.partial_cmp(&b.seconds).unwrap()).unwrap();
+    summary.push_str("## Figure 5 — AMPI parameter sensitivity (192 cores)\n\n");
+    summary.push_str(&format!(
+        "F sweep (d=4): F=20 → {:.1}s; best F={} → {:.1}s ({:.1}× swing; paper: 180s → 43s, 4.2×)\n\n",
+        f[0].seconds, f_best.value, f_best.seconds, f[0].seconds / f_best.seconds
+    ));
+    summary.push_str(&format!(
+        "d sweep (F=1000): d=1 → {:.1}s; best d={} → {:.1}s ({:.1}× swing; paper: 104s → 47s, 2.2×)\n\n",
+        d[0].seconds, d_best.value, d_best.seconds, d[0].seconds / d_best.seconds
+    ));
+
+    eprintln!("[2/5] Figure 6 left (strong scaling, single node)...");
+    let left = fig6_left(scale);
+    fs::write(dir.join("fig6_left.csv"), scaling_csv(&left)).unwrap();
+    summary.push_str("## Figure 6 left — strong scaling, single node\n\n");
+    summary.push_str(&scaling_markdown(&left));
+    summary.push('\n');
+
+    eprintln!("[3/5] Figure 6 right (strong scaling, multi-node)...");
+    let right = fig6_right(scale);
+    fs::write(dir.join("fig6_right.csv"), scaling_csv(&right)).unwrap();
+    summary.push_str("## Figure 6 right — strong scaling, multi-node\n\n");
+    summary.push_str(&scaling_markdown(&right));
+    let serial = strong_serial_seconds(scale);
+    if let Some(p) = right.last() {
+        summary.push_str(&format!(
+            "\nmax speedup over serial ({serial:.0} s): diffusion {:.0}×, ampi {:.0}× (paper: 179× / 92×)\n\n",
+            serial / p.diffusion_s,
+            serial / p.ampi_s
+        ));
+    }
+
+    eprintln!("[4/5] Figure 7 (weak scaling)...");
+    let weak = fig7(scale);
+    fs::write(dir.join("fig7_weak.csv"), scaling_csv(&weak)).unwrap();
+    summary.push_str("## Figure 7 — weak scaling\n\n");
+    summary.push_str(&scaling_markdown(&weak));
+    if let Some(p) = weak.last() {
+        let (a, dd) = p.speedup_over_baseline();
+        summary.push_str(&format!(
+            "\nat {} cores: ampi {:.1}× / diffusion {:.1}× over baseline (paper: 2.4× / 1.8×)\n\n",
+            p.cores, a, dd
+        ));
+    }
+
+    eprintln!("[5/5] §V-B max particles per core...");
+    let row = table_max_count(scale);
+    summary.push_str("## §V-B — max particles per core, 24-core run\n\n");
+    summary.push_str(&max_count_markdown(&row));
+    summary.push_str("\n(paper: 62,645 / 30,585 / 25,000)\n");
+
+    fs::write(dir.join("summary.md"), &summary).unwrap();
+    println!("{summary}");
+    eprintln!("results written to {}", dir.display());
+}

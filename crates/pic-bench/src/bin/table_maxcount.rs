@@ -1,0 +1,13 @@
+//! §V-B scalar result: max particles per core at the end of the 24-core
+//! strong-scaling run. Paper: 62,645 (mpi-2d) vs 30,585 (mpi-2d-LB),
+//! ideal 25,000.
+
+use pic_bench::report::{max_count_markdown, scale_from_args};
+use pic_bench::table_max_count;
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("# §V-B — max particles per core at 24 cores (6,000/{scale} steps)");
+    let row = table_max_count(scale);
+    print!("{}", max_count_markdown(&row));
+}

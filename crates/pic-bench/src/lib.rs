@@ -1,0 +1,21 @@
+//! # pic-bench — experiment drivers reproducing the paper's evaluation
+//!
+//! One module per figure/table of the paper's §V, each exposing a function
+//! that regenerates the corresponding data series through the modeled
+//! implementations (plus small-scale functional counterparts where the
+//! host's single core permits). The binaries under `src/bin/` print the
+//! series as CSV/markdown; `paper_all` runs everything and emits the data
+//! recorded in `EXPERIMENTS.md`.
+//!
+//! | Paper artifact | Module entry point |
+//! |---|---|
+//! | Figure 5 (AMPI tuning: F and d sweeps) | [`experiments::fig5_f_sweep`], [`experiments::fig5_d_sweep`] |
+//! | Figure 6 left (strong scaling, 1 node) | [`experiments::fig6_left`] |
+//! | Figure 6 right (strong scaling, multi-node) | [`experiments::fig6_right`] |
+//! | Figure 7 (weak scaling) | [`experiments::fig7`] |
+//! | §V-B max-particles-per-core | [`experiments::table_max_count`] |
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::*;

@@ -1,0 +1,162 @@
+//! Load-balance statistics.
+//!
+//! The paper quantifies imbalance as max particles per core vs the ideal;
+//! this module adds the standard complementary metrics (max/mean ratio,
+//! coefficient of variation, Gini coefficient) used when reporting how
+//! (un)even a load vector is.
+
+/// Summary statistics of a per-core load vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BalanceStats {
+    pub max: f64,
+    pub min: f64,
+    pub mean: f64,
+    /// `max / mean`; 1.0 = perfectly balanced. The BSP step-time metric.
+    pub imbalance: f64,
+    /// Coefficient of variation (population std / mean).
+    pub cv: f64,
+    /// Gini coefficient ∈ [0, 1); 0 = perfectly even.
+    pub gini: f64,
+}
+
+impl BalanceStats {
+    /// Compute from a load vector. Empty or all-zero vectors yield the
+    /// neutral statistics (imbalance 1, cv 0, gini 0).
+    pub fn from_loads(loads: &[f64]) -> BalanceStats {
+        let n = loads.len();
+        if n == 0 {
+            return BalanceStats { max: 0.0, min: 0.0, mean: 0.0, imbalance: 1.0, cv: 0.0, gini: 0.0 };
+        }
+        let sum: f64 = loads.iter().sum();
+        let mean = sum / n as f64;
+        let max = loads.iter().cloned().fold(f64::MIN, f64::max);
+        let min = loads.iter().cloned().fold(f64::MAX, f64::min);
+        if sum <= 0.0 {
+            return BalanceStats { max, min, mean, imbalance: 1.0, cv: 0.0, gini: 0.0 };
+        }
+        let var: f64 = loads.iter().map(|&l| (l - mean) * (l - mean)).sum::<f64>() / n as f64;
+        let cv = var.sqrt() / mean;
+        // Gini via the sorted formula: G = (2 Σ_i i·x_i) / (n Σ x) − (n+1)/n,
+        // with 1-based i over ascending x.
+        let mut sorted = loads.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let weighted: f64 = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (i as f64 + 1.0) * x)
+            .sum();
+        let gini = (2.0 * weighted) / (n as f64 * sum) - (n as f64 + 1.0) / n as f64;
+        BalanceStats { max, min, mean, imbalance: max / mean, cv, gini: gini.max(0.0) }
+    }
+}
+
+/// Per-step time series of balance statistics — the raw material behind
+/// "how fast does a balancer converge and how well does it track the
+/// drift" plots.
+#[derive(Debug, Clone, Default)]
+pub struct LoadTrace {
+    pub steps: Vec<u64>,
+    pub max: Vec<f64>,
+    pub mean: Vec<f64>,
+    pub imbalance: Vec<f64>,
+    pub gini: Vec<f64>,
+}
+
+impl LoadTrace {
+    pub fn new() -> LoadTrace {
+        LoadTrace::default()
+    }
+
+    /// Record one step's per-core loads.
+    pub fn push(&mut self, step: u64, loads: &[f64]) {
+        let s = BalanceStats::from_loads(loads);
+        self.steps.push(step);
+        self.max.push(s.max);
+        self.mean.push(s.mean);
+        self.imbalance.push(s.imbalance);
+        self.gini.push(s.gini);
+    }
+
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Mean imbalance over the recorded window.
+    pub fn mean_imbalance(&self) -> f64 {
+        if self.imbalance.is_empty() {
+            return 1.0;
+        }
+        self.imbalance.iter().sum::<f64>() / self.imbalance.len() as f64
+    }
+
+    /// CSV rendering: `step,max,mean,imbalance,gini`.
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("step,max,mean,imbalance,gini\n");
+        for i in 0..self.len() {
+            let _ = writeln!(
+                out,
+                "{},{:.1},{:.1},{:.4},{:.4}",
+                self.steps[i], self.max[i], self.mean[i], self.imbalance[i], self.gini[i]
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_vector() {
+        let s = BalanceStats::from_loads(&[5.0, 5.0, 5.0, 5.0]);
+        assert_eq!(s.imbalance, 1.0);
+        assert_eq!(s.cv, 0.0);
+        assert!(s.gini.abs() < 1e-12);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.min, 5.0);
+    }
+
+    #[test]
+    fn skewed_vector() {
+        let s = BalanceStats::from_loads(&[10.0, 0.0, 0.0, 0.0]);
+        assert_eq!(s.imbalance, 4.0);
+        assert!(s.gini > 0.7, "gini {}", s.gini);
+        assert!(s.cv > 1.5);
+    }
+
+    #[test]
+    fn gini_ordering_matches_intuition() {
+        let even = BalanceStats::from_loads(&[3.0, 3.0, 3.0]).gini;
+        let mild = BalanceStats::from_loads(&[2.0, 3.0, 4.0]).gini;
+        let harsh = BalanceStats::from_loads(&[0.0, 1.0, 8.0]).gini;
+        assert!(even < mild && mild < harsh, "{even} {mild} {harsh}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let s = BalanceStats::from_loads(&[]);
+        assert_eq!(s.imbalance, 1.0);
+        let s = BalanceStats::from_loads(&[0.0, 0.0]);
+        assert_eq!(s.imbalance, 1.0);
+        assert_eq!(s.gini, 0.0);
+    }
+
+    #[test]
+    fn trace_accumulates_and_renders() {
+        let mut t = LoadTrace::new();
+        t.push(0, &[1.0, 1.0]);
+        t.push(1, &[3.0, 1.0]);
+        assert_eq!(t.len(), 2);
+        assert!((t.mean_imbalance() - 1.25).abs() < 1e-12);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("step,max,mean,imbalance,gini\n"));
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("1,3.0,2.0,1.5000"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests of the machine model, cost model, BSP accounting and the
+//! analytic load model.
+
+use pic_cluster::bsp::BspSimulator;
+use pic_cluster::cost::CostModel;
+use pic_cluster::loadmodel::ColumnLoadModel;
+use pic_cluster::machine::{Distance, MachineModel};
+use pic_core::dist::Distribution;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Distance classification is symmetric and consistent with the
+    /// hierarchy (same socket ⊂ same node).
+    #[test]
+    fn distance_symmetry_and_hierarchy(
+        cores_pow in 1usize..8,
+        a_sel in any::<u64>(),
+        b_sel in any::<u64>(),
+    ) {
+        let cores = 1usize << cores_pow;
+        let m = MachineModel::edison(cores);
+        let total = m.total_cores();
+        let a = (a_sel % total as u64) as usize;
+        let b = (b_sel % total as u64) as usize;
+        prop_assert_eq!(m.distance(a, b), m.distance(b, a));
+        match m.distance(a, b) {
+            Distance::SameCore => prop_assert_eq!(a, b),
+            Distance::SameSocket => {
+                prop_assert_eq!(m.socket_of(a), m.socket_of(b));
+                prop_assert_eq!(m.node_of(a), m.node_of(b));
+            }
+            Distance::SameNode => {
+                prop_assert_ne!(m.socket_of(a), m.socket_of(b));
+                prop_assert_eq!(m.node_of(a), m.node_of(b));
+            }
+            Distance::Remote => prop_assert_ne!(m.node_of(a), m.node_of(b)),
+        }
+    }
+
+    /// Message cost is monotone in bytes and in distance.
+    #[test]
+    fn msg_cost_monotone(bytes in 0.0f64..1e9, extra in 1.0f64..1e6) {
+        let c = CostModel::edison_like();
+        for d in Distance::ALL {
+            prop_assert!(c.msg_cost_ns(d, bytes + extra) > c.msg_cost_ns(d, bytes));
+        }
+        for w in Distance::ALL.windows(2) {
+            prop_assert!(c.msg_cost_ns(w[1], bytes) > c.msg_cost_ns(w[0], bytes));
+        }
+    }
+
+    /// BSP total time is at least the sum of per-step maxima and the
+    /// imbalance statistic is ≥ 1.
+    #[test]
+    fn bsp_accounting_invariants(
+        cores in 1usize..16,
+        steps in 1usize..50,
+        seed in any::<u64>(),
+    ) {
+        let machine = MachineModel::edison(cores);
+        let cost = CostModel::edison_like();
+        let mut sim = BspSimulator::new(machine, cost, cores);
+        let mut sum_max = 0.0;
+        for s in 0..steps {
+            let compute: Vec<f64> = (0..cores)
+                .map(|c| ((seed >> ((s * cores + c) % 48)) % 1000) as f64)
+                .collect();
+            let comm = vec![0.0; cores];
+            sum_max += compute.iter().cloned().fold(0.0f64, f64::max);
+            sim.step(&compute, &comm);
+        }
+        let st = sim.stats();
+        prop_assert!(st.seconds * 1e9 >= sum_max - 1e-6);
+        prop_assert!(st.imbalance >= 1.0 - 1e-12, "imbalance {}", st.imbalance);
+        prop_assert_eq!(st.steps, steps as u64);
+    }
+
+    /// Load-model range queries are additive: count(a,c) = count(a,b) +
+    /// count(b,c), after any number of advances.
+    #[test]
+    fn loadmodel_range_additivity(
+        chalf in 4usize..64,
+        n in 0u64..100_000,
+        k in 0u32..4,
+        adv in 0u64..500,
+        splits in any::<u64>(),
+    ) {
+        let c = chalf * 2;
+        prop_assume!(2 * k as usize + 1 <= c);
+        let mut m = ColumnLoadModel::new(Distribution::Geometric { r: 0.97 }, c, n, k, 1);
+        m.advance(adv);
+        let a = (splits % c as u64) as usize;
+        let cc = a + ((splits >> 16) % (c as u64 - a as u64 + 1)) as usize;
+        let b = a + ((splits >> 32) % (cc as u64 - a as u64 + 1)) as usize;
+        prop_assert_eq!(
+            m.count_in_columns(a, cc),
+            m.count_in_columns(a, b) + m.count_in_columns(b, cc)
+        );
+    }
+
+    /// Advancing by x then y equals advancing by x+y, and a full period
+    /// returns the initial histogram.
+    #[test]
+    fn loadmodel_advance_composition(
+        chalf in 4usize..32,
+        n in 1u64..50_000,
+        x in 0u64..300,
+        y in 0u64..300,
+    ) {
+        let c = chalf * 2;
+        let dist = Distribution::Sinusoidal;
+        let mut a = ColumnLoadModel::new(dist, c, n, 0, 1);
+        let mut b = ColumnLoadModel::new(dist, c, n, 0, 1);
+        a.advance(x);
+        a.advance(y);
+        b.advance(x + y);
+        for j in 0..c {
+            prop_assert_eq!(a.count_in_column(j), b.count_in_column(j));
+        }
+        // Full period: stride 1, so c steps restore the histogram.
+        let mut p = ColumnLoadModel::new(dist, c, n, 0, 1);
+        let initial: Vec<u64> = (0..c).map(|j| p.count_in_column(j)).collect();
+        p.advance(c as u64);
+        let after: Vec<u64> = (0..c).map(|j| p.count_in_column(j)).collect();
+        prop_assert_eq!(initial, after);
+    }
+
+    /// Crossing counts never exceed the total and sum of crossing at every
+    /// cut equals stride × total for uniform... (bounded sanity).
+    #[test]
+    fn crossing_cut_bounded(
+        chalf in 4usize..32,
+        n in 0u64..20_000,
+        k in 0u32..3,
+        cut_sel in any::<u64>(),
+        adv in 0u64..100,
+    ) {
+        let c = chalf * 2;
+        prop_assume!(2 * k as u64 + 1 <= c as u64);
+        let mut m = ColumnLoadModel::new(Distribution::Geometric { r: 0.9 }, c, n, k, 1);
+        m.advance(adv);
+        let cut = (cut_sel % c as u64) as usize;
+        prop_assert!(m.crossing_cut(cut) <= n);
+    }
+}

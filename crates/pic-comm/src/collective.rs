@@ -1,0 +1,588 @@
+//! Collective operations over a [`Communicator`].
+//!
+//! Implemented with the classic binomial-tree / dissemination algorithms on
+//! top of point-to-point messages — the same structure an MPI
+//! implementation uses — so message counts scale as `O(P log P)` per
+//! collective and the substrate exercises realistic traffic patterns.
+//!
+//! All collectives must be called by **every** member of the communicator
+//! in the same order (the usual MPI rule); tag-sequence bookkeeping relies
+//! on it.
+
+use crate::comm::{splitmix64, Communicator, ReduceOp};
+
+// ---------------------------------------------------------------------------
+// byte codecs
+// ---------------------------------------------------------------------------
+
+/// Encode a slice of `u64` little-endian.
+pub fn encode_u64s(v: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * 8);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a buffer of `u64`s; panics on misaligned input (protocol bug).
+pub fn decode_u64s(buf: &[u8]) -> Vec<u64> {
+    assert_eq!(buf.len() % 8, 0, "u64 buffer misaligned");
+    buf.chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+/// Encode a slice of `f64` little-endian (bit-exact).
+pub fn encode_f64s(v: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * 8);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a buffer of `f64`s.
+pub fn decode_f64s(buf: &[u8]) -> Vec<f64> {
+    assert_eq!(buf.len() % 8, 0, "f64 buffer misaligned");
+    buf.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// barrier
+// ---------------------------------------------------------------------------
+
+/// Dissemination barrier: `⌈log₂ P⌉` rounds of pairwise signals.
+pub fn barrier(comm: &Communicator) {
+    let base = comm.next_coll_base();
+    let size = comm.size();
+    let rank = comm.rank();
+    if size == 1 {
+        return;
+    }
+    let mut round = 0u64;
+    let mut dist = 1usize;
+    while dist < size {
+        let dst = (rank + dist) % size;
+        let src = (rank + size - dist) % size;
+        comm.send_coll(dst, base + round, Vec::new());
+        let _ = comm.recv_coll(src, base + round);
+        dist <<= 1;
+        round += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// broadcast
+// ---------------------------------------------------------------------------
+
+/// Binomial-tree broadcast from `root`. Every rank returns the payload.
+pub fn broadcast(comm: &Communicator, root: usize, data: Vec<u8>) -> Vec<u8> {
+    let base = comm.next_coll_base();
+    let size = comm.size();
+    let rank = comm.rank();
+    if size == 1 {
+        return data;
+    }
+    let vrank = (rank + size - root) % size;
+    let to_real = |v: usize| (v + root) % size;
+
+    let mut payload = data;
+    let mut mask = 1usize;
+    while mask < size {
+        if vrank & mask != 0 {
+            payload = comm.recv_coll(to_real(vrank - mask), base);
+            break;
+        }
+        mask <<= 1;
+    }
+    let mut m = mask >> 1;
+    while m > 0 {
+        if vrank + m < size {
+            comm.send_coll(to_real(vrank + m), base, payload.clone());
+        }
+        m >>= 1;
+    }
+    payload
+}
+
+// ---------------------------------------------------------------------------
+// gather / allgather
+// ---------------------------------------------------------------------------
+
+/// Gather variable-length byte payloads to `root`. Returns `Some(vec of
+/// per-rank payloads in rank order)` at root, `None` elsewhere.
+pub fn gatherv(comm: &Communicator, root: usize, data: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+    let base = comm.next_coll_base();
+    let rank = comm.rank();
+    let size = comm.size();
+    if rank == root {
+        let mut out = Vec::with_capacity(size);
+        for src in 0..size {
+            if src == root {
+                out.push(data.clone());
+            } else {
+                out.push(comm.recv_coll(src, base));
+            }
+        }
+        Some(out)
+    } else {
+        comm.send_coll(root, base, data);
+        None
+    }
+}
+
+/// All ranks receive every rank's payload, in rank order.
+pub fn allgatherv(comm: &Communicator, data: Vec<u8>) -> Vec<Vec<u8>> {
+    let gathered = gatherv(comm, 0, data);
+    // Flatten with length prefixes for the broadcast leg.
+    let packed = if comm.rank() == 0 {
+        let parts = gathered.unwrap();
+        let mut buf = Vec::new();
+        for p in &parts {
+            buf.extend_from_slice(&(p.len() as u64).to_le_bytes());
+            buf.extend_from_slice(p);
+        }
+        buf
+    } else {
+        Vec::new()
+    };
+    let buf = broadcast(comm, 0, packed);
+    let mut out = Vec::with_capacity(comm.size());
+    let mut off = 0usize;
+    while off < buf.len() {
+        let len = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()) as usize;
+        off += 8;
+        out.push(buf[off..off + len].to_vec());
+        off += len;
+    }
+    assert_eq!(out.len(), comm.size(), "allgatherv framing corrupt");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// reductions
+// ---------------------------------------------------------------------------
+
+fn reduce_bytes<F>(comm: &Communicator, root: usize, mine: Vec<u8>, fold: F) -> Option<Vec<u8>>
+where
+    F: Fn(Vec<u8>, Vec<u8>) -> Vec<u8>,
+{
+    let base = comm.next_coll_base();
+    let size = comm.size();
+    let rank = comm.rank();
+    let vrank = (rank + size - root) % size;
+    let to_real = |v: usize| (v + root) % size;
+
+    let mut acc = mine;
+    let mut mask = 1usize;
+    while mask < size {
+        if vrank & mask == 0 {
+            let peer = vrank | mask;
+            if peer < size {
+                let theirs = comm.recv_coll(to_real(peer), base);
+                acc = fold(acc, theirs);
+            }
+        } else {
+            comm.send_coll(to_real(vrank & !mask), base, acc);
+            return None;
+        }
+        mask <<= 1;
+    }
+    Some(acc)
+}
+
+/// Element-wise reduction of equal-length `u64` vectors to `root`.
+pub fn reduce_vec_u64(
+    comm: &Communicator,
+    root: usize,
+    mine: &[u64],
+    op: ReduceOp,
+) -> Option<Vec<u64>> {
+    let n = mine.len();
+    reduce_bytes(comm, root, encode_u64s(mine), move |a, b| {
+        let mut av = decode_u64s(&a);
+        let bv = decode_u64s(&b);
+        assert_eq!(av.len(), n, "reduce_vec_u64 length mismatch");
+        assert_eq!(bv.len(), n, "reduce_vec_u64 length mismatch");
+        for (x, y) in av.iter_mut().zip(bv) {
+            *x = op.fold_u64(*x, y);
+        }
+        encode_u64s(&av)
+    })
+    .map(|b| decode_u64s(&b))
+}
+
+/// Element-wise allreduce of equal-length `u64` vectors.
+pub fn allreduce_vec_u64(comm: &Communicator, mine: &[u64], op: ReduceOp) -> Vec<u64> {
+    let reduced = reduce_vec_u64(comm, 0, mine, op);
+    let packed = reduced.map(|v| encode_u64s(&v)).unwrap_or_default();
+    decode_u64s(&broadcast(comm, 0, packed))
+}
+
+/// Scalar u64 allreduce.
+pub fn allreduce_u64(comm: &Communicator, mine: u64, op: ReduceOp) -> u64 {
+    allreduce_vec_u64(comm, &[mine], op)[0]
+}
+
+/// Element-wise allreduce of equal-length `f64` vectors (deterministic
+/// fold order: fixed binomial tree).
+pub fn allreduce_vec_f64(comm: &Communicator, mine: &[f64], op: ReduceOp) -> Vec<f64> {
+    let n = mine.len();
+    let reduced = reduce_bytes(comm, 0, encode_f64s(mine), move |a, b| {
+        let mut av = decode_f64s(&a);
+        let bv = decode_f64s(&b);
+        assert_eq!(av.len(), n);
+        for (x, y) in av.iter_mut().zip(bv) {
+            *x = op.fold_f64(*x, y);
+        }
+        encode_f64s(&av)
+    });
+    let packed = reduced.unwrap_or_default();
+    decode_f64s(&broadcast(comm, 0, packed))
+}
+
+/// Scalar f64 allreduce.
+pub fn allreduce_f64(comm: &Communicator, mine: f64, op: ReduceOp) -> f64 {
+    allreduce_vec_f64(comm, &[mine], op)[0]
+}
+
+/// u128 allreduce (for the id checksum, which can exceed u64).
+pub fn allreduce_u128(comm: &Communicator, mine: u128, op: ReduceOp) -> u128 {
+    let reduced = reduce_bytes(comm, 0, mine.to_le_bytes().to_vec(), move |a, b| {
+        let x = u128::from_le_bytes(a.try_into().unwrap());
+        let y = u128::from_le_bytes(b.try_into().unwrap());
+        op.fold_u128(x, y).to_le_bytes().to_vec()
+    });
+    let packed = reduced.unwrap_or_default();
+    u128::from_le_bytes(broadcast(comm, 0, packed).try_into().unwrap())
+}
+
+/// Logical AND allreduce (verification merging).
+pub fn allreduce_bool_and(comm: &Communicator, mine: bool) -> bool {
+    allreduce_u64(comm, mine as u64, ReduceOp::Min) == 1
+}
+
+// ---------------------------------------------------------------------------
+// scans
+// ---------------------------------------------------------------------------
+
+/// Inclusive prefix reduction: rank `r` receives `fold(v₀, …, v_r)`.
+/// Linear-chain algorithm (deterministic order, O(P) latency — scans are
+/// off the per-step critical path in this kernel).
+pub fn scan_u64(comm: &Communicator, mine: u64, op: ReduceOp) -> u64 {
+    let base = comm.next_coll_base();
+    let rank = comm.rank();
+    let mut acc = mine;
+    if rank > 0 {
+        let upstream = decode_u64s(&comm.recv_coll(rank - 1, base))[0];
+        acc = op.fold_u64(upstream, acc);
+    }
+    if rank + 1 < comm.size() {
+        comm.send_coll(rank + 1, base, encode_u64s(&[acc]));
+    }
+    acc
+}
+
+/// Exclusive prefix sum: rank `r` receives `Σ_{q<r} v_q` (0 at rank 0).
+/// The classic offset computation for ordered global ids.
+pub fn exscan_sum_u64(comm: &Communicator, mine: u64) -> u64 {
+    let inclusive = scan_u64(comm, mine, ReduceOp::Sum);
+    inclusive - mine
+}
+
+// ---------------------------------------------------------------------------
+// reduce_scatter
+// ---------------------------------------------------------------------------
+
+/// Element-wise sum of per-rank `u64` vectors of length `P`, scattering
+/// element `r` to rank `r` — the one-call form of the diffusion balancer's
+/// "every processor column learns its own aggregated count".
+pub fn reduce_scatter_sum_u64(comm: &Communicator, mine: &[u64]) -> u64 {
+    assert_eq!(mine.len(), comm.size(), "one element per rank");
+    let all = allreduce_vec_u64(comm, mine, ReduceOp::Sum);
+    all[comm.rank()]
+}
+
+// ---------------------------------------------------------------------------
+// sendrecv
+// ---------------------------------------------------------------------------
+
+/// Combined send+receive (deadlock-free pairwise exchange): sends `data`
+/// to `dst` and returns the message received from `src`, both with `tag`.
+pub fn sendrecv(
+    comm: &Communicator,
+    dst: usize,
+    src: usize,
+    tag: u64,
+    data: Vec<u8>,
+) -> Vec<u8> {
+    comm.send(dst, tag, data);
+    comm.recv(src, tag)
+}
+
+// ---------------------------------------------------------------------------
+// alltoallv
+// ---------------------------------------------------------------------------
+
+/// Personalized all-to-all: `outgoing[d]` goes to rank `d`; returns the
+/// payload received from every rank (in rank order). Zero-length payloads
+/// are delivered too (they serve as "nothing for you" markers).
+pub fn alltoallv(comm: &Communicator, outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+    assert_eq!(outgoing.len(), comm.size(), "alltoallv needs one payload per rank");
+    let base = comm.next_coll_base();
+    for (dst, payload) in outgoing.into_iter().enumerate() {
+        comm.send_coll(dst, base, payload);
+    }
+    (0..comm.size()).map(|src| comm.recv_coll(src, base)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// split
+// ---------------------------------------------------------------------------
+
+/// Collective communicator split: ranks with equal `color` form a new
+/// communicator, ordered by `(key, old rank)`. Analogous to
+/// `MPI_Comm_split`.
+pub fn split(comm: &Communicator, color: u64, key: u64) -> Communicator {
+    let seq = comm.next_split_seq();
+    let triple = [color, key, comm.rank() as u64];
+    let all = allgatherv(comm, encode_u64s(&triple));
+    let mut members: Vec<(u64, usize)> = all
+        .iter()
+        .map(|b| decode_u64s(b))
+        .filter(|t| t[0] == color)
+        .map(|t| (t[1], t[2] as usize))
+        .collect();
+    members.sort_unstable();
+    let my_rank = members
+        .iter()
+        .position(|&(_, r)| r == comm.rank())
+        .expect("split: caller missing from its own color group");
+    let world_members: Vec<usize> = members
+        .iter()
+        .map(|&(_, r)| comm.world_rank_of(r))
+        .collect();
+    let ctx = splitmix64(splitmix64(comm.ctx() ^ (seq << 32)) ^ color);
+    Communicator::from_parts(
+        comm.endpoint().clone(),
+        ctx,
+        std::sync::Arc::new(world_members),
+        my_rank,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::run_threads;
+
+    #[test]
+    fn codec_roundtrip() {
+        let v = vec![0u64, 1, u64::MAX, 42];
+        assert_eq!(decode_u64s(&encode_u64s(&v)), v);
+        let f = vec![0.0f64, -1.5, f64::MAX, f64::MIN_POSITIVE];
+        assert_eq!(decode_f64s(&encode_f64s(&f)), f);
+    }
+
+    #[test]
+    fn barrier_completes_all_sizes() {
+        for p in [1usize, 2, 3, 4, 7, 8] {
+            run_threads(p, |comm| {
+                for _ in 0..3 {
+                    barrier(&comm);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn broadcast_from_every_root() {
+        for p in [1usize, 2, 3, 5, 8] {
+            for root in 0..p {
+                let got = run_threads(p, move |comm| {
+                    let data = if comm.rank() == root {
+                        vec![9, 9, root as u8]
+                    } else {
+                        Vec::new()
+                    };
+                    broadcast(&comm, root, data)
+                });
+                for g in got {
+                    assert_eq!(g, vec![9, 9, root as u8]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gatherv_collects_in_rank_order() {
+        let got = run_threads(5, |comm| gatherv(&comm, 2, vec![comm.rank() as u8; comm.rank()]));
+        for (r, g) in got.into_iter().enumerate() {
+            if r == 2 {
+                let parts = g.unwrap();
+                assert_eq!(parts.len(), 5);
+                for (i, p) in parts.iter().enumerate() {
+                    assert_eq!(p, &vec![i as u8; i]);
+                }
+            } else {
+                assert!(g.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn allgatherv_everyone_sees_everything() {
+        let got = run_threads(4, |comm| allgatherv(&comm, vec![comm.rank() as u8 + 10]));
+        for g in got {
+            assert_eq!(g, vec![vec![10], vec![11], vec![12], vec![13]]);
+        }
+    }
+
+    #[test]
+    fn allreduce_scalar_ops() {
+        for p in [1usize, 2, 3, 6, 9] {
+            let sums = run_threads(p, |comm| allreduce_u64(&comm, comm.rank() as u64 + 1, ReduceOp::Sum));
+            assert!(sums.iter().all(|&s| s == (p * (p + 1) / 2) as u64));
+            let mins = run_threads(p, |comm| allreduce_u64(&comm, comm.rank() as u64 + 5, ReduceOp::Min));
+            assert!(mins.iter().all(|&m| m == 5));
+            let maxs = run_threads(p, |comm| allreduce_f64(&comm, comm.rank() as f64, ReduceOp::Max));
+            assert!(maxs.iter().all(|&m| m == (p - 1) as f64));
+        }
+    }
+
+    #[test]
+    fn allreduce_vec_elementwise() {
+        let got = run_threads(3, |comm| {
+            let mine = vec![comm.rank() as u64, 10 * comm.rank() as u64, 1];
+            allreduce_vec_u64(&comm, &mine, ReduceOp::Sum)
+        });
+        for g in got {
+            assert_eq!(g, vec![3, 30, 3]);
+        }
+    }
+
+    #[test]
+    fn allreduce_u128_checksums() {
+        let big = (u64::MAX as u128) * 3;
+        let got = run_threads(4, move |comm| {
+            allreduce_u128(&comm, big / 4 + comm.rank() as u128, ReduceOp::Sum)
+        });
+        let want = (big / 4) * 4 + 6;
+        assert!(got.iter().all(|&g| g == want));
+    }
+
+    #[test]
+    fn bool_and_detects_any_false() {
+        let got = run_threads(4, |comm| allreduce_bool_and(&comm, comm.rank() != 2));
+        assert!(got.iter().all(|&g| !g));
+        let got = run_threads(4, |comm| allreduce_bool_and(&comm, true));
+        assert!(got.iter().all(|&g| g));
+    }
+
+    #[test]
+    fn scan_inclusive_prefixes() {
+        let got = run_threads(5, |comm| scan_u64(&comm, comm.rank() as u64 + 1, ReduceOp::Sum));
+        assert_eq!(got, vec![1, 3, 6, 10, 15]);
+        let got = run_threads(4, |comm| scan_u64(&comm, 10 - comm.rank() as u64, ReduceOp::Min));
+        assert_eq!(got, vec![10, 9, 8, 7]);
+    }
+
+    #[test]
+    fn exscan_offsets() {
+        let got = run_threads(4, |comm| exscan_sum_u64(&comm, (comm.rank() as u64 + 1) * 100));
+        assert_eq!(got, vec![0, 100, 300, 600]);
+    }
+
+    #[test]
+    fn scan_single_rank() {
+        let got = run_threads(1, |comm| scan_u64(&comm, 7, ReduceOp::Sum));
+        assert_eq!(got, vec![7]);
+    }
+
+    #[test]
+    fn reduce_scatter_gives_own_slot() {
+        let got = run_threads(3, |comm| {
+            let mine: Vec<u64> = (0..3).map(|i| (comm.rank() * 10 + i) as u64).collect();
+            reduce_scatter_sum_u64(&comm, &mine)
+        });
+        // Element i summed over ranks: (0+10+20) + 3i = 30 + 3i.
+        assert_eq!(got, vec![30, 33, 36]);
+    }
+
+    #[test]
+    fn sendrecv_ring_shift() {
+        let got = run_threads(5, |comm| {
+            let p = comm.size();
+            let right = (comm.rank() + 1) % p;
+            let left = (comm.rank() + p - 1) % p;
+            let back = sendrecv(&comm, right, left, 9, vec![comm.rank() as u8]);
+            back[0]
+        });
+        assert_eq!(got, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn alltoallv_personalized_exchange() {
+        let got = run_threads(4, |comm| {
+            let outgoing: Vec<Vec<u8>> = (0..4)
+                .map(|d| vec![(10 * comm.rank() + d) as u8])
+                .collect();
+            alltoallv(&comm, outgoing)
+        });
+        for (r, incoming) in got.into_iter().enumerate() {
+            for (s, payload) in incoming.into_iter().enumerate() {
+                assert_eq!(payload, vec![(10 * s + r) as u8]);
+            }
+        }
+    }
+
+    #[test]
+    fn split_into_rows_and_columns() {
+        // 2×3 grid: color by row then by column, reduce within each.
+        let got = run_threads(6, |comm| {
+            let row = comm.rank() / 3;
+            let col = comm.rank() % 3;
+            let row_comm = split(&comm, row as u64, col as u64);
+            let col_comm = split(&comm, 100 + col as u64, row as u64);
+            let row_sum = allreduce_u64(&row_comm, comm.rank() as u64, ReduceOp::Sum);
+            let col_sum = allreduce_u64(&col_comm, comm.rank() as u64, ReduceOp::Sum);
+            (row_comm.size(), col_comm.size(), row_sum, col_sum)
+        });
+        for (r, (rs, cs, row_sum, col_sum)) in got.into_iter().enumerate() {
+            assert_eq!(rs, 3);
+            assert_eq!(cs, 2);
+            let row = r / 3;
+            let col = r % 3;
+            assert_eq!(row_sum, (3 * row) as u64 * 3 / 1 + 3, "row {row}");
+            assert_eq!(col_sum, (col + col + 3) as u64);
+        }
+    }
+
+    #[test]
+    fn split_orders_by_key() {
+        let got = run_threads(4, |comm| {
+            // Reverse order: key = size - rank.
+            let sub = split(&comm, 0, (comm.size() - comm.rank()) as u64);
+            sub.rank()
+        });
+        assert_eq!(got, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn subcomm_messages_do_not_leak_to_parent() {
+        run_threads(2, |comm| {
+            let sub = split(&comm, 0, comm.rank() as u64);
+            if comm.rank() == 0 {
+                sub.send(1, 5, vec![1]);
+                comm.send(1, 5, vec![2]);
+            } else {
+                // Receive in the opposite order: context isolation must
+                // route each message to the right receive.
+                assert_eq!(comm.recv(0, 5), vec![2]);
+                assert_eq!(sub.recv(0, 5), vec![1]);
+            }
+        });
+    }
+}

@@ -1,0 +1,208 @@
+//! The [`Communicator`] — a rank's handle on a (sub-)communicator.
+
+use crate::endpoint::{CommMetrics, Endpoint};
+use std::cell::Cell;
+use std::sync::Arc;
+
+/// User-visible message tag. Must stay below [`Tag::MAX_USER`]; larger
+/// values are reserved for collectives.
+pub type Tag = u64;
+
+/// Reduction operators for the numeric collectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Min,
+    Max,
+}
+
+impl ReduceOp {
+    #[inline]
+    pub fn fold_u64(&self, a: u64, b: u64) -> u64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+
+    #[inline]
+    pub fn fold_f64(&self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+
+    #[inline]
+    pub fn fold_u128(&self, a: u128, b: u128) -> u128 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+}
+
+/// Highest tag bit flags a collective-internal message.
+const COLLECTIVE_FLAG: u64 = 1 << 63;
+
+/// A communicator: an ordered group of ranks with an isolated message
+/// context. Clone-free by design — each rank holds exactly one
+/// `Communicator` per group it belongs to.
+pub struct Communicator {
+    ep: Arc<Endpoint>,
+    ctx: u64,
+    /// World ranks of the members, indexed by communicator rank.
+    members: Arc<Vec<usize>>,
+    my_rank: usize,
+    coll_seq: Cell<u64>,
+    split_seq: Cell<u64>,
+}
+
+impl Communicator {
+    /// Maximum user tag value.
+    pub const MAX_USER_TAG: u64 = (1 << 56) - 1;
+
+    /// Wrap an endpoint as the world communicator.
+    pub fn world(ep: Arc<Endpoint>) -> Communicator {
+        let size = ep.world_size();
+        let rank = ep.world_rank();
+        Communicator {
+            ep,
+            ctx: 0,
+            members: Arc::new((0..size).collect()),
+            my_rank: rank,
+            coll_seq: Cell::new(0),
+            split_seq: Cell::new(0),
+        }
+    }
+
+    pub(crate) fn from_parts(
+        ep: Arc<Endpoint>,
+        ctx: u64,
+        members: Arc<Vec<usize>>,
+        my_rank: usize,
+    ) -> Communicator {
+        Communicator { ep, ctx, members, my_rank, coll_seq: Cell::new(0), split_seq: Cell::new(0) }
+    }
+
+    /// Rank of this process within the communicator.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.my_rank
+    }
+
+    /// Number of ranks in the communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// World rank of communicator member `r`.
+    #[inline]
+    pub fn world_rank_of(&self, r: usize) -> usize {
+        self.members[r]
+    }
+
+    /// Send `data` to communicator rank `dst` with a user tag.
+    pub fn send(&self, dst: usize, tag: Tag, data: Vec<u8>) {
+        assert!(tag <= Self::MAX_USER_TAG, "tag {tag} exceeds MAX_USER_TAG");
+        self.ep.send(self.members[dst], self.ctx, tag, data);
+    }
+
+    /// Blocking receive from communicator rank `src` with a user tag.
+    pub fn recv(&self, src: usize, tag: Tag) -> Vec<u8> {
+        assert!(tag <= Self::MAX_USER_TAG, "tag {tag} exceeds MAX_USER_TAG");
+        self.ep.recv(self.members[src], self.ctx, tag)
+    }
+
+    /// Internal: send/recv with a collective-reserved tag.
+    pub(crate) fn send_coll(&self, dst: usize, tag: u64, data: Vec<u8>) {
+        self.ep
+            .send(self.members[dst], self.ctx, COLLECTIVE_FLAG | tag, data);
+    }
+
+    pub(crate) fn recv_coll(&self, src: usize, tag: u64) -> Vec<u8> {
+        self.ep.recv(self.members[src], self.ctx, COLLECTIVE_FLAG | tag)
+    }
+
+    /// Allocate a fresh tag block for one collective operation. All members
+    /// call collectives in the same order (an MPI requirement), so the
+    /// sequence numbers agree across ranks.
+    pub(crate) fn next_coll_base(&self) -> u64 {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq + 1);
+        seq << 20 // up to 2^20 sub-messages per collective
+    }
+
+    pub(crate) fn next_split_seq(&self) -> u64 {
+        let s = self.split_seq.get();
+        self.split_seq.set(s + 1);
+        s
+    }
+
+    pub(crate) fn ctx(&self) -> u64 {
+        self.ctx
+    }
+
+    pub(crate) fn endpoint(&self) -> &Arc<Endpoint> {
+        &self.ep
+    }
+
+    /// Traffic counters of the underlying endpoint (whole world, all
+    /// communicators of this rank).
+    pub fn metrics(&self) -> CommMetrics {
+        self.ep.metrics()
+    }
+}
+
+/// splitmix64 — deterministic context-id derivation for `split`.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_identity_mapping() {
+        let eps = Endpoint::world(3);
+        let c = Communicator::world(eps[1].clone());
+        assert_eq!(c.rank(), 1);
+        assert_eq!(c.size(), 3);
+        assert_eq!(c.world_rank_of(2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_USER_TAG")]
+    fn oversized_tag_rejected() {
+        let eps = Endpoint::world(1);
+        let c = Communicator::world(eps[0].clone());
+        c.send(0, u64::MAX, vec![]);
+    }
+
+    #[test]
+    fn reduce_ops() {
+        assert_eq!(ReduceOp::Sum.fold_u64(2, 3), 5);
+        assert_eq!(ReduceOp::Min.fold_u64(2, 3), 2);
+        assert_eq!(ReduceOp::Max.fold_u64(2, 3), 3);
+        assert_eq!(ReduceOp::Sum.fold_f64(0.5, 0.25), 0.75);
+        assert_eq!(ReduceOp::Max.fold_u128(7, 9), 9);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_spread() {
+        let a = splitmix64(1);
+        let b = splitmix64(1);
+        let c = splitmix64(2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

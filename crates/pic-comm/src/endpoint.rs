@@ -1,0 +1,200 @@
+//! Per-rank communication endpoint: channels + tag matching + counters.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A raw wire message. `ctx` isolates communicators, `src` is the sender's
+/// *world* rank, `tag` is the user/collective tag.
+#[derive(Debug)]
+pub struct RawMsg {
+    pub ctx: u64,
+    pub src: usize,
+    pub tag: u64,
+    pub data: Vec<u8>,
+}
+
+/// Snapshot of an endpoint's traffic counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CommMetrics {
+    pub messages_sent: u64,
+    pub bytes_sent: u64,
+    pub messages_received: u64,
+    pub bytes_received: u64,
+}
+
+/// One rank's attachment to the world: senders to every rank (including
+/// itself) and its own inbox. Unmatched messages park in `pending` until a
+/// matching receive is posted — MPI's unexpected-message queue.
+pub struct Endpoint {
+    world_rank: usize,
+    senders: Vec<Sender<RawMsg>>,
+    inbox: Receiver<RawMsg>,
+    pending: Mutex<VecDeque<RawMsg>>,
+    msgs_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    msgs_recv: AtomicU64,
+    bytes_recv: AtomicU64,
+}
+
+impl Endpoint {
+    /// Build all endpoints of a `size`-rank world.
+    pub fn world(size: usize) -> Vec<Arc<Endpoint>> {
+        assert!(size > 0, "world must have at least one rank");
+        let mut txs = Vec::with_capacity(size);
+        let mut rxs = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        rxs.into_iter()
+            .enumerate()
+            .map(|(rank, inbox)| {
+                Arc::new(Endpoint {
+                    world_rank: rank,
+                    senders: txs.clone(),
+                    inbox,
+                    pending: Mutex::new(VecDeque::new()),
+                    msgs_sent: AtomicU64::new(0),
+                    bytes_sent: AtomicU64::new(0),
+                    msgs_recv: AtomicU64::new(0),
+                    bytes_recv: AtomicU64::new(0),
+                })
+            })
+            .collect()
+    }
+
+    pub fn world_rank(&self) -> usize {
+        self.world_rank
+    }
+
+    pub fn world_size(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Send a message to a world rank. Never blocks (unbounded channels,
+    /// like an eager-protocol MPI for the message sizes this kernel uses).
+    pub fn send(&self, dst_world: usize, ctx: u64, tag: u64, data: Vec<u8>) {
+        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.senders[dst_world]
+            .send(RawMsg { ctx, src: self.world_rank, tag, data })
+            .expect("receiver endpoint dropped while ranks still sending");
+    }
+
+    /// Blocking receive matching `(ctx, src_world, tag)`. Non-matching
+    /// arrivals are parked for later receives.
+    pub fn recv(&self, src_world: usize, ctx: u64, tag: u64) -> Vec<u8> {
+        // First scan the unexpected-message queue.
+        {
+            let mut pending = self.pending.lock();
+            if let Some(pos) = pending
+                .iter()
+                .position(|m| m.ctx == ctx && m.src == src_world && m.tag == tag)
+            {
+                let m = pending.remove(pos).unwrap();
+                self.note_recv(&m);
+                return m.data;
+            }
+        }
+        // Then pull from the wire until the match arrives.
+        loop {
+            let m = self
+                .inbox
+                .recv()
+                .expect("all senders dropped while a receive was outstanding");
+            if m.ctx == ctx && m.src == src_world && m.tag == tag {
+                self.note_recv(&m);
+                return m.data;
+            }
+            self.pending.lock().push_back(m);
+        }
+    }
+
+    fn note_recv(&self, m: &RawMsg) {
+        self.msgs_recv.fetch_add(1, Ordering::Relaxed);
+        self.bytes_recv.fetch_add(m.data.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Traffic counters so far.
+    pub fn metrics(&self) -> CommMetrics {
+        CommMetrics {
+            messages_sent: self.msgs_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            messages_received: self.msgs_recv.load(Ordering::Relaxed),
+            bytes_received: self.bytes_recv.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of parked (unexpected) messages — should be zero at clean
+    /// shutdown; tests assert on this to catch protocol leaks.
+    pub fn pending_count(&self) -> usize {
+        self.pending.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn self_send_and_recv() {
+        let eps = Endpoint::world(1);
+        eps[0].send(0, 7, 42, vec![1, 2, 3]);
+        assert_eq!(eps[0].recv(0, 7, 42), vec![1, 2, 3]);
+        let m = eps[0].metrics();
+        assert_eq!(m.messages_sent, 1);
+        assert_eq!(m.bytes_sent, 3);
+        assert_eq!(m.messages_received, 1);
+    }
+
+    #[test]
+    fn out_of_order_matching() {
+        let eps = Endpoint::world(1);
+        eps[0].send(0, 1, 10, vec![10]);
+        eps[0].send(0, 1, 20, vec![20]);
+        eps[0].send(0, 1, 30, vec![30]);
+        assert_eq!(eps[0].recv(0, 1, 30), vec![30]);
+        assert_eq!(eps[0].recv(0, 1, 10), vec![10]);
+        assert_eq!(eps[0].recv(0, 1, 20), vec![20]);
+        assert_eq!(eps[0].pending_count(), 0);
+    }
+
+    #[test]
+    fn context_isolation() {
+        let eps = Endpoint::world(1);
+        eps[0].send(0, 100, 5, vec![1]);
+        eps[0].send(0, 200, 5, vec![2]);
+        assert_eq!(eps[0].recv(0, 200, 5), vec![2]);
+        assert_eq!(eps[0].recv(0, 100, 5), vec![1]);
+    }
+
+    #[test]
+    fn cross_thread_pingpong() {
+        let eps = Endpoint::world(2);
+        let a = eps[0].clone();
+        let b = eps[1].clone();
+        let t = thread::spawn(move || {
+            let got = b.recv(0, 0, 1);
+            b.send(0, 0, 2, got.iter().map(|x| x * 2).collect());
+        });
+        a.send(1, 0, 1, vec![5, 6]);
+        assert_eq!(a.recv(1, 0, 2), vec![10, 12]);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn fifo_per_same_signature() {
+        // Two messages with identical (ctx, src, tag) are received in send
+        // order (MPI non-overtaking rule).
+        let eps = Endpoint::world(1);
+        eps[0].send(0, 0, 9, vec![1]);
+        eps[0].send(0, 0, 9, vec![2]);
+        assert_eq!(eps[0].recv(0, 0, 9), vec![1]);
+        assert_eq!(eps[0].recv(0, 0, 9), vec![2]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Spawning a world of ranks as OS threads.
+
+use crate::comm::Communicator;
+use crate::endpoint::{CommMetrics, Endpoint};
+use std::sync::Arc;
+
+/// A constructed world: one communicator handle per rank, to be moved into
+/// rank threads (or driven round-robin by a test).
+pub struct ThreadWorld {
+    comms: Vec<Communicator>,
+    endpoints: Vec<Arc<Endpoint>>,
+}
+
+impl ThreadWorld {
+    /// Create a `size`-rank world.
+    pub fn new(size: usize) -> ThreadWorld {
+        let endpoints = Endpoint::world(size);
+        let comms = endpoints
+            .iter()
+            .map(|ep| Communicator::world(ep.clone()))
+            .collect();
+        ThreadWorld { comms, endpoints }
+    }
+
+    /// Take the per-rank communicators (consumes the handles).
+    pub fn into_comms(self) -> Vec<Communicator> {
+        self.comms
+    }
+
+    /// Aggregate traffic metrics across all ranks.
+    pub fn total_metrics(&self) -> CommMetrics {
+        let mut total = CommMetrics::default();
+        for ep in &self.endpoints {
+            let m = ep.metrics();
+            total.messages_sent += m.messages_sent;
+            total.bytes_sent += m.bytes_sent;
+            total.messages_received += m.messages_received;
+            total.bytes_received += m.bytes_received;
+        }
+        total
+    }
+}
+
+/// Run `f(comm)` on `size` rank threads and return the per-rank results in
+/// rank order. This is the substrate's `mpiexec`.
+///
+/// Panics in any rank propagate (the join unwraps), so a deadlock-free
+/// failing assertion in one rank fails the whole run.
+pub fn run_threads<R, F>(size: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Communicator) -> R + Send + Sync,
+{
+    let comms = ThreadWorld::new(size).into_comms();
+    let mut slots: Vec<Option<R>> = (0..size).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(size);
+        for (rank, comm) in comms.into_iter().enumerate() {
+            let fref = &f;
+            handles.push((rank, scope.spawn(move |_| fref(comm))));
+        }
+        for (rank, h) in handles {
+            slots[rank] = Some(h.join().expect("rank thread panicked"));
+        }
+    })
+    .expect("world scope panicked");
+    slots.into_iter().map(|s| s.unwrap()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_threads_returns_in_rank_order() {
+        let got = run_threads(6, |comm| comm.rank() * 10);
+        assert_eq!(got, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn ranks_know_their_world() {
+        let got = run_threads(3, |comm| (comm.rank(), comm.size()));
+        assert_eq!(got, vec![(0, 3), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn pingpong_through_world() {
+        let got = run_threads(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![7]);
+                comm.recv(1, 2)
+            } else {
+                let v = comm.recv(0, 1);
+                comm.send(0, 2, v.iter().map(|x| x + 1).collect());
+                vec![]
+            }
+        });
+        assert_eq!(got[0], vec![8]);
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let world = ThreadWorld::new(2);
+        let comms = world.comms.iter().collect::<Vec<_>>();
+        comms[0].send(1, 3, vec![0; 100]);
+        let _ = comms[1].recv(0, 3);
+        let m = world.total_metrics();
+        assert_eq!(m.messages_sent, 1);
+        assert_eq!(m.bytes_sent, 100);
+        assert_eq!(m.bytes_received, 100);
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let got = run_threads(1, |comm| {
+            comm.send(0, 1, vec![42]);
+            comm.recv(0, 1)
+        });
+        assert_eq!(got, vec![vec![42]]);
+    }
+
+    #[test]
+    fn heavy_traffic_no_loss() {
+        let got = run_threads(4, |comm| {
+            let n = 500usize;
+            for i in 0..n {
+                for dst in 0..comm.size() {
+                    comm.send(dst, (i % 7) as u64, vec![(i % 251) as u8]);
+                }
+            }
+            let mut sum = 0u64;
+            for i in 0..n {
+                for src in 0..comm.size() {
+                    let v = comm.recv(src, (i % 7) as u64);
+                    sum += v[0] as u64;
+                }
+            }
+            sum
+        });
+        let expected: u64 = (0..500u64).map(|i| (i % 251) * 4).sum();
+        assert!(got.iter().all(|&g| g == expected));
+    }
+}

@@ -1,0 +1,223 @@
+//! Materialized mesh-charge subgrids.
+//!
+//! The kernel's mesh charges are formulaic (column parity), so the physics
+//! never *needs* a stored mesh. The paper's implementations nevertheless
+//! keep one — "the mesh points on the fringe of the 2D blocks are
+//! replicated on the processors that share them (ghost cells)" — and the
+//! diffusion balancer migrates border subgrids along with their particles.
+//! This module materializes an owned rectangle of mesh-point charges plus a
+//! one-point ghost ring, so the functional implementations carry (and
+//! migrate) the same data a real port would, and so tests can prove the
+//! stored-mesh force path is bit-identical to the formulaic one.
+
+use crate::charge::{coulomb, mesh_charge, SimConstants};
+use crate::geometry::Grid;
+
+/// Charges of the mesh points of an owned cell rectangle plus one ghost
+/// ring. Owning cells `[x0, x1) × [y0, y1)` requires mesh points
+/// `[x0, x1] × [y0, y1]`; with the ghost ring the stored index range is
+/// `[x0−1, x1+1] × [y0−1, y1+1]` (periodically wrapped values).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChargeGrid {
+    x0: usize,
+    y0: usize,
+    /// Owned cell counts.
+    w: usize,
+    h: usize,
+    /// Row-major `(w + 3) × (h + 3)` mesh-point charges (owned points,
+    /// shared fringe, and the ghost ring).
+    data: Vec<f64>,
+}
+
+impl ChargeGrid {
+    /// Materialize the subgrid for owned cells `cols × rows` of `grid`.
+    pub fn build(
+        grid: &Grid,
+        consts: &SimConstants,
+        cols: (usize, usize),
+        rows: (usize, usize),
+    ) -> ChargeGrid {
+        assert!(cols.0 < cols.1 && cols.1 <= grid.ncells(), "bad column range {cols:?}");
+        assert!(rows.0 < rows.1 && rows.1 <= grid.ncells(), "bad row range {rows:?}");
+        let w = cols.1 - cols.0;
+        let h = rows.1 - rows.0;
+        let stride = w + 3;
+        let mut data = Vec::with_capacity(stride * (h + 3));
+        for dy in 0..h + 3 {
+            let _row = grid.wrap_cell(rows.0 as i64 + dy as i64 - 1);
+            for dx in 0..w + 3 {
+                let col = grid.wrap_cell(cols.0 as i64 + dx as i64 - 1);
+                // Charge depends only on the (wrapped) column parity; rows
+                // are stored anyway to mirror a real field array.
+                data.push(mesh_charge(col, consts.q));
+            }
+        }
+        ChargeGrid { x0: cols.0, y0: rows.0, w, h, data }
+    }
+
+    /// Owned cell rectangle.
+    pub fn bounds(&self) -> ((usize, usize), (usize, usize)) {
+        ((self.x0, self.x0 + self.w), (self.y0, self.y0 + self.h))
+    }
+
+    /// Number of stored mesh points (owned + fringe + ghosts).
+    pub fn stored_points(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Charge at global mesh column/row. The point must lie within the
+    /// stored window (owned + one ghost ring); panics otherwise — the
+    /// equivalent of reading out of your halo in a real code.
+    #[inline]
+    pub fn charge_at(&self, col: usize, row: usize) -> f64 {
+        let dx = col as i64 - (self.x0 as i64 - 1);
+        let dy = row as i64 - (self.y0 as i64 - 1);
+        assert!(
+            dx >= 0 && (dx as usize) < self.w + 3 && dy >= 0 && (dy as usize) < self.h + 3,
+            "mesh point ({col},{row}) outside stored window of owner ({},{})+{}x{}",
+            self.x0,
+            self.y0,
+            self.w,
+            self.h
+        );
+        self.data[dy as usize * (self.w + 3) + dx as usize]
+    }
+
+    /// Total Coulomb force on a particle inside the owned rectangle, read
+    /// from the stored mesh — the same arithmetic as
+    /// [`crate::charge::total_force`], so results are bit-identical.
+    #[inline]
+    pub fn total_force(&self, grid: &Grid, consts: &SimConstants, x: f64, y: f64, qp: f64) -> (f64, f64) {
+        let (col, row) = grid.cell_of_point(x, y);
+        let rx = x - col as f64;
+        let ry = y - row as f64;
+        let q_left = self.charge_at(col, row);
+        // The right corner may be the periodic image; the stored fringe
+        // holds the already-wrapped charge value.
+        let q_right = self.charge_at_wrapped(grid, col + 1, row);
+
+        let (fx0, fy0) = coulomb(rx, ry, q_left, qp);
+        let (fx1, fy1) = coulomb(rx, ry - consts.h, q_left, qp);
+        let (fx2, fy2) = coulomb(rx - consts.h, ry, q_right, qp);
+        let (fx3, fy3) = coulomb(rx - consts.h, ry - consts.h, q_right, qp);
+        ((fx0 + fx1) + (fx2 + fx3), (fy0 + fy1) + (fy2 + fy3))
+    }
+
+    #[inline]
+    fn charge_at_wrapped(&self, grid: &Grid, col: usize, row: usize) -> f64 {
+        // Columns x1 (fringe) are stored directly; beyond that wrap.
+        if col <= self.x0 + self.w + 1 {
+            self.charge_at(col, row.min(self.y0 + self.h + 1))
+        } else {
+            self.charge_at(grid.wrap_cell(col as i64), row.min(self.y0 + self.h + 1))
+        }
+    }
+
+    /// Check every stored point against the formulaic pattern — the
+    /// subgrid equivalent of a halo-consistency check.
+    pub fn verify_against_formula(&self, grid: &Grid, consts: &SimConstants) -> bool {
+        let stride = self.w + 3;
+        for dy in 0..self.h + 3 {
+            for dx in 0..stride {
+                let col = grid.wrap_cell(self.x0 as i64 + dx as i64 - 1);
+                let want = mesh_charge(col, consts.q);
+                if self.data[dy * stride + dx] != want {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Serialized size in bytes if this subgrid were migrated (one f64 per
+    /// stored point) — used by cost accounting and tests.
+    pub fn wire_bytes(&self) -> usize {
+        self.data.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::charge::total_force;
+
+    fn grid() -> Grid {
+        Grid::new(16).unwrap()
+    }
+
+    #[test]
+    fn build_and_verify_interior_block() {
+        let g = grid();
+        let c = SimConstants::CANONICAL;
+        let cg = ChargeGrid::build(&g, &c, (4, 8), (4, 8));
+        assert!(cg.verify_against_formula(&g, &c));
+        assert_eq!(cg.bounds(), ((4, 8), (4, 8)));
+        assert_eq!(cg.stored_points(), 7 * 7);
+        assert_eq!(cg.wire_bytes(), 49 * 8);
+    }
+
+    #[test]
+    fn ghost_ring_wraps_periodically() {
+        let g = grid();
+        let c = SimConstants::CANONICAL;
+        // Block touching the domain edge: its ghost column −1 is the
+        // periodic image of column 15 (odd → −q), which the formula check
+        // validates point by point.
+        let cg = ChargeGrid::build(&g, &c, (0, 4), (0, 4));
+        assert!(cg.verify_against_formula(&g, &c));
+        assert_eq!(cg.charge_at(0, 0), 1.0);
+        // Fringe mesh points (column x1) are stored and readable.
+        assert_eq!(cg.charge_at(4, 4), 1.0);
+        assert_eq!(cg.charge_at(5, 2), -1.0); // ghost column x1+1
+    }
+
+    #[test]
+    #[should_panic(expected = "outside stored window")]
+    fn out_of_halo_read_panics() {
+        let g = grid();
+        let cg = ChargeGrid::build(&g, &SimConstants::CANONICAL, (4, 8), (4, 8));
+        let _ = cg.charge_at(12, 5); // two past the fringe
+    }
+
+    #[test]
+    fn gridded_force_bitwise_matches_formulaic() {
+        let g = grid();
+        let c = SimConstants::CANONICAL;
+        let cg = ChargeGrid::build(&g, &c, (4, 12), (2, 10));
+        for &(x, y, qp) in &[
+            (4.5, 2.5, 0.3535),
+            (11.5, 9.5, -0.7),
+            (7.25, 5.75, 1.5),
+            (4.0, 2.0, 0.1),
+        ] {
+            let (fx_a, fy_a) = total_force(&g, &c, x, y, qp);
+            let (fx_b, fy_b) = cg.total_force(&g, &c, x, y, qp);
+            assert_eq!(fx_a.to_bits(), fx_b.to_bits(), "fx at ({x},{y})");
+            assert_eq!(fy_a.to_bits(), fy_b.to_bits(), "fy at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn last_column_force_uses_wrapped_corner() {
+        let g = grid();
+        let c = SimConstants::CANONICAL;
+        let cg = ChargeGrid::build(&g, &c, (12, 16), (0, 16));
+        let (fx_a, fy_a) = total_force(&g, &c, 15.5, 3.5, 0.5);
+        let (fx_b, fy_b) = cg.total_force(&g, &c, 15.5, 3.5, 0.5);
+        assert_eq!(fx_a.to_bits(), fx_b.to_bits());
+        assert_eq!(fy_a.to_bits(), fy_b.to_bits());
+    }
+
+    #[test]
+    fn whole_domain_grid() {
+        let g = grid();
+        let c = SimConstants::CANONICAL;
+        let cg = ChargeGrid::build(&g, &c, (0, 16), (0, 16));
+        assert!(cg.verify_against_formula(&g, &c));
+        for col in 0..16 {
+            for row in [0usize, 8, 15] {
+                assert_eq!(cg.charge_at(col, row), mesh_charge(col, 1.0));
+            }
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Checkpoint/restart.
+//!
+//! Long PRK campaigns (the paper's runs are 6,000 steps; production studies
+//! sweep many configurations) want restartable state. The format is a
+//! versioned little-endian byte stream capturing everything the engine
+//! needs to resume *bit-exactly*: constants, step counter, id ledger,
+//! particles, and the not-yet-applied event schedule. A resumed run is
+//! indistinguishable from an uninterrupted one — asserted by tests.
+
+use crate::charge::SimConstants;
+use crate::events::{Event, EventKind, Region};
+use crate::geometry::{Grid, GridError};
+use crate::particle::Particle;
+use std::fmt;
+
+/// Snapshot of a simulation's complete state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointData {
+    pub grid: Grid,
+    pub consts: SimConstants,
+    pub step: u32,
+    pub next_id: u64,
+    pub expected_id_sum: u128,
+    pub particles: Vec<Particle>,
+    /// Remaining (not yet applied) events, sorted by step.
+    pub pending_events: Vec<Event>,
+}
+
+/// Decode failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    BadMagic,
+    UnsupportedVersion(u32),
+    Truncated,
+    Corrupt(&'static str),
+    Grid(GridError),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a PIC PRK checkpoint"),
+            CheckpointError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+            CheckpointError::Grid(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+const MAGIC: &[u8; 8] = b"PICPRKv\0";
+const VERSION: u32 = 1;
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.off + n > self.buf.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        let s = &self.buf[self.off..self.off + n];
+        self.off += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn u128(&mut self) -> Result<u128, CheckpointError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i32(&mut self) -> Result<i32, CheckpointError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+}
+
+impl CheckpointData {
+    /// Serialize to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.particles.len() * Particle::WIRE_SIZE);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.grid.ncells() as u64).to_le_bytes());
+        out.extend_from_slice(&self.consts.h.to_le_bytes());
+        out.extend_from_slice(&self.consts.dt.to_le_bytes());
+        out.extend_from_slice(&self.consts.q.to_le_bytes());
+        out.extend_from_slice(&self.step.to_le_bytes());
+        out.extend_from_slice(&self.next_id.to_le_bytes());
+        out.extend_from_slice(&self.expected_id_sum.to_le_bytes());
+        out.extend_from_slice(&(self.particles.len() as u64).to_le_bytes());
+        for p in &self.particles {
+            p.encode(&mut out);
+        }
+        out.extend_from_slice(&(self.pending_events.len() as u64).to_le_bytes());
+        for e in &self.pending_events {
+            out.extend_from_slice(&e.at_step.to_le_bytes());
+            for v in [e.region.x0, e.region.x1, e.region.y0, e.region.y1] {
+                out.extend_from_slice(&(v as u64).to_le_bytes());
+            }
+            match e.kind {
+                EventKind::Inject { count, k, m, dir } => {
+                    out.push(0);
+                    out.extend_from_slice(&count.to_le_bytes());
+                    out.extend_from_slice(&k.to_le_bytes());
+                    out.extend_from_slice(&m.to_le_bytes());
+                    out.push(dir as u8);
+                }
+                EventKind::Remove { count } => {
+                    out.push(1);
+                    out.extend_from_slice(&count.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserialize from bytes.
+    pub fn decode(buf: &[u8]) -> Result<CheckpointData, CheckpointError> {
+        let mut r = Reader { buf, off: 0 };
+        if r.take(8)? != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let ncells = r.u64()? as usize;
+        let grid = Grid::new(ncells).map_err(CheckpointError::Grid)?;
+        let consts = SimConstants { h: r.f64()?, dt: r.f64()?, q: r.f64()? };
+        let step = r.u32()?;
+        let next_id = r.u64()?;
+        let expected_id_sum = r.u128()?;
+        let n = r.u64()? as usize;
+        let mut particles = Vec::with_capacity(n);
+        for _ in 0..n {
+            let rec = r.take(Particle::WIRE_SIZE)?;
+            particles.push(Particle::decode(rec).ok_or(CheckpointError::Corrupt("particle"))?);
+        }
+        let ne = r.u64()? as usize;
+        let mut pending_events = Vec::with_capacity(ne);
+        for _ in 0..ne {
+            let at_step = r.u32()?;
+            let x0 = r.u64()? as usize;
+            let x1 = r.u64()? as usize;
+            let y0 = r.u64()? as usize;
+            let y1 = r.u64()? as usize;
+            let region = Region { x0, x1, y0, y1 };
+            let kind = match r.take(1)?[0] {
+                0 => {
+                    let count = r.u64()?;
+                    let k = r.u32()?;
+                    let m = r.i32()?;
+                    let dir = r.take(1)?[0] as i8;
+                    EventKind::Inject { count, k, m, dir }
+                }
+                1 => EventKind::Remove { count: r.u64()? },
+                _ => return Err(CheckpointError::Corrupt("event kind")),
+            };
+            pending_events.push(Event { at_step, region, kind });
+        }
+        if r.off != buf.len() {
+            return Err(CheckpointError::Corrupt("trailing bytes"));
+        }
+        Ok(CheckpointData {
+            grid,
+            consts,
+            step,
+            next_id,
+            expected_id_sum,
+            particles,
+            pending_events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CheckpointData {
+        use crate::dist::Distribution;
+        use crate::init::InitConfig;
+        let grid = Grid::new(16).unwrap();
+        let setup = InitConfig::new(grid, 50, Distribution::Uniform).build().unwrap();
+        CheckpointData {
+            grid,
+            consts: SimConstants::CANONICAL,
+            step: 17,
+            next_id: 51,
+            expected_id_sum: 1275,
+            particles: setup.particles,
+            pending_events: vec![
+                Event::inject(30, Region { x0: 0, x1: 4, y0: 0, y1: 4 }, 10, 1, -2, -1),
+                Event::remove(40, Region::whole(16), 5),
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let cp = sample();
+        let bytes = cp.encode();
+        let back = CheckpointData::decode(&bytes).unwrap();
+        assert_eq!(cp, back);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = sample().encode();
+        bytes[0] = b'X';
+        assert_eq!(CheckpointData::decode(&bytes), Err(CheckpointError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let mut bytes = sample().encode();
+        bytes[8] = 99;
+        assert!(matches!(
+            CheckpointData::decode(&bytes),
+            Err(CheckpointError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let bytes = sample().encode();
+        for cut in [4usize, 12, 30, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                CheckpointData::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = sample().encode();
+        bytes.push(0);
+        assert_eq!(
+            CheckpointData::decode(&bytes),
+            Err(CheckpointError::Corrupt("trailing bytes"))
+        );
+    }
+}

@@ -1,0 +1,416 @@
+//! Serial (and shared-memory parallel) reference engine.
+//!
+//! The engine is the executable form of the paper-and-pencil specification:
+//! it applies scheduled injection/removal events, advances every particle by
+//! the constant-acceleration kinematics, and maintains the id-checksum
+//! ledger that the final verification compares against. All parallel
+//! implementations must produce exactly the population this engine produces
+//! (same ids, positions within tolerance).
+
+use crate::charge::SimConstants;
+use crate::events::{Event, EventKind};
+use crate::geometry::Grid;
+use crate::init::{apply_removal, build_injection, validate_event, InitError, SimulationSetup};
+use crate::motion::{advance_all, advance_all_parallel};
+use crate::particle::Particle;
+use crate::verify::{verify_all, VerifyReport, DEFAULT_TOLERANCE};
+
+/// Execution mode for the per-step particle sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepMode {
+    /// One thread, deterministic order.
+    #[default]
+    Serial,
+    /// Rayon-parallel sweep; bitwise identical results (particles are
+    /// independent within a step).
+    Parallel,
+}
+
+/// The reference simulation.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    grid: Grid,
+    consts: SimConstants,
+    particles: Vec<Particle>,
+    events: Vec<Event>,
+    next_event: usize,
+    step: u32,
+    next_id: u64,
+    expected_id_sum: u128,
+    mode: SweepMode,
+}
+
+pub use crate::init::SimulationSetup as Setup;
+
+impl Simulation {
+    /// Build a simulation from a setup produced by
+    /// [`crate::init::InitConfig::build`].
+    pub fn new(setup: SimulationSetup) -> Simulation {
+        Self::with_mode(setup, SweepMode::Serial)
+    }
+
+    /// Build with an explicit sweep mode.
+    pub fn with_mode(setup: SimulationSetup, mode: SweepMode) -> Simulation {
+        let expected_id_sum = setup.initial_id_sum();
+        let mut events = setup.events;
+        events.sort_by_key(|e| e.at_step);
+        Simulation {
+            grid: setup.grid,
+            consts: setup.consts,
+            particles: setup.particles,
+            events,
+            next_event: 0,
+            step: 0,
+            next_id: setup.next_id,
+            expected_id_sum,
+            mode,
+        }
+    }
+
+    /// Validate all scheduled events against the grid.
+    pub fn validate_events(&self) -> Result<(), InitError> {
+        for e in &self.events {
+            validate_event(&self.grid, e)?;
+        }
+        Ok(())
+    }
+
+    /// Current step index (number of steps executed so far).
+    pub fn step_index(&self) -> u32 {
+        self.step
+    }
+
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    pub fn constants(&self) -> &SimConstants {
+        &self.consts
+    }
+
+    pub fn particles(&self) -> &[Particle] {
+        &self.particles
+    }
+
+    pub fn particle_count(&self) -> usize {
+        self.particles.len()
+    }
+
+    /// The checksum ledger: what the id sum of the surviving particles
+    /// must equal.
+    pub fn expected_id_sum(&self) -> u128 {
+        self.expected_id_sum
+    }
+
+    /// Apply all events scheduled for the current step. Called by
+    /// [`Simulation::step`], exposed for harnesses that drive sub-phases.
+    pub fn apply_due_events(&mut self) {
+        while self.next_event < self.events.len()
+            && self.events[self.next_event].at_step == self.step
+        {
+            let e = self.events[self.next_event];
+            self.next_event += 1;
+            match e.kind {
+                EventKind::Inject { count, k, m, dir } => {
+                    let newcomers = build_injection(
+                        self.grid,
+                        self.consts,
+                        e.region,
+                        count,
+                        k,
+                        m,
+                        dir,
+                        self.step,
+                        &mut self.next_id,
+                    );
+                    for p in &newcomers {
+                        self.expected_id_sum += p.id as u128;
+                    }
+                    self.particles.extend(newcomers);
+                }
+                EventKind::Remove { count } => {
+                    let removed = apply_removal(&mut self.particles, e.region, count);
+                    for p in &removed {
+                        self.expected_id_sum -= p.id as u128;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Execute one time step: events due at this step, then the particle
+    /// sweep (force + eqs. 1–2 + periodic wrap).
+    pub fn step(&mut self) {
+        self.apply_due_events();
+        match self.mode {
+            SweepMode::Serial => advance_all(&self.grid, &self.consts, &mut self.particles),
+            SweepMode::Parallel => {
+                advance_all_parallel(&self.grid, &self.consts, &mut self.particles)
+            }
+        }
+        self.step += 1;
+    }
+
+    /// Execute `t` steps.
+    pub fn run(&mut self, t: u32) {
+        for _ in 0..t {
+            self.step();
+        }
+    }
+
+    /// Verify the current population against eqs. 5–6 and the checksum.
+    pub fn verify(&self) -> VerifyReport {
+        self.verify_with_tolerance(DEFAULT_TOLERANCE)
+    }
+
+    pub fn verify_with_tolerance(&self, tol: f64) -> VerifyReport {
+        verify_all(
+            &self.grid,
+            &self.particles,
+            self.step,
+            self.expected_id_sum,
+            tol,
+        )
+    }
+
+    /// Histogram of particle counts per cell column — the quantity the
+    /// x-direction load balancers equalize.
+    pub fn column_histogram(&self) -> Vec<u64> {
+        let mut h = vec![0u64; self.grid.ncells()];
+        for p in &self.particles {
+            h[self.grid.cell_of(p.x)] += 1;
+        }
+        h
+    }
+
+    /// Histogram of particle counts per cell row (for rotated workloads
+    /// and the two-phase balancer's y phase).
+    pub fn row_histogram(&self) -> Vec<u64> {
+        let mut h = vec![0u64; self.grid.ncells()];
+        for p in &self.particles {
+            h[self.grid.cell_of(p.y)] += 1;
+        }
+        h
+    }
+
+    /// Mutable access for failure-injection tests *only*.
+    #[doc(hidden)]
+    pub fn particles_mut(&mut self) -> &mut Vec<Particle> {
+        &mut self.particles
+    }
+
+    /// Snapshot the complete state for checkpoint/restart.
+    pub fn checkpoint(&self) -> crate::checkpoint::CheckpointData {
+        crate::checkpoint::CheckpointData {
+            grid: self.grid,
+            consts: self.consts,
+            step: self.step,
+            next_id: self.next_id,
+            expected_id_sum: self.expected_id_sum,
+            particles: self.particles.clone(),
+            pending_events: self.events[self.next_event..].to_vec(),
+        }
+    }
+
+    /// Resume from a checkpoint; the continuation is bit-exact with an
+    /// uninterrupted run.
+    pub fn restore(cp: crate::checkpoint::CheckpointData, mode: SweepMode) -> Simulation {
+        Simulation {
+            grid: cp.grid,
+            consts: cp.consts,
+            particles: cp.particles,
+            events: cp.pending_events,
+            next_event: 0,
+            step: cp.step,
+            next_id: cp.next_id,
+            expected_id_sum: cp.expected_id_sum,
+            mode,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Distribution;
+    use crate::events::Region;
+    use crate::init::InitConfig;
+    use crate::verify::triangular_id_sum;
+
+    fn setup(n: u64, dist: Distribution) -> SimulationSetup {
+        InitConfig::new(Grid::new(32).unwrap(), n, dist)
+            .with_m(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn event_free_run_verifies() {
+        let mut sim = Simulation::new(setup(500, Distribution::PAPER_SKEW));
+        sim.run(200);
+        let report = sim.verify();
+        assert!(report.passed(), "{report:?}");
+        assert_eq!(report.checked, 500);
+        assert_eq!(report.id_sum, triangular_id_sum(500));
+        assert!(report.max_error < 1e-9, "max error {}", report.max_error);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_bitwise() {
+        let s = setup(300, Distribution::Sinusoidal);
+        let mut a = Simulation::with_mode(s.clone(), SweepMode::Serial);
+        let mut b = Simulation::with_mode(s, SweepMode::Parallel);
+        a.run(50);
+        b.run(50);
+        assert_eq!(a.particles(), b.particles());
+    }
+
+    #[test]
+    fn distribution_drifts_one_cell_per_step() {
+        let mut sim = Simulation::new(setup(1000, Distribution::Geometric { r: 0.9 }));
+        let before = sim.column_histogram();
+        sim.run(3);
+        let after = sim.column_histogram();
+        // The whole histogram rotates right by 3 (k = 0).
+        for col in 0..32 {
+            assert_eq!(after[(col + 3) % 32], before[col], "column {col}");
+        }
+    }
+
+    #[test]
+    fn injection_updates_ledger_and_verifies() {
+        let region = Region { x0: 0, x1: 8, y0: 0, y1: 8 };
+        let s = setup(100, Distribution::Uniform).with_event(Event::inject(10, region, 50, 0, 0, 1));
+        let mut sim = Simulation::new(s);
+        sim.run(30);
+        assert_eq!(sim.particle_count(), 150);
+        let report = sim.verify();
+        assert!(report.passed(), "{report:?}");
+        assert_eq!(
+            sim.expected_id_sum(),
+            triangular_id_sum(150),
+            "injected ids continue the range"
+        );
+    }
+
+    #[test]
+    fn removal_updates_ledger_and_verifies() {
+        let s = setup(100, Distribution::Uniform)
+            .with_event(Event::remove(5, Region::whole(32), 30));
+        let mut sim = Simulation::new(s);
+        sim.run(20);
+        assert_eq!(sim.particle_count(), 70);
+        let report = sim.verify();
+        assert!(report.passed(), "{report:?}");
+        assert!(sim.expected_id_sum() < triangular_id_sum(100));
+    }
+
+    #[test]
+    fn events_fire_in_step_order_even_if_added_unsorted() {
+        let region = Region { x0: 0, x1: 32, y0: 0, y1: 32 };
+        let s = setup(10, Distribution::Uniform)
+            .with_event(Event::inject(20, region, 5, 0, 0, 1))
+            .with_event(Event::inject(5, region, 7, 0, 0, 1));
+        let mut sim = Simulation::new(s);
+        sim.run(6);
+        assert_eq!(sim.particle_count(), 17);
+        sim.run(20);
+        assert_eq!(sim.particle_count(), 22);
+        assert!(sim.verify().passed());
+    }
+
+    #[test]
+    fn failure_injection_position_corruption_detected() {
+        // The paper: verification is "sensitive enough to reveal ... even as
+        // minor as a single particle miscalculation in a single time step."
+        let mut sim = Simulation::new(setup(200, Distribution::Uniform));
+        sim.run(19);
+        sim.particles_mut()[77].x += 1.0; // one particle, one cell, one step
+        sim.run(1);
+        let report = sim.verify();
+        assert_eq!(report.position_failures, 1);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn failure_injection_lost_particle_detected_by_checksum() {
+        let mut sim = Simulation::new(setup(50, Distribution::Uniform));
+        sim.run(10);
+        sim.particles_mut().pop();
+        let report = sim.verify();
+        assert!(!report.passed());
+        assert_eq!(report.position_failures, 0, "positions fine, checksum not");
+        assert_ne!(report.id_sum, report.expected_id_sum);
+    }
+
+    #[test]
+    fn failure_injection_duplicated_particle_detected() {
+        let mut sim = Simulation::new(setup(50, Distribution::Uniform));
+        sim.run(10);
+        let dup = sim.particles()[0];
+        sim.particles_mut().push(dup);
+        let report = sim.verify();
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn zero_step_run_trivially_verifies() {
+        let sim = Simulation::new(setup(10, Distribution::Uniform));
+        assert!(sim.verify().passed());
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_exact() {
+        let region = Region { x0: 0, x1: 8, y0: 0, y1: 8 };
+        let setup = setup(200, Distribution::Geometric { r: 0.9 })
+            .with_event(Event::inject(25, region, 30, 0, 1, 1))
+            .with_event(Event::remove(40, Region::whole(32), 20));
+        // Uninterrupted run.
+        let mut full = Simulation::new(setup.clone());
+        full.run(60);
+        // Interrupted at step 20 (before the events), checkpointed, and
+        // resumed.
+        let mut first = Simulation::new(setup);
+        first.run(20);
+        let bytes = first.checkpoint().encode();
+        let cp = crate::checkpoint::CheckpointData::decode(&bytes).unwrap();
+        let mut resumed = Simulation::restore(cp, SweepMode::Serial);
+        resumed.run(40);
+        assert_eq!(full.step_index(), resumed.step_index());
+        assert_eq!(full.particles(), resumed.particles());
+        assert_eq!(full.expected_id_sum(), resumed.expected_id_sum());
+        assert!(resumed.verify().passed());
+    }
+
+    #[test]
+    fn checkpoint_mid_events_keeps_pending_only() {
+        let region = Region { x0: 0, x1: 8, y0: 0, y1: 8 };
+        let setup = setup(100, Distribution::Uniform)
+            .with_event(Event::inject(5, region, 10, 0, 0, 1))
+            .with_event(Event::inject(50, region, 10, 0, 0, 1));
+        let mut sim = Simulation::new(setup);
+        sim.run(20); // first event applied, second pending
+        let cp = sim.checkpoint();
+        assert_eq!(cp.pending_events.len(), 1);
+        assert_eq!(cp.pending_events[0].at_step, 50);
+        assert_eq!(cp.particles.len(), 110);
+        let mut resumed = Simulation::restore(cp, SweepMode::Serial);
+        resumed.run(40);
+        assert_eq!(resumed.particle_count(), 120);
+        assert!(resumed.verify().passed());
+    }
+
+    #[test]
+    fn fast_particles_wrap_many_times_and_verify() {
+        let s = InitConfig::new(Grid::new(16).unwrap(), 64, Distribution::Uniform)
+            .with_k(3) // 7 cells per step on a 16-cell grid
+            .with_m(-5)
+            .with_dir(-1)
+            .build()
+            .unwrap();
+        let mut sim = Simulation::new(s);
+        sim.run(100);
+        let report = sim.verify();
+        assert!(report.passed(), "{report:?}");
+    }
+}

@@ -1,0 +1,197 @@
+//! Particle records.
+//!
+//! Following the PRK reference implementations, every particle carries its
+//! initial position and the analytic motion parameters (`k`, `m`) alongside
+//! its dynamic state, so verification is O(1) per particle and can be
+//! performed by *whichever rank holds the particle at the end* — no global
+//! gather required.
+
+use crate::charge::direction_from_charge;
+use crate::geometry::Grid;
+
+/// A charged particle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Particle {
+    /// Unique id in `1..=n` (ids of injected particles continue the range).
+    /// The id checksum `Σ id = n(n+1)/2` catches lost or duplicated
+    /// particles (paper §III-D).
+    pub id: u64,
+    /// Current position, in `[0, L)²`.
+    pub x: f64,
+    pub y: f64,
+    /// Current velocity.
+    pub vx: f64,
+    pub vy: f64,
+    /// Fixed particle charge `q_π` (paper eq. 3, possibly an odd multiple).
+    pub q: f64,
+    /// Initial position (for verification).
+    pub x0: f64,
+    pub y0: f64,
+    /// Horizontal speed parameter: the particle moves `2k+1` cells in x per
+    /// step.
+    pub k: u32,
+    /// Vertical speed parameter: the particle moves `m` cells in y per step
+    /// (initial velocity `m·h/dt`, paper eq. 4).
+    pub m: i32,
+    /// Simulation step at which the particle entered the simulation
+    /// (0 for initial particles, `t'` for injected ones).
+    pub born_at: u32,
+}
+
+impl Particle {
+    /// Horizontal drift direction (+1 right / −1 left), derived from the
+    /// charge sign and the parity of the initial cell column (paper eq. 5's
+    /// `sign(a_x,0)`).
+    #[inline]
+    pub fn direction(&self, grid: &Grid) -> i8 {
+        let col0 = grid.cell_of(self.x0);
+        direction_from_charge(col0, self.q)
+    }
+
+    /// Signed horizontal displacement in cells per step: `±(2k+1)`.
+    #[inline]
+    pub fn cells_per_step_x(&self, grid: &Grid) -> i64 {
+        self.direction(grid) as i64 * (2 * self.k as i64 + 1)
+    }
+
+    /// Vertical displacement in cells per step.
+    #[inline]
+    pub fn cells_per_step_y(&self) -> i64 {
+        self.m as i64
+    }
+
+    /// Number of bytes in the wire encoding (see [`Particle::encode`]).
+    pub const WIRE_SIZE: usize = 8 * 8 + 4 + 4 + 4; // id + 7 f64 + k + m + born
+
+    /// Encode into a fixed-size little-endian byte record, appending to
+    /// `out`. Used by the message-passing substrate; safe (no transmutes)
+    /// and bit-exact for all f64 payloads.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.extend_from_slice(&self.x.to_le_bytes());
+        out.extend_from_slice(&self.y.to_le_bytes());
+        out.extend_from_slice(&self.vx.to_le_bytes());
+        out.extend_from_slice(&self.vy.to_le_bytes());
+        out.extend_from_slice(&self.q.to_le_bytes());
+        out.extend_from_slice(&self.x0.to_le_bytes());
+        out.extend_from_slice(&self.y0.to_le_bytes());
+        out.extend_from_slice(&self.k.to_le_bytes());
+        out.extend_from_slice(&self.m.to_le_bytes());
+        out.extend_from_slice(&self.born_at.to_le_bytes());
+    }
+
+    /// Decode a record previously produced by [`Particle::encode`].
+    /// Returns `None` if `buf` is too short.
+    pub fn decode(buf: &[u8]) -> Option<Particle> {
+        if buf.len() < Self::WIRE_SIZE {
+            return None;
+        }
+        let f = |o: usize| f64::from_le_bytes(buf[o..o + 8].try_into().unwrap());
+        Some(Particle {
+            id: u64::from_le_bytes(buf[0..8].try_into().unwrap()),
+            x: f(8),
+            y: f(16),
+            vx: f(24),
+            vy: f(32),
+            q: f(40),
+            x0: f(48),
+            y0: f(56),
+            k: u32::from_le_bytes(buf[64..68].try_into().unwrap()),
+            m: i32::from_le_bytes(buf[68..72].try_into().unwrap()),
+            born_at: u32::from_le_bytes(buf[72..76].try_into().unwrap()),
+        })
+    }
+
+    /// Encode a slice of particles into a byte buffer.
+    pub fn encode_all(particles: &[Particle]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(particles.len() * Self::WIRE_SIZE);
+        for p in particles {
+            p.encode(&mut out);
+        }
+        out
+    }
+
+    /// Decode a buffer of concatenated particle records.
+    /// Returns `None` if the buffer length is not a multiple of the record
+    /// size or any record is malformed.
+    pub fn decode_all(buf: &[u8]) -> Option<Vec<Particle>> {
+        if buf.len() % Self::WIRE_SIZE != 0 {
+            return None;
+        }
+        buf.chunks_exact(Self::WIRE_SIZE).map(Particle::decode).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(id: u64) -> Particle {
+        Particle {
+            id,
+            x: 3.5,
+            y: 7.5,
+            vx: -2.0,
+            vy: 1.0,
+            q: -0.3535533905932738,
+            x0: 1.5,
+            y0: 7.5,
+            k: 2,
+            m: -1,
+            born_at: 17,
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip_is_bit_exact() {
+        let p = sample(42);
+        let mut buf = Vec::new();
+        p.encode(&mut buf);
+        assert_eq!(buf.len(), Particle::WIRE_SIZE);
+        let q = Particle::decode(&buf).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_nan_payload_free_values() {
+        let mut p = sample(1);
+        p.x = f64::MIN_POSITIVE;
+        p.vx = -0.0;
+        let mut buf = Vec::new();
+        p.encode(&mut buf);
+        let q = Particle::decode(&buf).unwrap();
+        assert_eq!(p.x.to_bits(), q.x.to_bits());
+        assert_eq!(p.vx.to_bits(), q.vx.to_bits());
+    }
+
+    #[test]
+    fn decode_rejects_short_buffer() {
+        assert!(Particle::decode(&[0u8; 10]).is_none());
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let ps: Vec<Particle> = (1..=9).map(sample).collect();
+        let buf = Particle::encode_all(&ps);
+        let qs = Particle::decode_all(&buf).unwrap();
+        assert_eq!(ps, qs);
+        assert!(Particle::decode_all(&buf[..buf.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn direction_from_initial_cell() {
+        let g = Grid::new(8).unwrap();
+        // Even initial column + positive charge → right.
+        let mut p = sample(1);
+        p.x0 = 0.5;
+        p.q = 0.35;
+        assert_eq!(p.direction(&g), 1);
+        assert_eq!(p.cells_per_step_x(&g), 5); // k = 2
+        p.q = -0.35;
+        assert_eq!(p.direction(&g), -1);
+        assert_eq!(p.cells_per_step_x(&g), -5);
+        // Odd initial column flips the rule.
+        p.x0 = 1.5;
+        assert_eq!(p.direction(&g), 1);
+    }
+}

@@ -1,0 +1,289 @@
+//! Structure-of-arrays particle storage.
+//!
+//! The hot loop touches `x, y, vx, vy, q` every step but the verification
+//! metadata (`x0, y0, k, m, born_at`) only at the end; splitting the record
+//! keeps the sweep's working set dense and lets the compiler vectorize the
+//! kinematics. The arithmetic per particle is identical (same operation
+//! order), so an SoA sweep produces bit-identical state to the AoS sweep —
+//! asserted by tests, and the property that lets implementations pick
+//! either layout freely.
+
+use crate::charge::{total_force, SimConstants};
+use crate::geometry::Grid;
+use crate::particle::Particle;
+
+/// A batch of particles in structure-of-arrays layout.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParticleBatch {
+    pub id: Vec<u64>,
+    pub x: Vec<f64>,
+    pub y: Vec<f64>,
+    pub vx: Vec<f64>,
+    pub vy: Vec<f64>,
+    pub q: Vec<f64>,
+    pub x0: Vec<f64>,
+    pub y0: Vec<f64>,
+    pub k: Vec<u32>,
+    pub m: Vec<i32>,
+    pub born_at: Vec<u32>,
+}
+
+impl ParticleBatch {
+    pub fn new() -> ParticleBatch {
+        ParticleBatch::default()
+    }
+
+    pub fn with_capacity(n: usize) -> ParticleBatch {
+        ParticleBatch {
+            id: Vec::with_capacity(n),
+            x: Vec::with_capacity(n),
+            y: Vec::with_capacity(n),
+            vx: Vec::with_capacity(n),
+            vy: Vec::with_capacity(n),
+            q: Vec::with_capacity(n),
+            x0: Vec::with_capacity(n),
+            y0: Vec::with_capacity(n),
+            k: Vec::with_capacity(n),
+            m: Vec::with_capacity(n),
+            born_at: Vec::with_capacity(n),
+        }
+    }
+
+    pub fn from_particles(particles: &[Particle]) -> ParticleBatch {
+        let mut b = ParticleBatch::with_capacity(particles.len());
+        for p in particles {
+            b.push(*p);
+        }
+        b
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.id.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.id.is_empty()
+    }
+
+    pub fn push(&mut self, p: Particle) {
+        self.id.push(p.id);
+        self.x.push(p.x);
+        self.y.push(p.y);
+        self.vx.push(p.vx);
+        self.vy.push(p.vy);
+        self.q.push(p.q);
+        self.x0.push(p.x0);
+        self.y0.push(p.y0);
+        self.k.push(p.k);
+        self.m.push(p.m);
+        self.born_at.push(p.born_at);
+    }
+
+    /// Materialize element `i` as an AoS record.
+    pub fn get(&self, i: usize) -> Particle {
+        Particle {
+            id: self.id[i],
+            x: self.x[i],
+            y: self.y[i],
+            vx: self.vx[i],
+            vy: self.vy[i],
+            q: self.q[i],
+            x0: self.x0[i],
+            y0: self.y0[i],
+            k: self.k[i],
+            m: self.m[i],
+            born_at: self.born_at[i],
+        }
+    }
+
+    /// O(1) removal by swapping with the last element (order not
+    /// preserved — fine for a particle bag). Returns the removed particle.
+    pub fn swap_remove(&mut self, i: usize) -> Particle {
+        let p = Particle {
+            id: self.id.swap_remove(i),
+            x: self.x.swap_remove(i),
+            y: self.y.swap_remove(i),
+            vx: self.vx.swap_remove(i),
+            vy: self.vy.swap_remove(i),
+            q: self.q.swap_remove(i),
+            x0: self.x0.swap_remove(i),
+            y0: self.y0.swap_remove(i),
+            k: self.k.swap_remove(i),
+            m: self.m.swap_remove(i),
+            born_at: self.born_at.swap_remove(i),
+        };
+        p
+    }
+
+    pub fn to_particles(&self) -> Vec<Particle> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+
+    /// Advance every particle one step — same math, same order as the AoS
+    /// sweep, so the resulting state is bit-identical.
+    pub fn advance_all(&mut self, grid: &Grid, consts: &SimConstants) {
+        for i in 0..self.len() {
+            let (ax, ay) = total_force(grid, consts, self.x[i], self.y[i], self.q[i]);
+            // Inline the eqs. 1–2 update on the arrays.
+            let dt = consts.dt;
+            self.x[i] = grid.wrap_coord(self.x[i] + (self.vx[i] + 0.5 * ax * dt) * dt);
+            self.y[i] = grid.wrap_coord(self.y[i] + (self.vy[i] + 0.5 * ay * dt) * dt);
+            self.vx[i] += ax * dt;
+            self.vy[i] += ay * dt;
+        }
+    }
+
+    /// Rayon-parallel sweep; bit-identical to [`ParticleBatch::advance_all`].
+    pub fn advance_all_parallel(&mut self, grid: &Grid, consts: &SimConstants) {
+        use rayon::prelude::*;
+        let q = &self.q;
+        self.x
+            .par_iter_mut()
+            .zip(self.y.par_iter_mut())
+            .zip(self.vx.par_iter_mut())
+            .zip(self.vy.par_iter_mut())
+            .zip(q.par_iter())
+            .for_each(|((((x, y), vx), vy), q)| {
+                let (ax, ay) = total_force(grid, consts, *x, *y, *q);
+                let dt = consts.dt;
+                *x = grid.wrap_coord(*x + (*vx + 0.5 * ax * dt) * dt);
+                *y = grid.wrap_coord(*y + (*vy + 0.5 * ay * dt) * dt);
+                *vx += ax * dt;
+                *vy += ay * dt;
+            });
+    }
+
+    /// Remove and return every particle for which `leaves` is true (used
+    /// by exchange phases). Order of the survivors is not preserved.
+    pub fn drain_leavers<F>(&mut self, leaves: F) -> Vec<Particle>
+    where
+        F: Fn(f64, f64) -> bool,
+    {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.len() {
+            if leaves(self.x[i], self.y[i]) {
+                out.push(self.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Sum of ids (checksum contribution).
+    pub fn id_sum(&self) -> u128 {
+        self.id.iter().map(|&i| i as u128).sum()
+    }
+}
+
+impl FromIterator<Particle> for ParticleBatch {
+    fn from_iter<I: IntoIterator<Item = Particle>>(iter: I) -> Self {
+        let mut b = ParticleBatch::new();
+        for p in iter {
+            b.push(p);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Distribution;
+    use crate::init::InitConfig;
+    use crate::motion::advance_all as advance_all_aos;
+    use crate::verify::{verify_all, triangular_id_sum, DEFAULT_TOLERANCE};
+
+    fn population(n: u64) -> (Grid, Vec<Particle>) {
+        let grid = Grid::new(32).unwrap();
+        let s = InitConfig::new(grid, n, Distribution::Sinusoidal)
+            .with_k(1)
+            .with_m(-1)
+            .build()
+            .unwrap();
+        (grid, s.particles)
+    }
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let (_, ps) = population(257);
+        let batch = ParticleBatch::from_particles(&ps);
+        assert_eq!(batch.len(), 257);
+        assert_eq!(batch.to_particles(), ps);
+        assert_eq!(batch.id_sum(), triangular_id_sum(257));
+    }
+
+    #[test]
+    fn soa_sweep_bitwise_matches_aos() {
+        let (grid, mut aos) = population(500);
+        let consts = SimConstants::CANONICAL;
+        let mut soa = ParticleBatch::from_particles(&aos);
+        for _ in 0..25 {
+            advance_all_aos(&grid, &consts, &mut aos);
+            soa.advance_all(&grid, &consts);
+        }
+        for (i, p) in aos.iter().enumerate() {
+            assert_eq!(p.x.to_bits(), soa.x[i].to_bits(), "x[{i}]");
+            assert_eq!(p.y.to_bits(), soa.y[i].to_bits());
+            assert_eq!(p.vx.to_bits(), soa.vx[i].to_bits());
+            assert_eq!(p.vy.to_bits(), soa.vy[i].to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_soa_sweep_bitwise_matches_serial() {
+        let (grid, ps) = population(400);
+        let consts = SimConstants::CANONICAL;
+        let mut a = ParticleBatch::from_particles(&ps);
+        let mut b = a.clone();
+        for _ in 0..10 {
+            a.advance_all(&grid, &consts);
+            b.advance_all_parallel(&grid, &consts);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn soa_run_verifies() {
+        let (grid, ps) = population(300);
+        let consts = SimConstants::CANONICAL;
+        let mut soa = ParticleBatch::from_particles(&ps);
+        for _ in 0..60 {
+            soa.advance_all(&grid, &consts);
+        }
+        let report = verify_all(
+            &grid,
+            &soa.to_particles(),
+            60,
+            triangular_id_sum(300),
+            DEFAULT_TOLERANCE,
+        );
+        assert!(report.passed(), "{report:?}");
+    }
+
+    #[test]
+    fn swap_remove_and_drain() {
+        let (grid, ps) = population(100);
+        let mut soa = ParticleBatch::from_particles(&ps);
+        let victim = soa.get(10);
+        let removed = soa.swap_remove(10);
+        assert_eq!(victim, removed);
+        assert_eq!(soa.len(), 99);
+        // Drain everything in the left half of the domain.
+        let half = grid.extent() / 2.0;
+        let gone = soa.drain_leavers(|x, _| x < half);
+        assert!(gone.iter().all(|p| p.x < half));
+        assert!((0..soa.len()).all(|i| soa.x[i] >= half));
+        assert_eq!(gone.len() + soa.len(), 99);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let (_, ps) = population(42);
+        let batch: ParticleBatch = ps.iter().copied().collect();
+        assert_eq!(batch.len(), 42);
+    }
+}

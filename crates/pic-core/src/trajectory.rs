@@ -1,0 +1,168 @@
+//! Closed-form trajectories.
+//!
+//! The verification equations (paper eqs. 5–6) give the *final* position;
+//! the same symmetry argument (paper Figure 2 and §III-D) determines the
+//! full state at **every** step: the particle hops `±(2k+1)` cells in x
+//! and `m` cells in y per step, with the x velocity alternating between 0
+//! and `±2(2k+1)·h/dt`. This module exposes that as an iterator — the
+//! oracle tests compare simulated state against, step by step.
+
+use crate::charge::SimConstants;
+use crate::geometry::Grid;
+use crate::particle::Particle;
+use crate::verify::{expected_position, expected_velocity};
+
+/// Full analytic state of a particle at one step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectoryPoint {
+    /// Steps since the particle entered the simulation.
+    pub step: u64,
+    pub x: f64,
+    pub y: f64,
+    pub vx: f64,
+    pub vy: f64,
+}
+
+/// Analytic state after `steps` steps.
+pub fn state_at(grid: &Grid, consts: &SimConstants, p: &Particle, steps: u64) -> TrajectoryPoint {
+    let (x, y) = expected_position(grid, p, steps);
+    let (vx, vy) = expected_velocity(grid, consts, p, steps);
+    TrajectoryPoint { step: steps, x, y, vx, vy }
+}
+
+/// Iterator over the analytic trajectory, starting at step 0 (the initial
+/// state).
+pub struct Trajectory<'a> {
+    grid: &'a Grid,
+    consts: &'a SimConstants,
+    particle: Particle,
+    next_step: u64,
+}
+
+impl<'a> Trajectory<'a> {
+    pub fn new(grid: &'a Grid, consts: &'a SimConstants, particle: Particle) -> Trajectory<'a> {
+        Trajectory { grid, consts, particle, next_step: 0 }
+    }
+}
+
+impl Iterator for Trajectory<'_> {
+    type Item = TrajectoryPoint;
+
+    fn next(&mut self) -> Option<TrajectoryPoint> {
+        let pt = state_at(self.grid, self.consts, &self.particle, self.next_step);
+        self.next_step += 1;
+        Some(pt)
+    }
+}
+
+/// The period of a particle's trajectory in steps: after this many steps
+/// the particle returns to its initial state (position *and* velocity).
+/// This is `lcm(period_x, period_y, 2)` where `period_x = L / gcd(L, s_x)`
+/// etc.; the factor 2 accounts for the velocity alternation.
+pub fn period(grid: &Grid, p: &Particle) -> u64 {
+    let l = grid.ncells() as u64;
+    let sx = p.cells_per_step_x(grid).unsigned_abs();
+    let sy = p.cells_per_step_y().unsigned_abs();
+    let px = if sx == 0 { 1 } else { l / gcd(l, sx) };
+    let py = if sy == 0 { 1 } else { l / gcd(l, sy) };
+    lcm(lcm(px, py), 2)
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::charge::{particle_charge, sign_for_direction};
+    use crate::motion::advance_particle;
+
+    fn make(grid: &Grid, col: usize, row: usize, k: u32, m: i32, dir: i8) -> Particle {
+        let c = SimConstants::CANONICAL;
+        let (x, y) = grid.cell_center(col, row);
+        Particle {
+            id: 1,
+            x,
+            y,
+            vx: 0.0,
+            vy: m as f64,
+            q: particle_charge(&c, 0.5, k, sign_for_direction(col, dir)),
+            x0: x,
+            y0: y,
+            k,
+            m,
+            born_at: 0,
+        }
+    }
+
+    #[test]
+    fn trajectory_matches_simulation_step_by_step() {
+        let grid = Grid::new(16).unwrap();
+        let consts = SimConstants::CANONICAL;
+        let mut sim_p = make(&grid, 3, 5, 1, -2, -1);
+        let mut traj = Trajectory::new(&grid, &consts, sim_p);
+        let first = traj.next().unwrap();
+        assert_eq!(first.x, sim_p.x);
+        assert_eq!(first.vx, 0.0);
+        for (s, pt) in traj.take(40).enumerate() {
+            advance_particle(&grid, &consts, &mut sim_p);
+            assert!(
+                grid.periodic_delta(sim_p.x, pt.x).abs() < 1e-9,
+                "step {}: x {} vs analytic {}",
+                s + 1,
+                sim_p.x,
+                pt.x
+            );
+            assert!(grid.periodic_delta(sim_p.y, pt.y).abs() < 1e-9);
+            assert!((sim_p.vx - pt.vx).abs() < 1e-9, "step {}: vx", s + 1);
+            assert!((sim_p.vy - pt.vy).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn period_returns_to_initial_state() {
+        let grid = Grid::new(12).unwrap();
+        let consts = SimConstants::CANONICAL;
+        for (k, m, dir) in [(0u32, 0i32, 1i8), (1, 1, 1), (0, -3, -1), (2, 4, 1)] {
+            let p = make(&grid, 2, 7, k, m, dir);
+            let t = period(&grid, &p);
+            let at_period = state_at(&grid, &consts, &p, t);
+            assert_eq!(at_period.x, p.x, "k={k} m={m}: x after period {t}");
+            assert_eq!(at_period.y, p.y);
+            assert_eq!(at_period.vx, 0.0);
+        }
+    }
+
+    #[test]
+    fn period_values() {
+        let grid = Grid::new(12).unwrap();
+        // stride 1, m = 0 → x period 12, total lcm(12, 1, 2) = 12.
+        let p = make(&grid, 0, 0, 0, 0, 1);
+        assert_eq!(period(&grid, &p), 12);
+        // stride 3 → x period 4; m = 2 → y period 6; lcm(4, 6, 2) = 12.
+        let p = make(&grid, 0, 0, 1, 2, 1);
+        assert_eq!(period(&grid, &p), 12);
+        // stride 1, m = 0, but velocity alternation forces even period:
+        // grid 6 → lcm(6, 1, 2) = 6 (already even).
+        let g6 = Grid::new(6).unwrap();
+        let p = make(&g6, 0, 0, 0, 0, 1);
+        assert_eq!(period(&g6, &p), 6);
+    }
+
+    #[test]
+    fn gcd_lcm_basics() {
+        assert_eq!(gcd(12, 8), 4);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(1, 9), 9);
+    }
+}

@@ -1,0 +1,353 @@
+//! Self-verification (paper §III-D).
+//!
+//! Because every particle moves exactly `±(2k+1)` cells in x and `m` cells
+//! in y per step, its final position after `s` steps is known in closed form
+//! (paper eqs. 5–6):
+//!
+//! ```text
+//! x_s = (x_0 + sign(a_x,0)·(2k+1)·s·h) mod L
+//! y_s = (y_0 + m·h·s) mod L
+//! ```
+//!
+//! The check is O(1) per particle, trivially parallel, and "even a single
+//! force miscalculation will be reflected rigorously in the final result".
+//! A second, independent check — the id checksum `Σ id = n(n+1)/2` — catches
+//! particles lost or duplicated in transit between processors.
+
+use crate::charge::SimConstants;
+use crate::geometry::Grid;
+use crate::particle::Particle;
+
+/// Default absolute position tolerance, matching the PRK reference codes.
+pub const DEFAULT_TOLERANCE: f64 = 1e-5;
+
+/// Expected final position of a particle after participating in
+/// `steps` time steps, per paper eqs. 5–6. Exact integer-cell arithmetic:
+/// the result is an exact cell center, immune to accumulation error.
+pub fn expected_position(grid: &Grid, p: &Particle, steps: u64) -> (f64, f64) {
+    let col0 = grid.cell_of(p.x0) as i128;
+    let row0 = grid.cell_of(p.y0) as i128;
+    let dx = p.cells_per_step_x(grid) as i128 * steps as i128;
+    let dy = p.cells_per_step_y() as i128 * steps as i128;
+    let n = grid.ncells() as i128;
+    let col = (((col0 + dx) % n) + n) % n;
+    let row = (((row0 + dy) % n) + n) % n;
+    // Preserve the sub-cell offset of the initial position (h/2 for
+    // spec-conforming placements).
+    let fx = p.x0 - p.x0.floor();
+    let fy = p.y0 - p.y0.floor();
+    (col as f64 + fx, row as f64 + fy)
+}
+
+/// Expected velocity after `steps` steps (starting from the spec's rest
+/// state in x): the vertical velocity is constant `m·h/dt`; the horizontal
+/// velocity alternates between `0` (even step counts — the particle has
+/// just decelerated back to rest) and `±2(2k+1)·h/dt` (odd step counts —
+/// mid-flight between the accelerate/decelerate pair).
+pub fn expected_velocity(
+    grid: &Grid,
+    consts: &SimConstants,
+    p: &Particle,
+    steps: u64,
+) -> (f64, f64) {
+    let vy = p.m as f64 * consts.h / consts.dt;
+    let vx = if steps % 2 == 0 {
+        0.0
+    } else {
+        2.0 * p.cells_per_step_x(grid) as f64 * consts.h / consts.dt
+    };
+    (vx, vy)
+}
+
+/// Verify a particle's velocity against the analytic alternation. Separate
+/// from the position check because the paper's specification verifies
+/// positions only; this is a strictly stronger (optional) test that can
+/// catch a corrupted velocity *before* it shows up as a position error in
+/// the next step.
+pub fn verify_velocity(
+    grid: &Grid,
+    consts: &SimConstants,
+    p: &Particle,
+    steps: u64,
+    tol: f64,
+) -> ParticleVerdict {
+    let (evx, evy) = expected_velocity(grid, consts, p, steps);
+    let error = (p.vx - evx).abs().max((p.vy - evy).abs());
+    ParticleVerdict { id: p.id, ok: error <= tol, error }
+}
+
+/// Outcome of verifying one particle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParticleVerdict {
+    pub id: u64,
+    pub ok: bool,
+    /// max(|Δx|, |Δy|) against the analytic position.
+    pub error: f64,
+}
+
+/// Verify one particle that has participated in `steps` steps.
+pub fn verify_particle(grid: &Grid, p: &Particle, steps: u64, tol: f64) -> ParticleVerdict {
+    let (ex, ey) = expected_position(grid, p, steps);
+    // Compare with minimum-image distance so an actual position of
+    // L−ε and expected 0 (or vice versa) count as matching.
+    let dx = grid.periodic_delta(p.x, ex).abs();
+    let dy = grid.periodic_delta(p.y, ey).abs();
+    let error = dx.max(dy);
+    ParticleVerdict { id: p.id, ok: error <= tol, error }
+}
+
+/// Aggregate verification report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyReport {
+    /// Number of particles checked.
+    pub checked: u64,
+    /// Number of particles whose position deviates beyond tolerance.
+    pub position_failures: u64,
+    /// Largest observed deviation.
+    pub max_error: f64,
+    /// Ids of the first few failing particles (diagnostics).
+    pub failing_ids: Vec<u64>,
+    /// Sum of ids of surviving particles.
+    pub id_sum: u128,
+    /// Expected id sum given the injections/removals that occurred.
+    pub expected_id_sum: u128,
+    /// Tolerance used.
+    pub tolerance: f64,
+}
+
+impl VerifyReport {
+    /// True if both the trajectory check and the checksum pass.
+    pub fn passed(&self) -> bool {
+        self.position_failures == 0 && self.id_sum == self.expected_id_sum
+    }
+
+    /// Merge reports from disjoint particle subsets (e.g. per-rank
+    /// verification in the parallel implementations).
+    pub fn merge(mut self, other: &VerifyReport) -> VerifyReport {
+        self.checked += other.checked;
+        self.position_failures += other.position_failures;
+        self.max_error = self.max_error.max(other.max_error);
+        self.id_sum += other.id_sum;
+        for &id in &other.failing_ids {
+            if self.failing_ids.len() < 16 {
+                self.failing_ids.push(id);
+            }
+        }
+        self
+    }
+}
+
+/// Verify a set of particles at final step `final_step`; each particle has
+/// participated in `final_step − born_at` steps. `expected_id_sum` comes
+/// from the engine's ledger (or `n(n+1)/2` when no events fired).
+pub fn verify_all(
+    grid: &Grid,
+    particles: &[Particle],
+    final_step: u32,
+    expected_id_sum: u128,
+    tol: f64,
+) -> VerifyReport {
+    let mut report = VerifyReport {
+        checked: 0,
+        position_failures: 0,
+        max_error: 0.0,
+        failing_ids: Vec::new(),
+        id_sum: 0,
+        expected_id_sum,
+        tolerance: tol,
+    };
+    for p in particles {
+        let steps = final_step.saturating_sub(p.born_at) as u64;
+        let v = verify_particle(grid, p, steps, tol);
+        report.checked += 1;
+        report.id_sum += p.id as u128;
+        report.max_error = report.max_error.max(v.error);
+        if !v.ok {
+            report.position_failures += 1;
+            if report.failing_ids.len() < 16 {
+                report.failing_ids.push(p.id);
+            }
+        }
+    }
+    report
+}
+
+/// Convenience: the closed-form checksum `n(n+1)/2` for an event-free run.
+pub fn triangular_id_sum(n: u64) -> u128 {
+    n as u128 * (n as u128 + 1) / 2
+}
+
+/// Scaled verification constants are not needed: this re-exports the
+/// canonical constants for harnesses that want a single import.
+pub fn canonical_constants() -> SimConstants {
+    SimConstants::CANONICAL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::charge::{particle_charge, sign_for_direction};
+
+    fn particle_at(grid: &Grid, col: usize, row: usize, k: u32, m: i32, dir: i8) -> Particle {
+        let c = SimConstants::CANONICAL;
+        let (x, y) = grid.cell_center(col, row);
+        Particle {
+            id: 1,
+            x,
+            y,
+            vx: 0.0,
+            vy: m as f64,
+            q: particle_charge(&c, 0.5, k, sign_for_direction(col, dir)),
+            x0: x,
+            y0: y,
+            k,
+            m,
+            born_at: 0,
+        }
+    }
+
+    #[test]
+    fn expected_position_wraps_right() {
+        let g = Grid::new(8).unwrap();
+        let p = particle_at(&g, 6, 0, 0, 0, 1);
+        let (x, y) = expected_position(&g, &p, 3);
+        assert_eq!((x, y), (1.5, 0.5)); // 6 + 3 mod 8 = 1
+    }
+
+    #[test]
+    fn expected_position_wraps_left_and_down() {
+        let g = Grid::new(8).unwrap();
+        let p = particle_at(&g, 1, 2, 1, -3, -1);
+        // dx = −3/step for 5 steps: 1 − 15 = −14 mod 8 = 2.
+        // dy = −3·5 = −15: 2 − 15 = −13 mod 8 = 3.
+        let (x, y) = expected_position(&g, &p, 5);
+        assert_eq!((x, y), (2.5, 3.5));
+    }
+
+    #[test]
+    fn expected_position_huge_step_count_no_overflow() {
+        let g = Grid::new(5998).unwrap();
+        let mut p = particle_at(&g, 0, 0, u32::MAX / 2, 1, 1);
+        p.k = 1_000_000_000;
+        let (x, _) = expected_position(&g, &p, u64::from(u32::MAX));
+        assert!((0.0..g.extent()).contains(&x));
+    }
+
+    #[test]
+    fn verdict_catches_single_cell_error() {
+        let g = Grid::new(8).unwrap();
+        let mut p = particle_at(&g, 0, 0, 0, 0, 1);
+        p.x = 2.5; // pretend it moved 2 cells in 1 step instead of 1
+        let v = verify_particle(&g, &p, 1, DEFAULT_TOLERANCE);
+        assert!(!v.ok);
+        assert!((v.error - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn verdict_accepts_exact_position() {
+        let g = Grid::new(8).unwrap();
+        let mut p = particle_at(&g, 0, 0, 0, 2, 1);
+        p.x = 3.5;
+        p.y = g.wrap_coord(0.5 + 6.0);
+        let v = verify_particle(&g, &p, 3, DEFAULT_TOLERANCE);
+        assert!(v.ok, "error = {}", v.error);
+        assert_eq!(v.error, 0.0);
+    }
+
+    #[test]
+    fn periodic_seam_not_a_false_failure() {
+        let g = Grid::new(8).unwrap();
+        let mut p = particle_at(&g, 7, 0, 0, 0, 1);
+        // After one step the particle should be at 0.5; simulate a tiny
+        // rounding of the actual slightly below L instead.
+        p.x = 8.0 - 1e-9;
+        // expected = 0.5 → naive |p.x − 0.5| = 7.5 would fail, but the
+        // expected cell for one step from col 7 is col 0 (x = 0.5), and
+        // p.x = L−ε is distance 0.5+ε away — that *is* a failure.
+        let v = verify_particle(&g, &p, 1, DEFAULT_TOLERANCE);
+        assert!(!v.ok);
+        // But p.x = 0.5 − tiny wraps cleanly:
+        p.x = 0.5 - 1e-9;
+        let v = verify_particle(&g, &p, 1, DEFAULT_TOLERANCE);
+        assert!(v.ok);
+    }
+
+    #[test]
+    fn report_checksum_mismatch_fails() {
+        let g = Grid::new(8).unwrap();
+        let ps = vec![particle_at(&g, 0, 0, 0, 0, 1)];
+        let r = verify_all(&g, &ps, 0, 99, DEFAULT_TOLERANCE);
+        assert_eq!(r.id_sum, 1);
+        assert!(!r.passed(), "wrong checksum must fail");
+        let r = verify_all(&g, &ps, 0, 1, DEFAULT_TOLERANCE);
+        assert!(r.passed());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let g = Grid::new(8).unwrap();
+        let a = vec![particle_at(&g, 0, 0, 0, 0, 1)];
+        let mut b0 = particle_at(&g, 2, 0, 0, 0, 1);
+        b0.id = 2;
+        b0.x = 7.5; // wrong
+        let ra = verify_all(&g, &a, 0, 0, DEFAULT_TOLERANCE);
+        let rb = verify_all(&g, &[b0], 0, 0, DEFAULT_TOLERANCE);
+        let mut merged = ra.merge(&rb);
+        merged.expected_id_sum = 3;
+        assert_eq!(merged.checked, 2);
+        assert_eq!(merged.position_failures, 1);
+        assert_eq!(merged.id_sum, 3);
+        assert_eq!(merged.failing_ids, vec![2]);
+        assert!(!merged.passed());
+    }
+
+    #[test]
+    fn triangular_sum() {
+        assert_eq!(triangular_id_sum(0), 0);
+        assert_eq!(triangular_id_sum(1), 1);
+        assert_eq!(triangular_id_sum(6_400_000), 6_400_000u128 * 6_400_001 / 2);
+    }
+
+    #[test]
+    fn velocity_alternates_between_rest_and_double_stride() {
+        use crate::motion::advance_particle;
+        let g = Grid::new(16).unwrap();
+        let c = SimConstants::CANONICAL;
+        let mut p = particle_at(&g, 0, 0, 1, 2, 1); // stride 3 rightward
+        for s in 1..=9u64 {
+            advance_particle(&g, &c, &mut p);
+            let v = verify_velocity(&g, &c, &p, s, 1e-9);
+            assert!(v.ok, "step {s}: vx = {}, error {}", p.vx, v.error);
+            let (evx, _) = expected_velocity(&g, &c, &p, s);
+            if s % 2 == 1 {
+                assert!((evx - 6.0).abs() < 1e-12, "odd step evx {evx}");
+            } else {
+                assert_eq!(evx, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn velocity_corruption_detected() {
+        let g = Grid::new(16).unwrap();
+        let c = SimConstants::CANONICAL;
+        let mut p = particle_at(&g, 0, 0, 0, 1, 1);
+        p.vx = 0.5; // should be 0 at step 0
+        let v = verify_velocity(&g, &c, &p, 0, DEFAULT_TOLERANCE);
+        assert!(!v.ok);
+        // Position check alone would NOT see this yet.
+        let pos = verify_particle(&g, &p, 0, DEFAULT_TOLERANCE);
+        assert!(pos.ok);
+    }
+
+    #[test]
+    fn injected_particle_verified_over_partial_run() {
+        let g = Grid::new(8).unwrap();
+        let mut p = particle_at(&g, 0, 0, 0, 0, 1);
+        p.born_at = 10;
+        // Participates in 5 steps of a 15-step run → expected col 5.
+        p.x = 5.5;
+        let r = verify_all(&g, &[p], 15, 1, DEFAULT_TOLERANCE);
+        assert!(r.passed(), "{r:?}");
+    }
+}

@@ -1,0 +1,391 @@
+//! Property-based tests of the kernel specification's invariants.
+
+use pic_core::charge::{
+    direction_from_charge, mesh_charge, particle_charge, sign_for_direction, total_force,
+    SimConstants,
+};
+use pic_core::dist::{largest_remainder, Distribution};
+use pic_core::engine::Simulation;
+use pic_core::events::{Event, Region};
+use pic_core::geometry::Grid;
+use pic_core::init::InitConfig;
+use pic_core::motion::advance_particle;
+use pic_core::particle::Particle;
+use pic_core::verify::{expected_position, triangular_id_sum, verify_all, DEFAULT_TOLERANCE};
+use proptest::prelude::*;
+
+fn grids() -> impl Strategy<Value = Grid> {
+    (1usize..64).prop_map(|half| Grid::new(half * 2).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Wrapped coordinates always land in [0, L), and cell-center offsets
+    /// survive exactly.
+    #[test]
+    fn wrap_coord_in_range(grid in grids(), x in -1e6f64..1e6) {
+        let w = grid.wrap_coord(x);
+        prop_assert!((0.0..grid.extent()).contains(&w), "wrap({x}) = {w}");
+    }
+
+    #[test]
+    fn wrap_cell_in_range(grid in grids(), i in -100_000i64..100_000) {
+        let c = grid.wrap_cell(i);
+        prop_assert!(c < grid.ncells());
+        // Consistency: wrapping i and i + n agree.
+        prop_assert_eq!(c, grid.wrap_cell(i + grid.ncells() as i64));
+    }
+
+    /// Mesh charge depends only on column parity.
+    #[test]
+    fn mesh_charge_parity(col in 0usize..1_000_000, q in 0.1f64..10.0) {
+        let c = mesh_charge(col, q);
+        prop_assert_eq!(c.abs(), q);
+        prop_assert_eq!(c > 0.0, col % 2 == 0);
+        prop_assert_eq!(mesh_charge(col + 2, q), c);
+    }
+
+    /// The charge assignment of eq. 3 always realizes an acceleration of
+    /// ±2(2k+1)·h/dt² at a cell center, whatever the cell and direction.
+    #[test]
+    fn eq3_realizes_exact_stride_acceleration(
+        grid in grids(),
+        colfrac in 0.0f64..1.0,
+        rowfrac in 0.0f64..1.0,
+        k in 0u32..20,
+        dir in prop::bool::ANY,
+    ) {
+        let col = ((grid.ncells() as f64 * colfrac) as usize).min(grid.ncells() - 1);
+        let row = ((grid.ncells() as f64 * rowfrac) as usize).min(grid.ncells() - 1);
+        let dir = if dir { 1i8 } else { -1 };
+        let c = SimConstants::CANONICAL;
+        let qp = particle_charge(&c, 0.5, k, sign_for_direction(col, dir));
+        let (x, y) = grid.cell_center(col, row);
+        let (ax, ay) = total_force(&grid, &c, x, y, qp);
+        let want = 2.0 * (2 * k + 1) as f64 * dir as f64;
+        prop_assert!((ax - want).abs() < 1e-11 * want.abs().max(1.0), "ax={ax} want={want}");
+        prop_assert_eq!(ay, 0.0);
+        prop_assert_eq!(direction_from_charge(col, qp), dir);
+    }
+
+    /// One integration step from rest moves the particle exactly (2k+1)
+    /// cells in x and m cells in y (up to fp tolerance), for any start cell.
+    #[test]
+    fn single_step_displacement(
+        gridhalf in 8usize..40,
+        col in 0usize..16,
+        row in 0usize..16,
+        k in 0u32..3,
+        m in -3i32..4,
+        dir in prop::bool::ANY,
+    ) {
+        let grid = Grid::new(gridhalf * 2).unwrap();
+        let dir = if dir { 1i8 } else { -1 };
+        let c = SimConstants::CANONICAL;
+        let (x, y) = grid.cell_center(col, row);
+        let mut p = Particle {
+            id: 1, x, y, vx: 0.0, vy: m as f64,
+            q: particle_charge(&c, 0.5, k, sign_for_direction(col, dir)),
+            x0: x, y0: y, k, m, born_at: 0,
+        };
+        advance_particle(&grid, &c, &mut p);
+        let (ex, ey) = expected_position(&grid, &p, 1);
+        prop_assert!((grid.periodic_delta(p.x, ex)).abs() < 1e-10, "x={} expected {ex}", p.x);
+        prop_assert!((grid.periodic_delta(p.y, ey)).abs() < 1e-10, "y={} expected {ey}", p.y);
+    }
+
+    /// Largest-remainder apportionment: exact total, each bucket within one
+    /// of its ideal share.
+    #[test]
+    fn largest_remainder_properties(
+        weights in prop::collection::vec(0.0f64..100.0, 1..50),
+        n in 0u64..100_000,
+    ) {
+        let total_w: f64 = weights.iter().sum();
+        let counts = largest_remainder(&weights, n);
+        prop_assert_eq!(counts.iter().sum::<u64>(), n);
+        if total_w > 0.0 {
+            for (i, (&c, &w)) in counts.iter().zip(&weights).enumerate() {
+                let ideal = n as f64 * w / total_w;
+                prop_assert!(
+                    (c as f64 - ideal).abs() <= 1.0 + 1e-9,
+                    "bucket {i}: count {c} vs ideal {ideal}"
+                );
+            }
+        }
+    }
+
+    /// Distribution column counts always sum to exactly n.
+    #[test]
+    fn distribution_totals(
+        grid in grids(),
+        n in 0u64..50_000,
+        which in 0usize..5,
+        r in 0.5f64..1.5,
+    ) {
+        let c = grid.ncells();
+        let dist = match which {
+            0 => Distribution::Uniform,
+            1 => Distribution::Geometric { r },
+            2 => Distribution::Sinusoidal,
+            3 => Distribution::Linear { alpha: 1.0, beta: 2.0 },
+            _ => Distribution::Patch { x0: 0, x1: (c / 2).max(1), y0: 0, y1: (c / 2).max(1) },
+        };
+        let counts = dist.column_counts(c, n);
+        prop_assert_eq!(counts.len(), c);
+        prop_assert_eq!(counts.iter().sum::<u64>(), n);
+    }
+
+    /// Full simulation: any spec-conforming configuration verifies after
+    /// any number of steps.
+    #[test]
+    fn any_configuration_verifies(
+        gridhalf in 4usize..24,
+        n in 1u64..400,
+        k in 0u32..3,
+        m in -2i32..3,
+        dir in prop::bool::ANY,
+        steps in 0u32..120,
+        which in 0usize..3,
+    ) {
+        let grid = Grid::new(gridhalf * 2).unwrap();
+        prop_assume!(2 * k as u64 + 1 <= grid.ncells() as u64);
+        let dist = match which {
+            0 => Distribution::Uniform,
+            1 => Distribution::Geometric { r: 0.93 },
+            _ => Distribution::Sinusoidal,
+        };
+        let cfg = InitConfig::new(grid, n, dist)
+            .with_k(k)
+            .with_m(m)
+            .with_dir(if dir { 1 } else { -1 });
+        let mut sim = Simulation::new(cfg.build().unwrap());
+        sim.run(steps);
+        let report = sim.verify();
+        prop_assert!(report.passed(), "{report:?}");
+        prop_assert_eq!(report.id_sum, triangular_id_sum(n));
+    }
+
+    /// Any single-particle position corruption beyond tolerance is caught.
+    #[test]
+    fn corruption_always_detected(
+        victim_frac in 0.0f64..1.0,
+        offset in prop::sample::select(vec![1.0f64, -1.0, 2.0, 0.001, -0.5]),
+        steps in 1u32..40,
+    ) {
+        let grid = Grid::new(32).unwrap();
+        let cfg = InitConfig::new(grid, 100, Distribution::Uniform).with_m(1);
+        let mut sim = Simulation::new(cfg.build().unwrap());
+        sim.run(steps);
+        let idx = ((100.0 * victim_frac) as usize).min(99);
+        sim.particles_mut()[idx].x = grid.wrap_coord(sim.particles()[idx].x + offset);
+        let report = sim.verify();
+        prop_assert_eq!(report.position_failures, 1);
+        prop_assert!(!report.passed());
+    }
+
+    /// Injection/removal events keep the ledger consistent: the run always
+    /// verifies and the population size is exactly as scheduled.
+    #[test]
+    fn events_preserve_verification(
+        inject_at in 1u32..20,
+        remove_at in 21u32..40,
+        inject_n in 1u64..100,
+        remove_n in 1u64..100,
+        steps in 41u32..80,
+    ) {
+        let grid = Grid::new(32).unwrap();
+        let region = Region { x0: 0, x1: 16, y0: 0, y1: 16 };
+        let setup = InitConfig::new(grid, 200, Distribution::Uniform)
+            .with_m(1)
+            .build()
+            .unwrap()
+            .with_event(Event::inject(inject_at, region, inject_n, 0, 0, 1))
+            .with_event(Event::remove(remove_at, Region::whole(32), remove_n));
+        let mut sim = Simulation::new(setup);
+        sim.run(steps);
+        let report = sim.verify();
+        prop_assert!(report.passed(), "{report:?}");
+        prop_assert_eq!(sim.particle_count() as u64, 200 + inject_n - remove_n.min(200 + inject_n));
+    }
+
+    /// Particle wire encoding round-trips arbitrary field values bit-exactly.
+    #[test]
+    fn particle_wire_roundtrip(
+        id in any::<u64>(),
+        x in -1e9f64..1e9,
+        y in -1e9f64..1e9,
+        vx in -1e9f64..1e9,
+        vy in -1e9f64..1e9,
+        q in -1e3f64..1e3,
+        k in any::<u32>(),
+        m in any::<i32>(),
+        born in any::<u32>(),
+    ) {
+        let p = Particle { id, x, y, vx, vy, q, x0: x, y0: y, k, m, born_at: born };
+        let mut buf = Vec::new();
+        p.encode(&mut buf);
+        let back = Particle::decode(&buf).unwrap();
+        prop_assert_eq!(p, back);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Gridded force (stored mesh) is bit-identical to the formulaic force
+    /// for arbitrary subgrids and particle positions inside them.
+    #[test]
+    fn charge_grid_force_equivalence(
+        gridhalf in 4usize..32,
+        block in any::<u64>(),
+        fx in 0.0f64..1.0,
+        fy in 0.0f64..1.0,
+        qp in -2.0f64..2.0,
+    ) {
+        use pic_core::charge_grid::ChargeGrid;
+        use pic_core::charge::total_force;
+        let grid = Grid::new(gridhalf * 2).unwrap();
+        let n = grid.ncells();
+        let x0 = (block % n as u64) as usize;
+        let w = 1 + ((block >> 16) % (n - x0) as u64) as usize;
+        let y0 = ((block >> 32) % n as u64) as usize;
+        let h = 1 + ((block >> 48) % (n - y0) as u64) as usize;
+        let consts = SimConstants::CANONICAL;
+        let cg = ChargeGrid::build(&grid, &consts, (x0, x0 + w), (y0, y0 + h));
+        prop_assert!(cg.verify_against_formula(&grid, &consts));
+        prop_assume!(qp.abs() > 1e-6);
+        // A position inside the owned block.
+        let x = x0 as f64 + fx * w as f64 * 0.999;
+        let y = y0 as f64 + fy * h as f64 * 0.999;
+        let (ax, ay) = total_force(&grid, &consts, x, y, qp);
+        let (bx, by) = cg.total_force(&grid, &consts, x, y, qp);
+        prop_assert_eq!(ax.to_bits(), bx.to_bits());
+        prop_assert_eq!(ay.to_bits(), by.to_bits());
+    }
+
+    /// SoA batches behave exactly like Vec<Particle> under random
+    /// push/swap_remove sequences.
+    #[test]
+    fn soa_matches_vec_model(ops in prop::collection::vec(any::<u64>(), 1..120)) {
+        use pic_core::soa::ParticleBatch;
+        let grid = Grid::new(16).unwrap();
+        let seed = InitConfig::new(grid, 30, Distribution::Uniform)
+            .build()
+            .unwrap()
+            .particles;
+        let mut model: Vec<Particle> = Vec::new();
+        let mut batch = ParticleBatch::new();
+        for op in ops {
+            if op % 3 != 0 || model.is_empty() {
+                let p = seed[(op % 30) as usize];
+                model.push(p);
+                batch.push(p);
+            } else {
+                let i = (op as usize / 3) % model.len();
+                let a = model.swap_remove(i);
+                let b = batch.swap_remove(i);
+                prop_assert_eq!(a, b);
+            }
+            prop_assert_eq!(model.len(), batch.len());
+        }
+        prop_assert_eq!(&batch.to_particles(), &model);
+    }
+
+    /// Checkpoints round-trip arbitrary simulation states.
+    #[test]
+    fn checkpoint_roundtrip_random_state(
+        n in 1u64..200,
+        steps in 0u32..60,
+        k in 0u32..3,
+        m in -2i32..3,
+    ) {
+        use pic_core::checkpoint::CheckpointData;
+        use pic_core::engine::SweepMode;
+        let grid = Grid::new(32).unwrap();
+        prop_assume!(2 * k as u64 + 1 <= 32);
+        let setup = InitConfig::new(grid, n, Distribution::Geometric { r: 0.93 })
+            .with_k(k)
+            .with_m(m)
+            .build()
+            .unwrap();
+        let mut sim = Simulation::new(setup);
+        sim.run(steps);
+        let cp = sim.checkpoint();
+        let back = CheckpointData::decode(&cp.encode()).unwrap();
+        prop_assert_eq!(&cp, &back);
+        let resumed = Simulation::restore(back, SweepMode::Serial);
+        prop_assert_eq!(sim.particles(), resumed.particles());
+    }
+
+    /// Analytic trajectories agree with simulation for arbitrary particles
+    /// at arbitrary steps.
+    #[test]
+    fn trajectory_oracle(
+        gridhalf in 4usize..16,
+        col in 0usize..8,
+        row in 0usize..8,
+        k in 0u32..3,
+        m in -3i32..4,
+        dirb in prop::bool::ANY,
+        probe in 0u64..50,
+    ) {
+        use pic_core::trajectory::state_at;
+        use pic_core::charge::{particle_charge, sign_for_direction};
+        use pic_core::motion::advance_particle;
+        let grid = Grid::new(gridhalf * 2).unwrap();
+        prop_assume!(2 * k as u64 + 1 <= grid.ncells() as u64);
+        let consts = SimConstants::CANONICAL;
+        let dir = if dirb { 1i8 } else { -1 };
+        let (x, y) = grid.cell_center(col, row);
+        let mut p = Particle {
+            id: 1, x, y, vx: 0.0, vy: m as f64,
+            q: particle_charge(&consts, 0.5, k, sign_for_direction(col, dir)),
+            x0: x, y0: y, k, m, born_at: 0,
+        };
+        for _ in 0..probe {
+            advance_particle(&grid, &consts, &mut p);
+        }
+        let oracle = state_at(&grid, &consts, &p, probe);
+        prop_assert!(grid.periodic_delta(p.x, oracle.x).abs() < 1e-8);
+        prop_assert!(grid.periodic_delta(p.y, oracle.y).abs() < 1e-8);
+        prop_assert!((p.vx - oracle.vx).abs() < 1e-8, "vx {} vs {}", p.vx, oracle.vx);
+        prop_assert!((p.vy - oracle.vy).abs() < 1e-8);
+    }
+}
+
+/// Deterministic regression: same config builds identical populations.
+#[test]
+fn init_is_deterministic() {
+    let grid = Grid::new(64).unwrap();
+    let mk = || {
+        InitConfig::new(grid, 5_000, Distribution::PAPER_SKEW)
+            .with_k(1)
+            .with_m(2)
+            .build()
+            .unwrap()
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a.particles, b.particles);
+}
+
+/// Verify-all over a partitioned population equals verify over the whole.
+#[test]
+fn partitioned_verification_merges() {
+    let grid = Grid::new(32).unwrap();
+    let cfg = InitConfig::new(grid, 300, Distribution::Sinusoidal).with_m(1);
+    let mut sim = Simulation::new(cfg.build().unwrap());
+    sim.run(25);
+    let whole = sim.verify();
+    let particles = sim.particles();
+    let (a, b) = particles.split_at(100);
+    let ra = verify_all(&grid, a, 25, 0, DEFAULT_TOLERANCE);
+    let rb = verify_all(&grid, b, 25, 0, DEFAULT_TOLERANCE);
+    let mut merged = ra.merge(&rb);
+    merged.expected_id_sum = triangular_id_sum(300);
+    assert_eq!(merged.checked, whole.checked);
+    assert_eq!(merged.id_sum, whole.id_sum);
+    assert_eq!(merged.passed(), whole.passed());
+}

@@ -1,0 +1,336 @@
+//! The `mpi-2d-LB` implementation (paper §IV-B): diffusion-based,
+//! application-specific load balancing restricted to the x direction.
+//!
+//! Every `interval` steps, the per-processor-column particle counts are
+//! aggregated; for each pair of adjacent processor columns whose counts
+//! differ by more than the threshold `τ`, the cut between them moves
+//! `border_w` cells toward the heavy side, handing the border cells — and
+//! the particles inside them — to the lighter neighbor. Because only
+//! x-cuts move, subdomains stay rectangular and the decomposition remains
+//! a Cartesian product: communication stays regular nearest-neighbor, the
+//! property the paper credits for this scheme's strong-scaling advantage.
+
+use crate::decomp::Decomp2d;
+use crate::runner::{ParConfig, ParOutcome, RankState};
+use pic_comm::collective::allreduce_vec_u64;
+use pic_comm::comm::{Communicator, ReduceOp};
+
+/// Tuning knobs of the diffusion balancer (the paper's three interfering
+/// parameters: frequency, threshold, border width — "should be co-tuned").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffusionParams {
+    /// Steps between load-balancing invocations.
+    pub interval: u32,
+    /// Count difference between adjacent processor columns that triggers a
+    /// transfer.
+    pub tau: u64,
+    /// Number of mesh-cell columns handed over per transfer.
+    pub border_w: usize,
+}
+
+impl Default for DiffusionParams {
+    fn default() -> Self {
+        DiffusionParams { interval: 20, tau: 0, border_w: 1 }
+    }
+}
+
+/// Which phases of the paper's two-phase scheme run.
+///
+/// §IV-B: "Another relatively simple 2D solution performs load balancing in
+/// only one coordinate direction ... as long as the drift velocity of the
+/// 'particle cloud' matches the direction in which we perform the
+/// diffusion-based load balancing." The paper's experiments use
+/// [`DiffusionMode::XOnly`]; the full [`DiffusionMode::TwoPhase`] scheme
+/// also moves the y-cuts and handles rotated workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DiffusionMode {
+    /// Balance x-cuts only (the paper's experimental choice).
+    #[default]
+    XOnly,
+    /// Balance y-cuts only.
+    YOnly,
+    /// Phase 1 in x, then phase 2 in y (the full §IV-B scheme).
+    TwoPhase,
+}
+
+/// Pure diffusion decision: given current x-cuts and per-processor-column
+/// particle counts, produce the new cuts. Moves are decided simultaneously
+/// on the old counts (Jacobi style), then clamped left-to-right so every
+/// column keeps at least one cell.
+pub fn diffuse_xcuts(
+    xcuts: &[usize],
+    counts: &[u64],
+    tau: u64,
+    border_w: usize,
+    ncells: usize,
+) -> Vec<usize> {
+    let px = counts.len();
+    assert_eq!(xcuts.len(), px + 1);
+    let mut proposed: Vec<i64> = xcuts.iter().map(|&c| c as i64).collect();
+    for i in 1..px {
+        let left = counts[i - 1];
+        let right = counts[i];
+        if left > right && left - right > tau {
+            proposed[i] -= border_w as i64; // heavy left sheds cells rightward
+        } else if right > left && right - left > tau {
+            proposed[i] += border_w as i64; // heavy right sheds cells leftward
+        }
+    }
+    // Clamp: strictly increasing, ≥1 cell per column, ends pinned.
+    let mut out = vec![0usize; px + 1];
+    out[px] = ncells;
+    for i in 1..px {
+        let lo = out[i - 1] as i64 + 1;
+        let hi = ncells as i64 - (px - i) as i64;
+        out[i] = proposed[i].clamp(lo, hi) as usize;
+    }
+    out
+}
+
+/// Run the diffusion-balanced implementation on this rank with the
+/// paper's experimental x-only balancing.
+pub fn run_diffusion(
+    comm: &Communicator,
+    cfg: &ParConfig,
+    params: DiffusionParams,
+) -> ParOutcome {
+    run_diffusion_mode(comm, cfg, params, DiffusionMode::XOnly)
+}
+
+/// Run with an explicit phase selection.
+pub fn run_diffusion_mode(
+    comm: &Communicator,
+    cfg: &ParConfig,
+    params: DiffusionParams,
+    mode: DiffusionMode,
+) -> ParOutcome {
+    assert!(params.interval > 0, "interval must be positive");
+    assert!(params.border_w > 0, "border width must be positive");
+    let decomp = Decomp2d::uniform(cfg.setup.grid.ncells(), comm.size());
+    let mut st = RankState::new(&cfg.setup, decomp, comm.rank());
+    for s in 1..=cfg.steps {
+        st.step(comm);
+        if s % params.interval == 0 && s < cfg.steps {
+            lb_step(comm, &mut st, params, mode);
+        }
+    }
+    st.finish(comm)
+}
+
+/// One load-balancing invocation: phase 1 aggregates per-processor-column
+/// counts and moves x-cuts; phase 2 (two-phase mode) does the same for
+/// rows. A single rehome at the end migrates all border residents.
+fn lb_step(comm: &Communicator, st: &mut RankState, params: DiffusionParams, mode: DiffusionMode) {
+    let mut changed = false;
+    if matches!(mode, DiffusionMode::XOnly | DiffusionMode::TwoPhase) {
+        let px = st.decomp.px;
+        let (cx, _) = st.decomp.coords_of(st.rank);
+        // Aggregate per-processor-column counts with one vector allreduce:
+        // each rank contributes its local count to its column's slot.
+        let mut mine = vec![0u64; px];
+        mine[cx] = st.particles.len() as u64;
+        let col_counts = allreduce_vec_u64(comm, &mine, ReduceOp::Sum);
+        let new_cuts = diffuse_xcuts(
+            &st.decomp.xcuts,
+            &col_counts,
+            params.tau,
+            params.border_w,
+            st.decomp.ncells,
+        );
+        if new_cuts != st.decomp.xcuts {
+            st.decomp.set_xcuts(new_cuts);
+            changed = true;
+        }
+    }
+    if matches!(mode, DiffusionMode::YOnly | DiffusionMode::TwoPhase) {
+        let py = st.decomp.py;
+        let (_, cy) = st.decomp.coords_of(st.rank);
+        let mut mine = vec![0u64; py];
+        mine[cy] = st.particles.len() as u64;
+        let row_counts = allreduce_vec_u64(comm, &mine, ReduceOp::Sum);
+        // The decision procedure is axis-agnostic: cuts + counts in, cuts
+        // out.
+        let new_cuts = diffuse_xcuts(
+            &st.decomp.ycuts,
+            &row_counts,
+            params.tau,
+            params.border_w,
+            st.decomp.ncells,
+        );
+        if new_cuts != st.decomp.ycuts {
+            st.decomp.set_ycuts(new_cuts);
+            changed = true;
+        }
+    }
+    if changed {
+        debug_assert!(st.decomp.is_partition());
+        // The functional analogue of receiving the migrated border
+        // subgrid: rebuild this rank's stored mesh for its new bounds.
+        st.rebuild_charges();
+    }
+    // Rehome particles under the new ownership map (border-cell residents
+    // migrate to the adjacent ranks).
+    crate::exchange::rehome_particles(comm, &st.decomp, &st.grid, st.rank, &mut st.particles);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pic_comm::world::run_threads;
+    use pic_core::dist::Distribution;
+    use pic_core::geometry::Grid;
+    use pic_core::init::InitConfig;
+    use pic_core::verify::triangular_id_sum;
+
+    fn cfg(n: u64, dist: Distribution, steps: u32) -> ParConfig {
+        ParConfig {
+            setup: InitConfig::new(Grid::new(32).unwrap(), n, dist)
+                .with_m(1)
+                .build()
+                .unwrap(),
+            steps,
+        }
+    }
+
+    #[test]
+    fn diffuse_xcuts_moves_toward_heavy() {
+        // Heavy left column: cut 1 moves left.
+        let cuts = diffuse_xcuts(&[0, 8, 16], &[100, 10], 0, 2, 16);
+        assert_eq!(cuts, vec![0, 6, 16]);
+        // Heavy right column: cut moves right.
+        let cuts = diffuse_xcuts(&[0, 8, 16], &[10, 100], 0, 2, 16);
+        assert_eq!(cuts, vec![0, 10, 16]);
+        // Within threshold: no move.
+        let cuts = diffuse_xcuts(&[0, 8, 16], &[100, 95], 10, 2, 16);
+        assert_eq!(cuts, vec![0, 8, 16]);
+    }
+
+    #[test]
+    fn diffuse_xcuts_clamps_minimum_width() {
+        // Column 0 is already one cell wide; it cannot shrink further.
+        let cuts = diffuse_xcuts(&[0, 1, 16], &[100, 10], 0, 3, 16);
+        assert_eq!(cuts, vec![0, 1, 16]);
+        // Right end clamp: last column keeps one cell.
+        let cuts = diffuse_xcuts(&[0, 15, 16], &[10, 100], 0, 3, 16);
+        assert_eq!(cuts, vec![0, 15, 16]);
+    }
+
+    #[test]
+    fn diffuse_xcuts_cascading_clamp_stays_sorted() {
+        let cuts = diffuse_xcuts(&[0, 2, 4, 6, 16], &[1000, 900, 800, 0], 0, 3, 16);
+        for w in cuts.windows(2) {
+            assert!(w[0] < w[1], "{cuts:?}");
+        }
+        assert_eq!(cuts[0], 0);
+        assert_eq!(cuts[4], 16);
+    }
+
+    #[test]
+    fn verified_run_with_balancing() {
+        let c = cfg(600, Distribution::Geometric { r: 0.85 }, 60);
+        let params = DiffusionParams { interval: 5, tau: 0, border_w: 2 };
+        let outcomes = run_threads(4, |comm| run_diffusion(&comm, &c, params));
+        for o in &outcomes {
+            assert!(o.verify.passed(), "{:?}", o.verify);
+            assert_eq!(o.total_count, 600);
+            assert_eq!(o.verify.id_sum, triangular_id_sum(600));
+        }
+    }
+
+    #[test]
+    fn balancing_reduces_max_count_vs_baseline() {
+        let c = cfg(2000, Distribution::Geometric { r: 0.8 }, 40);
+        let base = run_threads(4, |comm| crate::baseline::run_baseline(&comm, &c));
+        // The skew drifts one cell per step, so the cut must be able to
+        // move faster than that: border_w / interval > 1.
+        let params = DiffusionParams { interval: 1, tau: 0, border_w: 2 };
+        let balanced = run_threads(4, |comm| run_diffusion(&comm, &c, params));
+        assert!(base[0].verify.passed());
+        assert!(balanced[0].verify.passed());
+        assert!(
+            balanced[0].max_count < base[0].max_count,
+            "diffusion max {} must beat baseline max {}",
+            balanced[0].max_count,
+            base[0].max_count
+        );
+    }
+
+    #[test]
+    fn single_column_world_is_a_noop_balancer() {
+        // px = 1 (p = 1): no internal cuts, balancer must be harmless.
+        let c = cfg(100, Distribution::Geometric { r: 0.9 }, 12);
+        let outcomes = run_threads(1, |comm| {
+            run_diffusion(&comm, &c, DiffusionParams::default())
+        });
+        assert!(outcomes[0].verify.passed());
+    }
+
+    #[test]
+    fn x_only_defeated_by_rotated_distribution() {
+        // Paper §III-E1: rotating the particle distribution 90° defeats a
+        // balancer that only works in the other direction; the full
+        // two-phase scheme handles it.
+        use pic_core::init::SkewAxis;
+        let c = ParConfig {
+            setup: InitConfig::new(Grid::new(32).unwrap(), 2000, Distribution::Geometric { r: 0.8 })
+                .with_skew_axis(SkewAxis::Y)
+                .with_m(1) // the skew drifts vertically
+                .build()
+                .unwrap(),
+            steps: 40,
+        };
+        let params = DiffusionParams { interval: 1, tau: 0, border_w: 2 };
+        let base = run_threads(4, |comm| crate::baseline::run_baseline(&comm, &c));
+        let xonly = run_threads(4, |comm| {
+            run_diffusion_mode(&comm, &c, params, DiffusionMode::XOnly)
+        });
+        let twophase = run_threads(4, |comm| {
+            run_diffusion_mode(&comm, &c, params, DiffusionMode::TwoPhase)
+        });
+        for o in [&base[0], &xonly[0], &twophase[0]] {
+            assert!(o.verify.passed(), "{:?}", o.verify);
+        }
+        // x-only balancing cannot help a row-skewed load...
+        assert!(
+            xonly[0].max_count as f64 > 0.9 * base[0].max_count as f64,
+            "x-only should be ineffective: {} vs baseline {}",
+            xonly[0].max_count,
+            base[0].max_count
+        );
+        // ...while the two-phase scheme substantially reduces the max.
+        assert!(
+            (twophase[0].max_count as f64) < 0.8 * base[0].max_count as f64,
+            "two-phase must help: {} vs baseline {}",
+            twophase[0].max_count,
+            base[0].max_count
+        );
+    }
+
+    #[test]
+    fn y_only_mode_balances_row_skew() {
+        use pic_core::init::SkewAxis;
+        let c = ParConfig {
+            setup: InitConfig::new(Grid::new(32).unwrap(), 1500, Distribution::Sinusoidal)
+                .with_skew_axis(SkewAxis::Y)
+                .with_m(-1)
+                .build()
+                .unwrap(),
+            steps: 30,
+        };
+        let params = DiffusionParams { interval: 1, tau: 0, border_w: 2 };
+        let out = run_threads(4, |comm| {
+            run_diffusion_mode(&comm, &c, params, DiffusionMode::YOnly)
+        });
+        assert!(out[0].verify.passed(), "{:?}", out[0].verify);
+    }
+
+    #[test]
+    fn sinusoidal_distribution_balances_too() {
+        let c = cfg(800, Distribution::Sinusoidal, 48);
+        let params = DiffusionParams { interval: 4, tau: 10, border_w: 1 };
+        let outcomes = run_threads(6, |comm| run_diffusion(&comm, &c, params));
+        for o in outcomes {
+            assert!(o.verify.passed(), "{:?}", o.verify);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Shared machinery for the rank-parallel runs: per-rank state, collective
+//! event application, and distributed verification.
+
+use crate::decomp::Decomp2d;
+use crate::exchange::{local_slice, rehome_particles};
+use pic_comm::collective::{
+    allgatherv, allreduce_f64, allreduce_u128, allreduce_u64, decode_u64s, encode_u64s,
+};
+use pic_comm::comm::{Communicator, ReduceOp};
+use pic_core::charge::SimConstants;
+use pic_core::charge_grid::ChargeGrid;
+use pic_core::events::{Event, EventKind};
+use pic_core::geometry::Grid;
+use pic_core::init::{build_injection, SimulationSetup};
+use pic_core::motion::advance_with_acceleration;
+use pic_core::particle::Particle;
+use pic_core::verify::{verify_all, VerifyReport, DEFAULT_TOLERANCE};
+
+/// Configuration of a rank-parallel run.
+#[derive(Debug, Clone)]
+pub struct ParConfig {
+    pub setup: SimulationSetup,
+    pub steps: u32,
+}
+
+/// Result reported by every rank (identical across ranks for the global
+/// fields, thanks to the final allreduces).
+#[derive(Debug, Clone)]
+pub struct ParOutcome {
+    /// Globally merged verification report.
+    pub verify: VerifyReport,
+    /// This rank's particle count at the end.
+    pub local_count: usize,
+    /// Maximum per-rank particle count at the end — the paper's §V-B
+    /// imbalance indicator.
+    pub max_count: u64,
+    /// Total particles at the end.
+    pub total_count: u64,
+    /// Steps executed.
+    pub steps: u32,
+    /// This rank's final particles (for cross-implementation equivalence
+    /// checks; cheap at test scales, and callers can drop it).
+    pub local_particles: Vec<Particle>,
+}
+
+/// Per-rank simulation state.
+pub struct RankState {
+    pub grid: Grid,
+    pub consts: SimConstants,
+    pub decomp: Decomp2d,
+    pub rank: usize,
+    pub particles: Vec<Particle>,
+    /// Materialized mesh-charge subgrid with ghost ring (paper §IV-A:
+    /// fringe mesh points are replicated). Forces are read from it, and it
+    /// is rebuilt whenever the balancer changes this rank's subdomain.
+    pub charges: ChargeGrid,
+    pub step: u32,
+    events: Vec<Event>,
+    next_event: usize,
+    /// Global id ledger — identical on every rank because events are
+    /// applied deterministically everywhere.
+    expected_id_sum: u128,
+    next_id: u64,
+}
+
+impl RankState {
+    /// Build rank-local state from the (deterministically shared) setup.
+    pub fn new(setup: &SimulationSetup, decomp: Decomp2d, rank: usize) -> RankState {
+        let particles = local_slice(&decomp, &setup.grid, rank, &setup.particles);
+        let mut events = setup.events.clone();
+        events.sort_by_key(|e| e.at_step);
+        let (cols, rows) = decomp.bounds(rank);
+        let charges = ChargeGrid::build(&setup.grid, &setup.consts, cols, rows);
+        RankState {
+            grid: setup.grid,
+            consts: setup.consts,
+            decomp,
+            rank,
+            particles,
+            charges,
+            step: 0,
+            events,
+            next_event: 0,
+            expected_id_sum: setup.initial_id_sum(),
+            next_id: setup.next_id,
+        }
+    }
+
+    /// Rebuild the charge subgrid after a re-decomposition (the functional
+    /// analogue of migrating border subgrids).
+    pub fn rebuild_charges(&mut self) {
+        let (cols, rows) = self.decomp.bounds(self.rank);
+        self.charges = ChargeGrid::build(&self.grid, &self.consts, cols, rows);
+        debug_assert!(self.charges.verify_against_formula(&self.grid, &self.consts));
+    }
+
+    pub fn expected_id_sum(&self) -> u128 {
+        self.expected_id_sum
+    }
+
+    /// Apply events due at the current step. Injections are materialized
+    /// identically on every rank (same id assignment) and filtered to the
+    /// local subdomain; removals are resolved collectively so all ranks
+    /// agree on the doomed id set.
+    pub fn apply_due_events(&mut self, comm: &Communicator) {
+        while self.next_event < self.events.len()
+            && self.events[self.next_event].at_step == self.step
+        {
+            let e = self.events[self.next_event];
+            self.next_event += 1;
+            match e.kind {
+                EventKind::Inject { count, k, m, dir } => {
+                    let newcomers = build_injection(
+                        self.grid,
+                        self.consts,
+                        e.region,
+                        count,
+                        k,
+                        m,
+                        dir,
+                        self.step,
+                        &mut self.next_id,
+                    );
+                    for p in &newcomers {
+                        self.expected_id_sum += p.id as u128;
+                        let (c, r) = self.grid.cell_of_point(p.x, p.y);
+                        if self.decomp.owner_of_cell(c, r) == self.rank {
+                            self.particles.push(*p);
+                        }
+                    }
+                }
+                EventKind::Remove { count } => {
+                    // Gather candidate ids (in-region residents) globally,
+                    // pick the lowest `count`, remove the local ones.
+                    let mut local_ids: Vec<u64> = self
+                        .particles
+                        .iter()
+                        .filter(|p| e.region.contains_point(p.x, p.y))
+                        .map(|p| p.id)
+                        .collect();
+                    local_ids.sort_unstable();
+                    let gathered = allgatherv(comm, encode_u64s(&local_ids));
+                    let mut all: Vec<u64> =
+                        gathered.iter().flat_map(|b| decode_u64s(b)).collect();
+                    all.sort_unstable();
+                    all.truncate(count as usize);
+                    let doomed: std::collections::HashSet<u64> = all.iter().copied().collect();
+                    for &id in &all {
+                        self.expected_id_sum -= id as u128;
+                    }
+                    self.particles.retain(|p| !doomed.contains(&p.id));
+                }
+            }
+        }
+    }
+
+    /// One full step: events, advance (forces read from the stored mesh —
+    /// bit-identical to the formulaic path), exchange.
+    pub fn step(&mut self, comm: &Communicator) {
+        self.apply_due_events(comm);
+        for p in &mut self.particles {
+            let (ax, ay) = self.charges.total_force(&self.grid, &self.consts, p.x, p.y, p.q);
+            advance_with_acceleration(&self.grid, &self.consts, p, ax, ay);
+        }
+        rehome_particles(comm, &self.decomp, &self.grid, self.rank, &mut self.particles);
+        self.step += 1;
+    }
+
+    /// Distributed verification: local analytic check, global reduction of
+    /// failures, checksum, and max error.
+    pub fn verify(&self, comm: &Communicator) -> VerifyReport {
+        let local = verify_all(
+            &self.grid,
+            &self.particles,
+            self.step,
+            0, // expected sum handled globally below
+            DEFAULT_TOLERANCE,
+        );
+        let checked = allreduce_u64(comm, local.checked, ReduceOp::Sum);
+        let failures = allreduce_u64(comm, local.position_failures, ReduceOp::Sum);
+        let max_error = allreduce_f64(comm, local.max_error, ReduceOp::Max);
+        let id_sum = allreduce_u128(comm, local.id_sum, ReduceOp::Sum);
+        VerifyReport {
+            checked,
+            position_failures: failures,
+            max_error,
+            failing_ids: local.failing_ids,
+            id_sum,
+            expected_id_sum: self.expected_id_sum,
+            tolerance: DEFAULT_TOLERANCE,
+        }
+    }
+
+    /// Collective imbalance probe: (max per-rank count, total count).
+    pub fn count_stats(&self, comm: &Communicator) -> (u64, u64) {
+        let local = self.particles.len() as u64;
+        let max = allreduce_u64(comm, local, ReduceOp::Max);
+        let total = allreduce_u64(comm, local, ReduceOp::Sum);
+        (max, total)
+    }
+
+    /// Final outcome assembly.
+    pub fn finish(&self, comm: &Communicator) -> ParOutcome {
+        let verify = self.verify(comm);
+        let (max_count, total_count) = self.count_stats(comm);
+        ParOutcome {
+            verify,
+            local_count: self.particles.len(),
+            max_count,
+            total_count,
+            steps: self.step,
+            local_particles: self.particles.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pic_comm::world::run_threads;
+    use pic_core::dist::Distribution;
+    use pic_core::events::Region;
+    use pic_core::init::InitConfig;
+    use pic_core::verify::triangular_id_sum;
+
+    #[test]
+    fn rank_states_partition_the_population() {
+        let setup = InitConfig::new(Grid::new(16).unwrap(), 500, Distribution::PAPER_SKEW)
+            .build()
+            .unwrap();
+        let decomp = Decomp2d::uniform(16, 4);
+        let counts: usize = (0..4)
+            .map(|r| RankState::new(&setup, decomp.clone(), r).particles.len())
+            .sum();
+        assert_eq!(counts, 500);
+    }
+
+    #[test]
+    fn collective_removal_agrees_across_ranks() {
+        let grid = Grid::new(16).unwrap();
+        let setup = InitConfig::new(grid, 200, Distribution::Uniform)
+            .build()
+            .unwrap()
+            .with_event(Event::remove(0, Region { x0: 0, x1: 16, y0: 0, y1: 8 }, 40));
+        let outcomes = run_threads(4, |comm| {
+            let mut st = RankState::new(&setup, Decomp2d::uniform(16, 4), comm.rank());
+            st.apply_due_events(&comm);
+            (st.expected_id_sum(), st.particles.len() as u64)
+        });
+        let ledger0 = outcomes[0].0;
+        assert!(outcomes.iter().all(|o| o.0 == ledger0), "ledgers must agree");
+        let total: u64 = outcomes.iter().map(|o| o.1).sum();
+        assert_eq!(total, 160);
+        assert!(ledger0 < triangular_id_sum(200));
+    }
+
+    #[test]
+    fn injection_lands_on_owning_ranks_only() {
+        let grid = Grid::new(16).unwrap();
+        let region = Region { x0: 0, x1: 4, y0: 0, y1: 4 };
+        let setup = InitConfig::new(grid, 50, Distribution::Uniform)
+            .build()
+            .unwrap()
+            .with_event(Event::inject(0, region, 30, 0, 0, 1));
+        let outcomes = run_threads(4, |comm| {
+            let mut st = RankState::new(&setup, Decomp2d::uniform(16, 4), comm.rank());
+            st.apply_due_events(&comm);
+            (st.expected_id_sum(), st.particles.len() as u64)
+        });
+        let total: u64 = outcomes.iter().map(|o| o.1).sum();
+        assert_eq!(total, 80);
+        assert_eq!(outcomes[0].0, triangular_id_sum(80));
+    }
+}

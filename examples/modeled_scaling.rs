@@ -1,0 +1,21 @@
+//! A miniature of the paper's Figure 6: modeled strong scaling of the
+//! three implementations on an Edison-like machine model, at 1/100 of the
+//! paper's step count (run the `paper_all` binary for the full thing).
+//!
+//! ```sh
+//! cargo run --release --example modeled_scaling
+//! ```
+
+use pic_bench as _; // examples live in the facade crate; drivers in pic-bench
+use pic_prk as _;
+
+fn main() {
+    // Reuse the bench crate's drivers directly.
+    let pts = pic_bench::fig6_right(100);
+    println!("modeled strong scaling (2,998² cells, 600k particles, 60 steps):\n");
+    println!("{}", pic_bench::report::scaling_markdown(&pts));
+    println!("Expected shape (paper Figure 6 right): mpi-2d-LB fastest, ampi in");
+    println!("between, mpi-2d slowest; the gap widens with the core count.");
+    let last = pts.last().unwrap();
+    assert!(last.diffusion_s < last.baseline_s);
+}

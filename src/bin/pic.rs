@@ -1,0 +1,286 @@
+//! `pic` — command-line driver for the PIC Parallel Research Kernel.
+//!
+//! Runs a configurable simulation with any of the implementations and
+//! prints the verification verdict plus load-balance statistics, in the
+//! spirit of the original PRK driver binaries.
+//!
+//! ```text
+//! pic --grid 64 --particles 20000 --steps 200 --dist geometric:0.95 \
+//!     --impl diffusion --ranks 8 --lb-interval 1 --border 3
+//! ```
+//!
+//! Run `pic --help` for all options.
+
+use pic_prk::ampi::balancer::Balancer;
+use pic_prk::ampi::model::AmpiParams;
+use pic_prk::ampi::runtime::run_ampi;
+use pic_prk::comm::world::run_threads;
+use pic_prk::core::init::SkewAxis;
+use pic_prk::par::baseline::run_baseline;
+use pic_prk::par::diffusion::{run_diffusion_mode, DiffusionMode, DiffusionParams};
+use pic_prk::par::runner::{ParConfig, ParOutcome};
+use pic_prk::prelude::*;
+use std::process::exit;
+
+const HELP: &str = "\
+pic — the PIC Parallel Research Kernel (IPDPS 2016 reproduction)
+
+USAGE: pic [OPTIONS]
+
+Workload:
+  --grid N            cells per side (even, default 64)
+  --particles N       particle count (default 10000)
+  --steps N           time steps (default 100)
+  --dist SPEC         uniform | geometric:R | sinusoidal |
+                      linear:ALPHA,BETA | patch:X0,X1,Y0,Y1
+                      (default geometric:0.99)
+  --k K               horizontal stride parameter, 2k+1 cells/step (default 0)
+  --m M               vertical cells/step (default 0)
+  --dir D             +1 or -1 drift direction (default +1)
+  --skew-axis A       x | y : axis the distribution profile applies to
+  --inject S,X0,X1,Y0,Y1,N   inject N particles at step S in the region
+  --remove S,X0,X1,Y0,Y1,N   remove up to N particles at step S
+
+Implementation:
+  --impl NAME         serial | baseline | diffusion | ampi (default serial)
+  --ranks P           thread-ranks for the parallel implementations (default 4)
+
+Diffusion balancer (--impl diffusion):
+  --lb-interval F     steps between LB invocations (default 10)
+  --tau T             count-difference threshold (default 0)
+  --border W          border width in cells (default 2)
+  --mode M            x | y | 2phase (default x)
+
+AMPI runtime (--impl ampi):
+  --d D               over-decomposition degree (default 4)
+  --lb-interval F     steps between LB invocations (default 10)
+  --balancer B        refine | greedy | none (default refine)
+
+Output:
+  --quiet             only print PASS/FAIL
+  --help              this text
+";
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn flag(&self, name: &str) -> bool {
+        self.0.iter().any(|a| a == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.value(name) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("error: invalid value for {name}: {v}");
+                exit(2);
+            }),
+        }
+    }
+}
+
+fn parse_dist(spec: &str) -> Distribution {
+    let (kind, rest) = spec.split_once(':').unwrap_or((spec, ""));
+    match kind {
+        "uniform" => Distribution::Uniform,
+        "geometric" => Distribution::Geometric {
+            r: rest.parse().unwrap_or_else(|_| bail(&format!("bad geometric ratio: {rest}"))),
+        },
+        "sinusoidal" => Distribution::Sinusoidal,
+        "linear" => {
+            let parts: Vec<&str> = rest.split(',').collect();
+            if parts.len() != 2 {
+                bail::<f64>("linear needs ALPHA,BETA");
+            }
+            Distribution::Linear {
+                alpha: parts[0].parse().unwrap_or_else(|_| bail("bad alpha")),
+                beta: parts[1].parse().unwrap_or_else(|_| bail("bad beta")),
+            }
+        }
+        "patch" => {
+            let p: Vec<usize> = rest
+                .split(',')
+                .map(|s| s.parse().unwrap_or_else(|_| bail("bad patch coordinate")))
+                .collect();
+            if p.len() != 4 {
+                bail::<usize>("patch needs X0,X1,Y0,Y1");
+            }
+            Distribution::Patch { x0: p[0], x1: p[1], y0: p[2], y1: p[3] }
+        }
+        other => bail(&format!("unknown distribution: {other}")),
+    }
+}
+
+fn parse_event(spec: &str, inject: bool) -> Event {
+    let p: Vec<u64> = spec
+        .split(',')
+        .map(|s| s.parse().unwrap_or_else(|_| bail("bad event field")))
+        .collect();
+    if p.len() != 6 {
+        bail::<usize>("event needs S,X0,X1,Y0,Y1,N");
+    }
+    let region = Region {
+        x0: p[1] as usize,
+        x1: p[2] as usize,
+        y0: p[3] as usize,
+        y1: p[4] as usize,
+    };
+    if inject {
+        Event::inject(p[0] as u32, region, p[5], 0, 0, 1)
+    } else {
+        Event::remove(p[0] as u32, region, p[5])
+    }
+}
+
+fn bail<T>(msg: &str) -> T {
+    eprintln!("error: {msg}");
+    exit(2);
+}
+
+fn main() {
+    let args = Args(std::env::args().skip(1).collect());
+    if args.flag("--help") || args.flag("-h") {
+        print!("{HELP}");
+        return;
+    }
+    let quiet = args.flag("--quiet");
+
+    // Workload.
+    let ncells: usize = args.parse("--grid", 64);
+    let n: u64 = args.parse("--particles", 10_000);
+    let steps: u32 = args.parse("--steps", 100);
+    let dist = parse_dist(args.value("--dist").unwrap_or("geometric:0.99"));
+    let k: u32 = args.parse("--k", 0);
+    let m: i32 = args.parse("--m", 0);
+    let dir: i8 = args.parse("--dir", 1);
+    let axis = match args.value("--skew-axis").unwrap_or("x") {
+        "x" => SkewAxis::X,
+        "y" => SkewAxis::Y,
+        other => bail(&format!("bad skew axis: {other}")),
+    };
+
+    let grid = Grid::new(ncells).unwrap_or_else(|e| bail(&e.to_string()));
+    let mut setup = InitConfig::new(grid, n, dist)
+        .with_k(k)
+        .with_m(m)
+        .with_dir(dir)
+        .with_skew_axis(axis)
+        .build()
+        .unwrap_or_else(|e| bail(&e.to_string()));
+    if let Some(spec) = args.value("--inject") {
+        setup = setup.with_event(parse_event(spec, true));
+    }
+    if let Some(spec) = args.value("--remove") {
+        setup = setup.with_event(parse_event(spec, false));
+    }
+
+    let implementation = args.value("--impl").unwrap_or("serial").to_string();
+    let ranks: usize = args.parse("--ranks", 4);
+    let interval: u32 = args.parse("--lb-interval", 10);
+
+    if !quiet {
+        println!(
+            "PIC PRK: {ncells}x{ncells} cells, {n} particles, {steps} steps, \
+             dist {dist:?}, k={k} m={m} dir={dir}, impl {implementation}"
+        );
+    }
+
+    let outcome: Option<ParOutcome> = match implementation.as_str() {
+        "serial" => {
+            let mut sim = Simulation::new(setup);
+            sim.run(steps);
+            let report = sim.verify();
+            summarize_serial(&report, sim.particle_count(), quiet);
+            if !report.passed() {
+                exit(1);
+            }
+            None
+        }
+        "baseline" => {
+            let cfg = ParConfig { setup, steps };
+            Some(run_threads(ranks, |comm| run_baseline(&comm, &cfg)).swap_remove(0))
+        }
+        "diffusion" => {
+            let params = DiffusionParams {
+                interval,
+                tau: args.parse("--tau", 0),
+                border_w: args.parse("--border", 2),
+            };
+            let mode = match args.value("--mode").unwrap_or("x") {
+                "x" => DiffusionMode::XOnly,
+                "y" => DiffusionMode::YOnly,
+                "2phase" => DiffusionMode::TwoPhase,
+                other => bail(&format!("bad mode: {other}")),
+            };
+            let cfg = ParConfig { setup, steps };
+            Some(
+                run_threads(ranks, |comm| run_diffusion_mode(&comm, &cfg, params, mode))
+                    .swap_remove(0),
+            )
+        }
+        "ampi" => {
+            let balancer = match args.value("--balancer").unwrap_or("refine") {
+                "refine" => Balancer::paper_default(),
+                "greedy" => Balancer::Greedy,
+                "none" => Balancer::None,
+                other => bail(&format!("bad balancer: {other}")),
+            };
+            let params = AmpiParams { d: args.parse("--d", 4), interval, balancer };
+            let cfg = ParConfig { setup, steps };
+            Some(run_threads(ranks, |comm| run_ampi(&comm, &cfg, &params)).swap_remove(0))
+        }
+        other => bail(&format!("unknown implementation: {other}")),
+    };
+
+    if let Some(o) = outcome {
+        summarize_parallel(&o, ranks, quiet);
+        if !o.verify.passed() {
+            exit(1);
+        }
+    }
+}
+
+fn summarize_serial(report: &pic_prk::core::verify::VerifyReport, count: usize, quiet: bool) {
+    if quiet {
+        println!("{}", if report.passed() { "PASS" } else { "FAIL" });
+        return;
+    }
+    println!("final particles       : {count}");
+    println!("position failures     : {}", report.position_failures);
+    println!("max trajectory error  : {:.2e}", report.max_error);
+    println!(
+        "id checksum           : {} (expected {})",
+        report.id_sum, report.expected_id_sum
+    );
+    println!("verification          : {}", if report.passed() { "PASS" } else { "FAIL" });
+}
+
+fn summarize_parallel(o: &ParOutcome, ranks: usize, quiet: bool) {
+    if quiet {
+        println!("{}", if o.verify.passed() { "PASS" } else { "FAIL" });
+        return;
+    }
+    let ideal = o.total_count as f64 / ranks as f64;
+    println!("final particles       : {}", o.total_count);
+    println!(
+        "max particles/rank    : {} (ideal {:.0}, ratio {:.2}x)",
+        o.max_count,
+        ideal,
+        o.max_count as f64 / ideal
+    );
+    println!("position failures     : {}", o.verify.position_failures);
+    println!("max trajectory error  : {:.2e}", o.verify.max_error);
+    println!(
+        "id checksum           : {} (expected {})",
+        o.verify.id_sum, o.verify.expected_id_sum
+    );
+    println!("verification          : {}", if o.verify.passed() { "PASS" } else { "FAIL" });
+}

@@ -1,0 +1,24 @@
+//! # pic-prk — the PIC Parallel Research Kernel, in Rust
+//!
+//! Facade crate re-exporting the whole workspace:
+//!
+//! * [`core`] — the kernel specification: geometry, charges, particles,
+//!   initialization, motion, events, verification, serial engine.
+//! * [`comm`] — MPI-like message-passing substrate (threads backend).
+//! * [`cluster`] — machine/cost models, BSP phase simulator, analytic load
+//!   model for full-scale modeled experiments.
+//! * [`par`] — parallel implementations: static 2D baseline (`mpi-2d`) and
+//!   diffusion-based application-specific load balancing (`mpi-2d-LB`).
+//! * [`ampi`] — Adaptive-MPI-style virtualization: over-decomposition into
+//!   VPs with runtime-orchestrated load balancing.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use pic_ampi as ampi;
+pub use pic_cluster as cluster;
+pub use pic_comm as comm;
+pub use pic_core as core;
+pub use pic_par as par;
+
+pub use pic_core::prelude;

@@ -1,0 +1,112 @@
+//! End-to-end tests of the `pic` command-line driver.
+
+use std::process::Command;
+
+fn pic() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pic"))
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = pic().args(args).output().expect("spawn pic");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = run(&["--help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("--dist"));
+    assert!(stdout.contains("diffusion"));
+}
+
+#[test]
+fn default_serial_run_passes() {
+    let (ok, stdout, _) = run(&["--steps", "50", "--quiet"]);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "PASS");
+}
+
+#[test]
+fn all_implementations_pass() {
+    for imp in ["serial", "baseline", "diffusion", "ampi"] {
+        let (ok, stdout, stderr) = run(&[
+            "--impl", imp, "--ranks", "3", "--grid", "32", "--particles", "500", "--steps",
+            "40", "--m", "1", "--quiet",
+        ]);
+        assert!(ok, "impl {imp}: stdout={stdout} stderr={stderr}");
+        assert_eq!(stdout.trim(), "PASS", "impl {imp}");
+    }
+}
+
+#[test]
+fn distribution_specs_parse() {
+    for dist in [
+        "uniform",
+        "geometric:0.9",
+        "sinusoidal",
+        "linear:1.0,2.0",
+        "patch:4,12,4,12",
+    ] {
+        let (ok, stdout, stderr) = run(&[
+            "--dist", dist, "--grid", "16", "--particles", "200", "--steps", "10", "--quiet",
+        ]);
+        assert!(ok, "dist {dist}: {stderr}");
+        assert_eq!(stdout.trim(), "PASS", "dist {dist}");
+    }
+}
+
+#[test]
+fn events_via_cli() {
+    let (ok, stdout, _) = run(&[
+        "--impl",
+        "baseline",
+        "--ranks",
+        "2",
+        "--steps",
+        "30",
+        "--inject",
+        "5,0,16,0,16,300",
+        "--remove",
+        "15,0,64,0,64,100",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("final particles       : 10200"), "{stdout}");
+    assert!(stdout.contains("PASS"));
+}
+
+#[test]
+fn rotated_workload_via_cli() {
+    let (ok, stdout, _) = run(&[
+        "--skew-axis", "y", "--m", "2", "--dist", "geometric:0.8", "--steps", "25", "--quiet",
+    ]);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "PASS");
+}
+
+#[test]
+fn two_phase_diffusion_via_cli() {
+    let (ok, stdout, _) = run(&[
+        "--impl", "diffusion", "--mode", "2phase", "--ranks", "4", "--steps", "30",
+        "--lb-interval", "2", "--border", "2", "--m", "1", "--quiet",
+    ]);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "PASS");
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    let (ok, _, stderr) = run(&["--dist", "bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown distribution"));
+    let (ok, _, stderr) = run(&["--impl", "quantum"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown implementation"));
+    let (ok, _, stderr) = run(&["--grid", "15"]);
+    assert!(!ok);
+    assert!(stderr.contains("odd"));
+}

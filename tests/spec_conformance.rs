@@ -1,0 +1,231 @@
+//! Equation-by-equation conformance tests against the paper's
+//! specification (§III). Each test names the paper artifact it checks.
+
+use pic_prk::core::charge::{
+    charge_denominator, mesh_charge, particle_charge, sign_for_direction, total_force,
+    SimConstants,
+};
+use pic_prk::core::motion::advance_particle;
+use pic_prk::core::verify::expected_position;
+use pic_prk::prelude::*;
+
+fn consts() -> SimConstants {
+    SimConstants::CANONICAL
+}
+
+fn particle(grid: &Grid, col: usize, row: usize, k: u32, m: i32, dir: i8) -> Particle {
+    let c = consts();
+    let (x, y) = grid.cell_center(col, row);
+    Particle {
+        id: 1,
+        x,
+        y,
+        vx: 0.0,
+        vy: m as f64 * c.h / c.dt,
+        q: particle_charge(&c, 0.5, k, sign_for_direction(col, dir)),
+        x0: x,
+        y0: y,
+        k,
+        m,
+        born_at: 0,
+    }
+}
+
+/// §III-B, eq. 1: x(t+dt) = x(t) + v·dt + ½·a·dt².
+#[test]
+fn eq1_position_update() {
+    let grid = Grid::new(16).unwrap();
+    let c = consts();
+    let mut p = particle(&grid, 4, 4, 0, 0, 1);
+    p.vx = 0.25; // arbitrary initial velocity to exercise the v·dt term
+    let (ax, _) = total_force(&grid, &c, p.x, p.y, p.q);
+    let expect = grid.wrap_coord(p.x + p.vx * c.dt + 0.5 * ax * c.dt * c.dt);
+    advance_particle(&grid, &c, &mut p);
+    assert_eq!(p.x, expect);
+}
+
+/// §III-B, eq. 2: v(t+dt) = v(t) + a·dt.
+#[test]
+fn eq2_velocity_update() {
+    let grid = Grid::new(16).unwrap();
+    let c = consts();
+    let mut p = particle(&grid, 4, 4, 1, 2, 1);
+    let (ax, ay) = total_force(&grid, &c, p.x, p.y, p.q);
+    let (vx0, vy0) = (p.vx, p.vy);
+    advance_particle(&grid, &c, &mut p);
+    assert_eq!(p.vx, vx0 + ax * c.dt);
+    assert_eq!(p.vy, vy0 + ay * c.dt);
+}
+
+/// §III-C, eq. 3: q_π = ±h / (dt²·q·(cosθ/d1² + cosφ/d2²)).
+#[test]
+fn eq3_charge_formula() {
+    let c = consts();
+    let x_rel = 0.5f64;
+    // Direct evaluation of the printed formula.
+    let d1 = (c.h * c.h / 4.0 + x_rel * x_rel).sqrt();
+    let d2 = (c.h * c.h / 4.0 + (c.h - x_rel) * (c.h - x_rel)).sqrt();
+    let cos_theta = x_rel / d1;
+    let cos_phi = (c.h - x_rel) / d2;
+    let denom_paper = c.q * (cos_theta / (d1 * d1) + cos_phi / (d2 * d2));
+    let q_paper = c.h / (c.dt * c.dt * denom_paper);
+    // Our implementation (routed through the runtime force kernel).
+    let q_impl = particle_charge(&c, x_rel, 0, 1.0);
+    assert!(
+        (q_paper - q_impl).abs() < 1e-12 * q_paper.abs(),
+        "paper {q_paper} vs impl {q_impl}"
+    );
+    assert!((charge_denominator(&c, x_rel) - denom_paper).abs() < 1e-12);
+    // With h = 1, x_rel = 1/2: q_π = 1/(2√2).
+    assert!((q_impl - 1.0 / (2.0 * 2.0f64.sqrt())).abs() < 1e-12);
+}
+
+/// §III-C, eq. 4: v0 = m·h/dt·i_y.
+#[test]
+fn eq4_initial_velocity() {
+    let grid = Grid::new(16).unwrap();
+    for m in [-3i32, 0, 2, 7] {
+        let setup = InitConfig::new(grid, 10, Distribution::Uniform)
+            .with_m(m)
+            .build()
+            .unwrap();
+        for p in &setup.particles {
+            assert_eq!(p.vx, 0.0, "no initial horizontal velocity");
+            assert_eq!(p.vy, m as f64, "v0 = m·h/dt with h = dt = 1");
+        }
+    }
+}
+
+/// §III-D, eq. 5: x_s = (x_0 + sign(a_x,0)·(2k+1)·s·h) mod L.
+#[test]
+fn eq5_final_x() {
+    let grid = Grid::new(16).unwrap();
+    for (k, dir, s) in [(0u32, 1i8, 7u64), (1, -1, 12), (2, 1, 33)] {
+        let p = particle(&grid, 5, 3, k, 0, dir);
+        let (xs, _) = expected_position(&grid, &p, s);
+        let direct = {
+            let disp = dir as i64 * (2 * k as i64 + 1) * s as i64;
+            let col = (((5 + disp) % 16) + 16) % 16;
+            col as f64 + 0.5
+        };
+        assert_eq!(xs, direct, "k={k} dir={dir} s={s}");
+    }
+}
+
+/// §III-D, eq. 6: y_s = (y_0 + m·h·s) mod L.
+#[test]
+fn eq6_final_y() {
+    let grid = Grid::new(16).unwrap();
+    for (m, s) in [(0i32, 9u64), (3, 11), (-5, 20)] {
+        let p = particle(&grid, 5, 3, 0, m, 1);
+        let (_, ys) = expected_position(&grid, &p, s);
+        let direct = {
+            let row = (((3 + m as i64 * s as i64) % 16) + 16) % 16;
+            row as f64 + 0.5
+        };
+        assert_eq!(ys, direct, "m={m} s={s}");
+    }
+}
+
+/// §III-D: id checksum n(n+1)/2 (single sum reduction).
+#[test]
+fn id_checksum_closed_form() {
+    let grid = Grid::new(32).unwrap();
+    for n in [1u64, 100, 999] {
+        let setup = InitConfig::new(grid, n, Distribution::Sinusoidal).build().unwrap();
+        assert_eq!(setup.initial_id_sum(), n as u128 * (n as u128 + 1) / 2);
+    }
+}
+
+/// §III-E1, eq. 7: block-column particle counts
+/// n(I) = c·A·(1−r^(c/P))/(1−r)·r^(Ic/P).
+#[test]
+fn eq7_block_column_counts() {
+    let c = 1_200usize;
+    let p = 12usize;
+    let r: f64 = 0.997;
+    let n = 2_000_000u64;
+    let dist = Distribution::Geometric { r };
+    let counts = dist.column_counts(c, n);
+    // A from the normalization Σ_{i<c} c_col·A·r^i... the per-cell A:
+    // total = c·A·(1−r^c)/(1−r) — wait, per-column total is c·A·r^i
+    // summed over columns: n = c·A·(1−r^c)/(1−r).
+    let a = n as f64 * (1.0 - r) / (c as f64 * (1.0 - r.powi(c as i32)));
+    for block in 0..p {
+        let measured: u64 = counts[block * c / p..(block + 1) * c / p].iter().sum();
+        let predicted =
+            c as f64 * a * (1.0 - r.powi((c / p) as i32)) / (1.0 - r) * r.powi((block * c / p) as i32);
+        let rel = (measured as f64 - predicted).abs() / predicted;
+        assert!(rel < 0.01, "block {block}: measured {measured} vs eq.7 {predicted}");
+    }
+}
+
+/// §III-E1, eq. 8: n(I+1)/n(I) = r^(c/P).
+#[test]
+fn eq8_geometric_block_ratio() {
+    let c = 1_000usize;
+    let p = 10usize;
+    let r: f64 = 0.995;
+    let counts = Distribution::Geometric { r }.column_counts(c, 800_000);
+    let blocks: Vec<f64> = (0..p)
+        .map(|b| counts[b * c / p..(b + 1) * c / p].iter().sum::<u64>() as f64)
+        .collect();
+    let want = r.powi((c / p) as i32);
+    for w in blocks.windows(2) {
+        assert!(
+            (w[1] / w[0] - want).abs() < 0.01 * want,
+            "ratio {} vs eq.8 {want}",
+            w[1] / w[0]
+        );
+    }
+}
+
+/// §III-E1: "the particle distribution shifts right with velocity
+/// (2k+1) cells per time step".
+#[test]
+fn distribution_drift_velocity() {
+    let grid = Grid::new(32).unwrap();
+    for k in [0u32, 1, 2] {
+        let setup = InitConfig::new(grid, 800, Distribution::Geometric { r: 0.85 })
+            .with_k(k)
+            .build()
+            .unwrap();
+        let mut sim = Simulation::new(setup);
+        let before = sim.column_histogram();
+        sim.run(4);
+        let after = sim.column_histogram();
+        let stride = (2 * k as usize + 1) * 4;
+        for col in 0..32 {
+            assert_eq!(
+                after[(col + stride) % 32],
+                before[col],
+                "k={k}, column {col}"
+            );
+        }
+    }
+}
+
+/// §III-C: "L must be an even multiple of h" — odd grids are rejected,
+/// and on an even grid periodic crossing preserves the motion pattern.
+#[test]
+fn even_grid_requirement() {
+    assert!(Grid::new(15).is_err());
+    let grid = Grid::new(14).unwrap();
+    let c = consts();
+    let mut p = particle(&grid, 13, 0, 0, 0, 1); // last column, moving right
+    advance_particle(&grid, &c, &mut p);
+    assert!((p.x - 0.5).abs() < 1e-12, "crossed the seam to column 0");
+    advance_particle(&grid, &c, &mut p);
+    assert!((p.x - 1.5).abs() < 1e-12, "pattern continues after the seam");
+    assert!(p.vx.abs() < 1e-12, "decelerated back to rest");
+}
+
+/// §III-C: "columns of mesh points with even index have positive charge
+/// +q; those with odd index have negative charge −q" (Figure 2).
+#[test]
+fn mesh_charge_pattern() {
+    for col in 0..100usize {
+        let q = mesh_charge(col, 1.0);
+        assert_eq!(q, if col % 2 == 0 { 1.0 } else { -1.0 });
+    }
+}
