@@ -168,7 +168,7 @@ pub fn model_ampi_tuned(cfg: &ModelConfig) -> (ModelOutcome, AmpiParams) {
         for &interval in &intervals {
             let params = AmpiParams { d, interval, balancer: Balancer::paper_default() };
             let out = model_ampi(cfg, &params);
-            if best.as_ref().map_or(true, |(b, _)| out.seconds < b.seconds) {
+            if best.as_ref().is_none_or(|(b, _)| out.seconds < b.seconds) {
                 best = Some((out, params));
             }
         }

@@ -1,0 +1,121 @@
+//! Emit `BENCH_sweep.json`: wall-clock ns/particle/step for every sweep
+//! mode of the single-process engine, plus the chunk-size sensitivity of
+//! the chunked sweep.
+//!
+//! ```text
+//! bench_sweep [--out PATH] [--quick]
+//! ```
+//!
+//! `--quick` drops the 1e6-particle tier (for CI smoke runs). The output
+//! is one JSON object with a record per (mode, n, chunk) configuration;
+//! `scripts/bench.sh` runs this from the repository root so the artifact
+//! lands next to the other `BENCH_*` files.
+
+use pic_core::dist::Distribution;
+use pic_core::engine::{Simulation, SweepMode};
+use pic_core::geometry::Grid;
+use pic_core::init::InitConfig;
+use pic_core::pool::{self, DEFAULT_CHUNK};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const GRID: usize = 512;
+
+fn mode_name(mode: SweepMode) -> &'static str {
+    match mode {
+        SweepMode::Serial => "aos-serial",
+        SweepMode::Parallel => "aos-parallel",
+        SweepMode::Soa => "soa-serial",
+        SweepMode::SoaChunked => "soa-chunked",
+    }
+}
+
+/// Measure one configuration: warm up (pool spawn, cache fill), then time
+/// `steps` steps and return ns per particle per step.
+fn time_mode(mode: SweepMode, chunk: usize, n: u64, steps: u32) -> f64 {
+    let grid = Grid::new(GRID).unwrap();
+    let setup = InitConfig::new(grid, n, Distribution::PAPER_SKEW)
+        .with_m(1)
+        .build()
+        .unwrap();
+    let mut sim = Simulation::with_mode(setup, mode).with_chunk_size(chunk);
+    sim.run(3);
+    let t = Instant::now();
+    sim.run(steps);
+    let ns = t.elapsed().as_nanos() as f64;
+    assert!(sim.verify().passed(), "{mode:?} n={n}: verification failed");
+    ns / (steps as f64 * n as f64)
+}
+
+/// Steps per timing run, scaled so every tier takes a comparable wall time.
+fn steps_for(n: u64) -> u32 {
+    match n {
+        0..=20_000 => 200,
+        20_001..=200_000 => 40,
+        _ => 12,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+
+    let sizes: &[u64] = if quick {
+        &[10_000, 100_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    let modes = [
+        SweepMode::Serial,
+        SweepMode::Parallel,
+        SweepMode::Soa,
+        SweepMode::SoaChunked,
+    ];
+    let threads = pool::global().threads();
+
+    let mut records = Vec::new();
+    for &n in sizes {
+        let steps = steps_for(n);
+        for mode in modes {
+            let ns = time_mode(mode, DEFAULT_CHUNK, n, steps);
+            eprintln!("{:>12} n={n:<9} chunk={DEFAULT_CHUNK:<6} {ns:.2} ns/particle/step", mode_name(mode));
+            records.push((mode_name(mode), n, DEFAULT_CHUNK, steps, ns));
+        }
+    }
+    // Chunk sensitivity of the chunked sweep at the largest tier.
+    let n = *sizes.last().unwrap();
+    let steps = steps_for(n);
+    for chunk in [256usize, 1_024, 4_096, 16_384, 65_536] {
+        if chunk == DEFAULT_CHUNK {
+            continue; // already measured above
+        }
+        let ns = time_mode(SweepMode::SoaChunked, chunk, n, steps);
+        eprintln!("{:>12} n={n:<9} chunk={chunk:<6} {ns:.2} ns/particle/step", "soa-chunked");
+        records.push(("soa-chunked", n, chunk, steps, ns));
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"sweep\",");
+    let _ = writeln!(json, "  \"grid\": {GRID},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, (mode, n, chunk, steps, ns)) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"mode\": \"{mode}\", \"n\": {n}, \"threads\": {threads}, \
+             \"chunk\": {chunk}, \"steps\": {steps}, \
+             \"ns_per_particle_step\": {ns:.3}}}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, &json).expect("write benchmark artifact");
+    eprintln!("wrote {out_path}");
+}

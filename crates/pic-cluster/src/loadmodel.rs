@@ -327,8 +327,9 @@ mod tests {
             InitConfig::new(grid, 2_000, dist).with_m(1).build().unwrap(),
         );
         let mut m = ColumnLoadModel::new(dist, 32, 2_000, 0, 1);
+        let mut hist = Vec::new();
         for step in 0..20 {
-            let hist = sim.column_histogram();
+            sim.column_histogram_into(&mut hist);
             for j in 0..32 {
                 assert_eq!(m.count_in_column(j), hist[j], "step {step}, column {j}");
             }
@@ -350,7 +351,8 @@ mod tests {
         let mut m = ColumnLoadModel::new(dist, 32, 1_500, 2, 1);
         sim.run(13);
         m.advance(13);
-        let hist = sim.column_histogram();
+        let mut hist = Vec::new();
+        sim.column_histogram_into(&mut hist);
         for j in 0..32 {
             assert_eq!(m.count_in_column(j), hist[j], "column {j}");
         }

@@ -173,7 +173,8 @@ mod tests {
         let mut m = LoadModel2d::new(dist, SkewAxis::Y, 32, 3_000, 0, 1, 1);
         sim.run(9);
         m.advance(9);
-        let hist = sim.row_histogram();
+        let mut hist = Vec::new();
+        sim.row_histogram_into(&mut hist);
         for j in 0..32 {
             let pred = m.count_in_rect((0, 32), (j, j + 1));
             assert!(

@@ -1,10 +1,9 @@
 //! Per-rank communication endpoint: channels + tag matching + counters.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use crate::chan::{unbounded, Receiver, Sender};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A raw wire message. `ctx` isolates communicators, `src` is the sender's
 /// *world* rank, `tag` is the user/collective tag.
@@ -90,7 +89,7 @@ impl Endpoint {
     pub fn recv(&self, src_world: usize, ctx: u64, tag: u64) -> Vec<u8> {
         // First scan the unexpected-message queue.
         {
-            let mut pending = self.pending.lock();
+            let mut pending = self.pending.lock().unwrap();
             if let Some(pos) = pending
                 .iter()
                 .position(|m| m.ctx == ctx && m.src == src_world && m.tag == tag)
@@ -110,7 +109,7 @@ impl Endpoint {
                 self.note_recv(&m);
                 return m.data;
             }
-            self.pending.lock().push_back(m);
+            self.pending.lock().unwrap().push_back(m);
         }
     }
 
@@ -132,7 +131,7 @@ impl Endpoint {
     /// Number of parked (unexpected) messages — should be zero at clean
     /// shutdown; tests assert on this to catch protocol leaks.
     pub fn pending_count(&self) -> usize {
-        self.pending.lock().len()
+        self.pending.lock().unwrap().len()
     }
 }
 

@@ -3,7 +3,7 @@
 //! The paper's reference implementations are MPI programs. This crate
 //! provides the subset of MPI semantics they need, with a **threads
 //! backend**: each rank is an OS thread, point-to-point messages are
-//! tag-matched byte payloads over crossbeam channels, and the collectives
+//! tag-matched byte payloads over in-process channels, and the collectives
 //! (barrier, broadcast, reduce/allreduce, gather/allgather, alltoallv) are
 //! built on top of point-to-point exactly as a textbook MPI would build
 //! them — so the communication *structure* of the ported kernels is
@@ -32,6 +32,7 @@
 //! assert_eq!(sums, vec![6, 6, 6, 6]);
 //! ```
 
+pub mod chan;
 pub mod collective;
 pub mod comm;
 pub mod endpoint;

@@ -53,17 +53,16 @@ where
 {
     let comms = ThreadWorld::new(size).into_comms();
     let mut slots: Vec<Option<R>> = (0..size).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(size);
         for (rank, comm) in comms.into_iter().enumerate() {
             let fref = &f;
-            handles.push((rank, scope.spawn(move |_| fref(comm))));
+            handles.push((rank, scope.spawn(move || fref(comm))));
         }
         for (rank, h) in handles {
             slots[rank] = Some(h.join().expect("rank thread panicked"));
         }
-    })
-    .expect("world scope panicked");
+    });
     slots.into_iter().map(|s| s.unwrap()).collect()
 }
 

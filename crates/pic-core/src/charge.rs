@@ -54,7 +54,7 @@ impl SimConstants {
 /// same type (paper §III-D).
 #[inline]
 pub fn mesh_charge(col: usize, q: f64) -> f64 {
-    if col % 2 == 0 {
+    if col.is_multiple_of(2) {
         q
     } else {
         -q
@@ -64,7 +64,7 @@ pub fn mesh_charge(col: usize, q: f64) -> f64 {
 /// Sign (+1/−1) of the mesh charge in column `col`.
 #[inline]
 pub fn column_sign(col: usize) -> f64 {
-    if col % 2 == 0 {
+    if col.is_multiple_of(2) {
         1.0
     } else {
         -1.0

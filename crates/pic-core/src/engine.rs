@@ -6,6 +6,21 @@
 //! ledger that the final verification compares against. All parallel
 //! implementations must produce exactly the population this engine produces
 //! (same ids, positions within tolerance).
+//!
+//! ## Sweep modes and the memory layout contract
+//!
+//! The particle store follows the sweep mode: [`SweepMode::Serial`] and
+//! [`SweepMode::Parallel`] keep the population AoS (`Vec<Particle>`),
+//! [`SweepMode::Soa`] and [`SweepMode::SoaChunked`] keep it in the
+//! structure-of-arrays [`ParticleBatch`] for the whole run — events,
+//! checkpoints and histograms operate on the SoA store natively, with no
+//! per-step AoS round-trip. Every mode runs the same per-particle
+//! instruction sequence (eqs. 1–2 behind the same force evaluation), and
+//! every mode applies events by the same deterministic rules (injections
+//! append in build order; removals take lowest ids first,
+//! order-preserving), so **all four modes produce bit-identical particle
+//! populations in identical order** — asserted by this module's tests and
+//! the cross-layout property tests.
 
 use crate::charge::SimConstants;
 use crate::events::{Event, EventKind};
@@ -13,17 +28,69 @@ use crate::geometry::Grid;
 use crate::init::{apply_removal, build_injection, validate_event, InitError, SimulationSetup};
 use crate::motion::{advance_all, advance_all_parallel};
 use crate::particle::Particle;
+use crate::pool::DEFAULT_CHUNK;
+use crate::soa::ParticleBatch;
 use crate::verify::{verify_all, VerifyReport, DEFAULT_TOLERANCE};
 
-/// Execution mode for the per-step particle sweep.
+/// Execution mode for the per-step particle sweep. Also selects the
+/// particle storage layout (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SweepMode {
-    /// One thread, deterministic order.
+    /// One thread, AoS storage, deterministic order.
     #[default]
     Serial,
-    /// Rayon-parallel sweep; bitwise identical results (particles are
-    /// independent within a step).
+    /// Pool-parallel sweep over AoS storage; bitwise identical results
+    /// (particles are independent within a step).
     Parallel,
+    /// One thread, structure-of-arrays storage.
+    Soa,
+    /// Pool-parallel chunked sweep over SoA storage; chunk size is the
+    /// [`Simulation::with_chunk_size`] tunable.
+    SoaChunked,
+}
+
+impl SweepMode {
+    /// Whether this mode stores particles in SoA layout.
+    pub fn is_soa(self) -> bool {
+        matches!(self, SweepMode::Soa | SweepMode::SoaChunked)
+    }
+}
+
+/// The particle population in whichever layout the sweep mode selected.
+// One store exists per Simulation (never in arrays), so the size gap
+// between the 11-vector SoA batch and the single AoS vec is irrelevant.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+enum ParticleStore {
+    Aos(Vec<Particle>),
+    Soa(ParticleBatch),
+}
+
+impl ParticleStore {
+    fn len(&self) -> usize {
+        match self {
+            ParticleStore::Aos(v) => v.len(),
+            ParticleStore::Soa(b) => b.len(),
+        }
+    }
+
+    fn to_particles(&self) -> Vec<Particle> {
+        match self {
+            ParticleStore::Aos(v) => v.clone(),
+            ParticleStore::Soa(b) => b.to_particles(),
+        }
+    }
+
+    fn extend(&mut self, particles: Vec<Particle>) {
+        match self {
+            ParticleStore::Aos(v) => v.extend(particles),
+            ParticleStore::Soa(b) => {
+                for p in particles {
+                    b.push(p);
+                }
+            }
+        }
+    }
 }
 
 /// The reference simulation.
@@ -31,13 +98,14 @@ pub enum SweepMode {
 pub struct Simulation {
     grid: Grid,
     consts: SimConstants,
-    particles: Vec<Particle>,
+    store: ParticleStore,
     events: Vec<Event>,
     next_event: usize,
     step: u32,
     next_id: u64,
     expected_id_sum: u128,
     mode: SweepMode,
+    chunk_size: usize,
 }
 
 pub use crate::init::SimulationSetup as Setup;
@@ -54,17 +122,40 @@ impl Simulation {
         let expected_id_sum = setup.initial_id_sum();
         let mut events = setup.events;
         events.sort_by_key(|e| e.at_step);
+        let store = if mode.is_soa() {
+            ParticleStore::Soa(ParticleBatch::from_particles(&setup.particles))
+        } else {
+            ParticleStore::Aos(setup.particles)
+        };
         Simulation {
             grid: setup.grid,
             consts: setup.consts,
-            particles: setup.particles,
+            store,
             events,
             next_event: 0,
             step: 0,
             next_id: setup.next_id,
             expected_id_sum,
             mode,
+            chunk_size: DEFAULT_CHUNK,
         }
+    }
+
+    /// Set the chunk size used by [`SweepMode::SoaChunked`] (ignored by
+    /// the other modes). Values are clamped to at least 1.
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Simulation {
+        self.chunk_size = chunk_size.max(1);
+        self
+    }
+
+    /// The chunk size the chunked sweep would use.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// The active sweep mode.
+    pub fn mode(&self) -> SweepMode {
+        self.mode
     }
 
     /// Validate all scheduled events against the grid.
@@ -88,12 +179,25 @@ impl Simulation {
         &self.consts
     }
 
-    pub fn particles(&self) -> &[Particle] {
-        &self.particles
+    /// The current population, materialized as AoS records (allocates; the
+    /// store itself may be SoA). Ordering is identical across all sweep
+    /// modes. For allocation-free bulk reads use the histogram `_into`
+    /// methods or [`Simulation::batch`].
+    pub fn particles(&self) -> Vec<Particle> {
+        self.store.to_particles()
+    }
+
+    /// Direct view of the SoA store, when the mode keeps one (`None` for
+    /// the AoS modes).
+    pub fn batch(&self) -> Option<&ParticleBatch> {
+        match &self.store {
+            ParticleStore::Aos(_) => None,
+            ParticleStore::Soa(b) => Some(b),
+        }
     }
 
     pub fn particle_count(&self) -> usize {
-        self.particles.len()
+        self.store.len()
     }
 
     /// The checksum ledger: what the id sum of the surviving particles
@@ -126,10 +230,13 @@ impl Simulation {
                     for p in &newcomers {
                         self.expected_id_sum += p.id as u128;
                     }
-                    self.particles.extend(newcomers);
+                    self.store.extend(newcomers);
                 }
                 EventKind::Remove { count } => {
-                    let removed = apply_removal(&mut self.particles, e.region, count);
+                    let removed = match &mut self.store {
+                        ParticleStore::Aos(v) => apply_removal(v, e.region, count),
+                        ParticleStore::Soa(b) => b.remove_in_region(&e.region, count),
+                    };
                     for p in &removed {
                         self.expected_id_sum -= p.id as u128;
                     }
@@ -142,11 +249,20 @@ impl Simulation {
     /// sweep (force + eqs. 1–2 + periodic wrap).
     pub fn step(&mut self) {
         self.apply_due_events();
-        match self.mode {
-            SweepMode::Serial => advance_all(&self.grid, &self.consts, &mut self.particles),
-            SweepMode::Parallel => {
-                advance_all_parallel(&self.grid, &self.consts, &mut self.particles)
+        match (&mut self.store, self.mode) {
+            (ParticleStore::Aos(v), SweepMode::Serial) => {
+                advance_all(&self.grid, &self.consts, v)
             }
+            (ParticleStore::Aos(v), SweepMode::Parallel) => {
+                advance_all_parallel(&self.grid, &self.consts, v)
+            }
+            (ParticleStore::Soa(b), SweepMode::Soa) => b.advance_all(&self.grid, &self.consts),
+            (ParticleStore::Soa(b), SweepMode::SoaChunked) => {
+                b.advance_all_chunked(&self.grid, &self.consts, self.chunk_size)
+            }
+            // The constructor ties store layout to mode; the pairs above
+            // are exhaustive in practice.
+            (_, mode) => unreachable!("store layout inconsistent with sweep mode {mode:?}"),
         }
         self.step += 1;
     }
@@ -164,42 +280,109 @@ impl Simulation {
     }
 
     pub fn verify_with_tolerance(&self, tol: f64) -> VerifyReport {
-        verify_all(
-            &self.grid,
-            &self.particles,
-            self.step,
-            self.expected_id_sum,
-            tol,
-        )
+        let particles = self.store.to_particles();
+        verify_all(&self.grid, &particles, self.step, self.expected_id_sum, tol)
     }
 
     /// Histogram of particle counts per cell column — the quantity the
-    /// x-direction load balancers equalize.
+    /// x-direction load balancers equalize. Allocates; balancer loops
+    /// should use [`Simulation::column_histogram_into`].
     pub fn column_histogram(&self) -> Vec<u64> {
-        let mut h = vec![0u64; self.grid.ncells()];
-        for p in &self.particles {
-            h[self.grid.cell_of(p.x)] += 1;
-        }
+        let mut h = Vec::new();
+        self.column_histogram_into(&mut h);
         h
+    }
+
+    /// Fill `h` with the per-column histogram, reusing its storage
+    /// (allocation-free once `h` has reached grid capacity).
+    pub fn column_histogram_into(&self, h: &mut Vec<u64>) {
+        h.clear();
+        h.resize(self.grid.ncells(), 0);
+        match &self.store {
+            ParticleStore::Aos(v) => {
+                for p in v {
+                    h[self.grid.cell_of(p.x)] += 1;
+                }
+            }
+            ParticleStore::Soa(b) => {
+                for &x in &b.x {
+                    h[self.grid.cell_of(x)] += 1;
+                }
+            }
+        }
     }
 
     /// Histogram of particle counts per cell row (for rotated workloads
-    /// and the two-phase balancer's y phase).
+    /// and the two-phase balancer's y phase). Allocates; balancer loops
+    /// should use [`Simulation::row_histogram_into`].
     pub fn row_histogram(&self) -> Vec<u64> {
-        let mut h = vec![0u64; self.grid.ncells()];
-        for p in &self.particles {
-            h[self.grid.cell_of(p.y)] += 1;
-        }
+        let mut h = Vec::new();
+        self.row_histogram_into(&mut h);
         h
     }
 
-    /// Mutable access for failure-injection tests *only*.
-    #[doc(hidden)]
-    pub fn particles_mut(&mut self) -> &mut Vec<Particle> {
-        &mut self.particles
+    /// Fill `h` with the per-row histogram, reusing its storage.
+    pub fn row_histogram_into(&self, h: &mut Vec<u64>) {
+        h.clear();
+        h.resize(self.grid.ncells(), 0);
+        match &self.store {
+            ParticleStore::Aos(v) => {
+                for p in v {
+                    h[self.grid.cell_of(p.y)] += 1;
+                }
+            }
+            ParticleStore::Soa(b) => {
+                for &y in &b.y {
+                    h[self.grid.cell_of(y)] += 1;
+                }
+            }
+        }
     }
 
-    /// Snapshot the complete state for checkpoint/restart.
+    /// Corrupt one particle in place — failure-injection tests *only*.
+    #[doc(hidden)]
+    pub fn mutate_particle(&mut self, idx: usize, f: impl FnOnce(&mut Particle)) {
+        match &mut self.store {
+            ParticleStore::Aos(v) => f(&mut v[idx]),
+            ParticleStore::Soa(b) => {
+                let mut p = b.get(idx);
+                f(&mut p);
+                b.set(idx, p);
+            }
+        }
+    }
+
+    /// Read one particle by store index — failure-injection tests *only*.
+    #[doc(hidden)]
+    pub fn particle_at(&self, idx: usize) -> Particle {
+        match &self.store {
+            ParticleStore::Aos(v) => v[idx],
+            ParticleStore::Soa(b) => b.get(idx),
+        }
+    }
+
+    /// Drop the last particle — failure-injection tests *only*.
+    #[doc(hidden)]
+    pub fn pop_particle(&mut self) -> Option<Particle> {
+        match &mut self.store {
+            ParticleStore::Aos(v) => v.pop(),
+            ParticleStore::Soa(b) => b.pop(),
+        }
+    }
+
+    /// Append a particle without touching the ledger — failure-injection
+    /// tests *only*.
+    #[doc(hidden)]
+    pub fn push_particle(&mut self, p: Particle) {
+        match &mut self.store {
+            ParticleStore::Aos(v) => v.push(p),
+            ParticleStore::Soa(b) => b.push(p),
+        }
+    }
+
+    /// Snapshot the complete state for checkpoint/restart. The wire format
+    /// is layout-independent (AoS records), so a checkpoint taken in any
+    /// sweep mode restores into any other.
     pub fn checkpoint(&self) -> crate::checkpoint::CheckpointData {
         crate::checkpoint::CheckpointData {
             grid: self.grid,
@@ -207,7 +390,7 @@ impl Simulation {
             step: self.step,
             next_id: self.next_id,
             expected_id_sum: self.expected_id_sum,
-            particles: self.particles.clone(),
+            particles: self.store.to_particles(),
             pending_events: self.events[self.next_event..].to_vec(),
         }
     }
@@ -215,16 +398,22 @@ impl Simulation {
     /// Resume from a checkpoint; the continuation is bit-exact with an
     /// uninterrupted run.
     pub fn restore(cp: crate::checkpoint::CheckpointData, mode: SweepMode) -> Simulation {
+        let store = if mode.is_soa() {
+            ParticleStore::Soa(ParticleBatch::from_particles(&cp.particles))
+        } else {
+            ParticleStore::Aos(cp.particles)
+        };
         Simulation {
             grid: cp.grid,
             consts: cp.consts,
-            particles: cp.particles,
+            store,
             events: cp.pending_events,
             next_event: 0,
             step: cp.step,
             next_id: cp.next_id,
             expected_id_sum: cp.expected_id_sum,
             mode,
+            chunk_size: DEFAULT_CHUNK,
         }
     }
 }
@@ -263,6 +452,54 @@ mod tests {
         a.run(50);
         b.run(50);
         assert_eq!(a.particles(), b.particles());
+    }
+
+    #[test]
+    fn all_sweep_modes_match_serial_bitwise() {
+        let region = Region { x0: 0, x1: 8, y0: 0, y1: 8 };
+        let s = setup(400, Distribution::Geometric { r: 0.9 })
+            .with_event(Event::inject(30, region, 10, 0, 1, 1))
+            .with_event(Event::remove(25, Region::whole(32), 25));
+        let mut reference = Simulation::with_mode(s.clone(), SweepMode::Serial);
+        reference.run(40);
+        for mode in [SweepMode::Parallel, SweepMode::Soa, SweepMode::SoaChunked] {
+            let mut sim = Simulation::with_mode(s.clone(), mode).with_chunk_size(37);
+            sim.run(40);
+            assert_eq!(
+                reference.particles(),
+                sim.particles(),
+                "{mode:?} diverged from serial (same order, same bits)"
+            );
+            assert_eq!(reference.expected_id_sum(), sim.expected_id_sum());
+            assert!(sim.verify().passed());
+        }
+    }
+
+    #[test]
+    fn soa_store_is_native_no_aos_roundtrip() {
+        let s = setup(100, Distribution::Uniform);
+        let mut sim = Simulation::with_mode(s, SweepMode::Soa);
+        assert!(sim.batch().is_some(), "SoA mode exposes the batch");
+        sim.run(5);
+        assert_eq!(sim.batch().unwrap().len(), 100);
+        let mut h = Vec::new();
+        sim.column_histogram_into(&mut h);
+        assert_eq!(h.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn checkpoint_crosses_layouts_bit_exactly() {
+        // Checkpoint taken in an SoA-mode run restores into an AoS-mode
+        // run (and vice versa) with bit-identical continuation.
+        let s = setup(150, Distribution::Sinusoidal);
+        let mut soa = Simulation::with_mode(s.clone(), SweepMode::SoaChunked).with_chunk_size(16);
+        soa.run(20);
+        let cp = soa.checkpoint().encode();
+        let cp = crate::checkpoint::CheckpointData::decode(&cp).unwrap();
+        let mut aos = Simulation::restore(cp, SweepMode::Serial);
+        soa.run(20);
+        aos.run(20);
+        assert_eq!(soa.particles(), aos.particles());
     }
 
     #[test]
@@ -325,7 +562,7 @@ mod tests {
         // minor as a single particle miscalculation in a single time step."
         let mut sim = Simulation::new(setup(200, Distribution::Uniform));
         sim.run(19);
-        sim.particles_mut()[77].x += 1.0; // one particle, one cell, one step
+        sim.mutate_particle(77, |p| p.x += 1.0); // one particle, one cell, one step
         sim.run(1);
         let report = sim.verify();
         assert_eq!(report.position_failures, 1);
@@ -336,7 +573,7 @@ mod tests {
     fn failure_injection_lost_particle_detected_by_checksum() {
         let mut sim = Simulation::new(setup(50, Distribution::Uniform));
         sim.run(10);
-        sim.particles_mut().pop();
+        sim.pop_particle();
         let report = sim.verify();
         assert!(!report.passed());
         assert_eq!(report.position_failures, 0, "positions fine, checksum not");
@@ -347,8 +584,8 @@ mod tests {
     fn failure_injection_duplicated_particle_detected() {
         let mut sim = Simulation::new(setup(50, Distribution::Uniform));
         sim.run(10);
-        let dup = sim.particles()[0];
-        sim.particles_mut().push(dup);
+        let dup = sim.particle_at(0);
+        sim.push_particle(dup);
         let report = sim.verify();
         assert!(!report.passed());
     }

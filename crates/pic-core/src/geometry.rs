@@ -47,7 +47,7 @@ impl Grid {
         if ncells < 2 {
             return Err(GridError::TooSmall(ncells));
         }
-        if ncells % 2 != 0 {
+        if !ncells.is_multiple_of(2) {
             return Err(GridError::OddSize(ncells));
         }
         Ok(Grid { ncells })

@@ -18,8 +18,7 @@ use crate::dist::{largest_remainder, Distribution};
 use crate::events::{Event, EventKind, Region};
 use crate::geometry::{Grid, GridError};
 use crate::particle::Particle;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use std::fmt;
 
 /// Which axis the distribution's profile applies to.
@@ -250,14 +249,14 @@ pub(crate) struct Placer {
     grid: Grid,
     consts: SimConstants,
     spread: RowSpread,
-    rng: Option<StdRng>,
+    rng: Option<SplitMix64>,
 }
 
 impl Placer {
     pub(crate) fn new(grid: Grid, consts: SimConstants, spread: RowSpread) -> Placer {
         let rng = match spread {
             RowSpread::Even => None,
-            RowSpread::Random { seed } => Some(StdRng::seed_from_u64(seed)),
+            RowSpread::Random { seed } => Some(SplitMix64::seed_from_u64(seed)),
         };
         Placer { grid, consts, spread, rng }
     }
@@ -394,6 +393,9 @@ impl Placer {
 /// Materialize an injection event into concrete particles (deterministic
 /// given `next_id`); used by the serial engine and, rank-locally, by the
 /// parallel implementations.
+// The argument list mirrors EventKind::Inject field-for-field; bundling
+// them into a struct would just duplicate that type.
+#[allow(clippy::too_many_arguments)]
 pub fn build_injection(
     grid: Grid,
     consts: SimConstants,

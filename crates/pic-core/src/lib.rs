@@ -47,6 +47,8 @@ pub mod geometry;
 pub mod init;
 pub mod motion;
 pub mod particle;
+pub mod pool;
+pub mod rng;
 pub mod soa;
 pub mod trajectory;
 pub mod verify;

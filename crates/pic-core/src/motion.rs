@@ -49,13 +49,19 @@ pub fn advance_all(grid: &Grid, consts: &SimConstants, particles: &mut [Particle
 }
 
 /// Advance every particle in a slice by one step using all available cores
-/// (shared-memory parallel path; results identical to [`advance_all`]
-/// because particles are independent within a step).
+/// (shared-memory parallel path; results bit-identical to [`advance_all`]
+/// because particles are independent within a step and every index runs
+/// the same instruction sequence).
 pub fn advance_all_parallel(grid: &Grid, consts: &SimConstants, particles: &mut [Particle]) {
-    use rayon::prelude::*;
-    particles
-        .par_iter_mut()
-        .for_each(|p| advance_particle(grid, consts, p));
+    let len = particles.len();
+    let base = crate::pool::SyncMutPtr::new(particles.as_mut_ptr());
+    crate::pool::global().run_chunked(len, crate::pool::DEFAULT_CHUNK, &|start, end| {
+        // Chunks are disjoint, so each subslice is exclusively owned here.
+        let span = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+        for p in span {
+            advance_particle(grid, consts, p);
+        }
+    });
 }
 
 #[cfg(test)]

@@ -115,7 +115,7 @@ impl Particle {
     /// Returns `None` if the buffer length is not a multiple of the record
     /// size or any record is malformed.
     pub fn decode_all(buf: &[u8]) -> Option<Vec<Particle>> {
-        if buf.len() % Self::WIRE_SIZE != 0 {
+        if !buf.len().is_multiple_of(Self::WIRE_SIZE) {
             return None;
         }
         buf.chunks_exact(Self::WIRE_SIZE).map(Particle::decode).collect()

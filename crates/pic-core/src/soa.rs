@@ -11,6 +11,32 @@
 use crate::charge::{total_force, SimConstants};
 use crate::geometry::Grid;
 use crate::particle::Particle;
+use crate::pool::{self, SyncMutPtr};
+
+/// The one sweep kernel every SoA path runs: eqs. 1–2 over a contiguous
+/// span of the arrays. Serial, parallel, and chunked sweeps all reduce to
+/// calls of this function over disjoint spans, which is what makes their
+/// results bit-identical by construction — per particle, the instruction
+/// sequence is the same no matter how the index space was partitioned.
+#[inline(always)]
+fn advance_span(
+    grid: &Grid,
+    consts: &SimConstants,
+    x: &mut [f64],
+    y: &mut [f64],
+    vx: &mut [f64],
+    vy: &mut [f64],
+    q: &[f64],
+) {
+    let dt = consts.dt;
+    for i in 0..x.len() {
+        let (ax, ay) = total_force(grid, consts, x[i], y[i], q[i]);
+        x[i] = grid.wrap_coord(x[i] + (vx[i] + 0.5 * ax * dt) * dt);
+        y[i] = grid.wrap_coord(y[i] + (vy[i] + 0.5 * ay * dt) * dt);
+        vx[i] += ax * dt;
+        vy[i] += ay * dt;
+    }
+}
 
 /// A batch of particles in structure-of-arrays layout.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -101,7 +127,7 @@ impl ParticleBatch {
     /// O(1) removal by swapping with the last element (order not
     /// preserved — fine for a particle bag). Returns the removed particle.
     pub fn swap_remove(&mut self, i: usize) -> Particle {
-        let p = Particle {
+        Particle {
             id: self.id.swap_remove(i),
             x: self.x.swap_remove(i),
             y: self.y.swap_remove(i),
@@ -113,8 +139,94 @@ impl ParticleBatch {
             k: self.k.swap_remove(i),
             m: self.m.swap_remove(i),
             born_at: self.born_at.swap_remove(i),
-        };
-        p
+        }
+    }
+
+    /// Overwrite element `i` from an AoS record (failure-injection and
+    /// test harness support).
+    pub fn set(&mut self, i: usize, p: Particle) {
+        self.id[i] = p.id;
+        self.x[i] = p.x;
+        self.y[i] = p.y;
+        self.vx[i] = p.vx;
+        self.vy[i] = p.vy;
+        self.q[i] = p.q;
+        self.x0[i] = p.x0;
+        self.y0[i] = p.y0;
+        self.k[i] = p.k;
+        self.m[i] = p.m;
+        self.born_at[i] = p.born_at;
+    }
+
+    /// Remove and return the last particle.
+    pub fn pop(&mut self) -> Option<Particle> {
+        if self.is_empty() {
+            return None;
+        }
+        Some(self.swap_remove(self.len() - 1))
+    }
+
+    /// Remove every particle whose id is in `doomed`, preserving the order
+    /// of the survivors (the SoA counterpart of `Vec::retain`, used by
+    /// removal events so an SoA-stored run keeps the same particle order
+    /// as an AoS-stored one). Returns the removed particles in their
+    /// original order.
+    pub fn remove_ids(&mut self, doomed: &std::collections::HashSet<u64>) -> Vec<Particle> {
+        let n = self.len();
+        let mut removed = Vec::with_capacity(doomed.len());
+        let mut w = 0;
+        for r in 0..n {
+            if doomed.contains(&self.id[r]) {
+                removed.push(self.get(r));
+            } else {
+                if w != r {
+                    self.id[w] = self.id[r];
+                    self.x[w] = self.x[r];
+                    self.y[w] = self.y[r];
+                    self.vx[w] = self.vx[r];
+                    self.vy[w] = self.vy[r];
+                    self.q[w] = self.q[r];
+                    self.x0[w] = self.x0[r];
+                    self.y0[w] = self.y0[r];
+                    self.k[w] = self.k[r];
+                    self.m[w] = self.m[r];
+                    self.born_at[w] = self.born_at[r];
+                }
+                w += 1;
+            }
+        }
+        self.truncate(w);
+        removed
+    }
+
+    /// Apply a removal event directly on the SoA store: remove up to
+    /// `count` particles inside `region`, lowest ids first — the same
+    /// deterministic rule as [`crate::init::apply_removal`] on AoS, so
+    /// both layouts shed exactly the same particles.
+    pub fn remove_in_region(&mut self, region: &crate::events::Region, count: u64) -> Vec<Particle> {
+        let mut candidate_ids: Vec<u64> = (0..self.len())
+            .filter(|&i| region.contains_point(self.x[i], self.y[i]))
+            .map(|i| self.id[i])
+            .collect();
+        candidate_ids.sort_unstable();
+        candidate_ids.truncate(count as usize);
+        let doomed: std::collections::HashSet<u64> = candidate_ids.into_iter().collect();
+        self.remove_ids(&doomed)
+    }
+
+    /// Shorten the batch to `len` particles.
+    pub fn truncate(&mut self, len: usize) {
+        self.id.truncate(len);
+        self.x.truncate(len);
+        self.y.truncate(len);
+        self.vx.truncate(len);
+        self.vy.truncate(len);
+        self.q.truncate(len);
+        self.x0.truncate(len);
+        self.y0.truncate(len);
+        self.k.truncate(len);
+        self.m.truncate(len);
+        self.born_at.truncate(len);
     }
 
     pub fn to_particles(&self) -> Vec<Particle> {
@@ -124,53 +236,82 @@ impl ParticleBatch {
     /// Advance every particle one step — same math, same order as the AoS
     /// sweep, so the resulting state is bit-identical.
     pub fn advance_all(&mut self, grid: &Grid, consts: &SimConstants) {
-        for i in 0..self.len() {
-            let (ax, ay) = total_force(grid, consts, self.x[i], self.y[i], self.q[i]);
-            // Inline the eqs. 1–2 update on the arrays.
-            let dt = consts.dt;
-            self.x[i] = grid.wrap_coord(self.x[i] + (self.vx[i] + 0.5 * ax * dt) * dt);
-            self.y[i] = grid.wrap_coord(self.y[i] + (self.vy[i] + 0.5 * ay * dt) * dt);
-            self.vx[i] += ax * dt;
-            self.vy[i] += ay * dt;
-        }
+        let n = self.len();
+        advance_span(
+            grid,
+            consts,
+            &mut self.x[..n],
+            &mut self.y[..n],
+            &mut self.vx[..n],
+            &mut self.vy[..n],
+            &self.q[..n],
+        );
     }
 
-    /// Rayon-parallel sweep; bit-identical to [`ParticleBatch::advance_all`].
+    /// Pool-parallel sweep with the default chunk size; bit-identical to
+    /// [`ParticleBatch::advance_all`].
     pub fn advance_all_parallel(&mut self, grid: &Grid, consts: &SimConstants) {
-        use rayon::prelude::*;
-        let q = &self.q;
-        self.x
-            .par_iter_mut()
-            .zip(self.y.par_iter_mut())
-            .zip(self.vx.par_iter_mut())
-            .zip(self.vy.par_iter_mut())
-            .zip(q.par_iter())
-            .for_each(|((((x, y), vx), vy), q)| {
-                let (ax, ay) = total_force(grid, consts, *x, *y, *q);
-                let dt = consts.dt;
-                *x = grid.wrap_coord(*x + (*vx + 0.5 * ax * dt) * dt);
-                *y = grid.wrap_coord(*y + (*vy + 0.5 * ay * dt) * dt);
-                *vx += ax * dt;
-                *vy += ay * dt;
-            });
+        self.advance_all_chunked(grid, consts, pool::DEFAULT_CHUNK);
+    }
+
+    /// Deterministic chunked parallel sweep: the index space is split into
+    /// fixed-size chunks claimed dynamically by the global sweep pool.
+    /// Chunk scheduling affects only *where* a particle is processed,
+    /// never *how* — every path funnels into [`advance_span`] — so the
+    /// result is bit-identical to the serial sweep for any `chunk_size`.
+    pub fn advance_all_chunked(&mut self, grid: &Grid, consts: &SimConstants, chunk_size: usize) {
+        let n = self.len();
+        let xp = SyncMutPtr::new(self.x.as_mut_ptr());
+        let yp = SyncMutPtr::new(self.y.as_mut_ptr());
+        let vxp = SyncMutPtr::new(self.vx.as_mut_ptr());
+        let vyp = SyncMutPtr::new(self.vy.as_mut_ptr());
+        let q = &self.q[..n];
+        pool::global().run_chunked(n, chunk_size, &|start, end| {
+            // Chunks are disjoint, so each span is exclusively owned here.
+            let len = end - start;
+            let (x, y, vx, vy) = unsafe {
+                (
+                    std::slice::from_raw_parts_mut(xp.get().add(start), len),
+                    std::slice::from_raw_parts_mut(yp.get().add(start), len),
+                    std::slice::from_raw_parts_mut(vxp.get().add(start), len),
+                    std::slice::from_raw_parts_mut(vyp.get().add(start), len),
+                )
+            };
+            advance_span(grid, consts, x, y, vx, vy, &q[start..end]);
+        });
     }
 
     /// Remove and return every particle for which `leaves` is true (used
     /// by exchange phases). Order of the survivors is not preserved.
+    ///
+    /// After a `swap_remove` the element swapped into position `i` has not
+    /// been tested yet, so the loop deliberately does **not** advance `i`
+    /// on removal — the regression test `drain_retests_swapped_in_leaver`
+    /// pins this down.
     pub fn drain_leavers<F>(&mut self, leaves: F) -> Vec<Particle>
     where
         F: Fn(f64, f64) -> bool,
     {
-        let mut out = Vec::new();
+        // Steady state has few leavers (border cells only), but reserving
+        // a small slab up front keeps the common case to at most one
+        // allocation instead of the doubling ramp from empty.
+        let mut out = Vec::with_capacity((self.len() / 8).clamp(4, 1024));
         let mut i = 0;
         while i < self.len() {
-            if leaves(self.x[i], self.y[i]) {
+            if self.leaves_at(i, &leaves) {
                 out.push(self.swap_remove(i));
             } else {
                 i += 1;
             }
         }
         out
+    }
+
+    /// Predicate application for [`ParticleBatch::drain_leavers`], kept on
+    /// the inline path so the closure call vanishes into the scan loop.
+    #[inline(always)]
+    fn leaves_at<F: Fn(f64, f64) -> bool>(&self, i: usize, leaves: &F) -> bool {
+        leaves(self.x[i], self.y[i])
     }
 
     /// Sum of ids (checksum contribution).
@@ -278,6 +419,45 @@ mod tests {
         assert!(gone.iter().all(|p| p.x < half));
         assert!((0..soa.len()).all(|i| soa.x[i] >= half));
         assert_eq!(gone.len() + soa.len(), 99);
+    }
+
+    #[test]
+    fn drain_retests_swapped_in_leaver() {
+        // Regression for the swap_remove scan: when position i is drained,
+        // the element swapped in from the back may itself be a leaver and
+        // must be re-tested at the same index, not skipped. Lay out the
+        // batch so every removal at i swaps *another* leaver into i.
+        let (_, ps) = population(8);
+        let mut soa = ParticleBatch::new();
+        // x pattern: leaver, stayer, stayer, ..., then leavers at the back
+        // that will be swapped into the holes.
+        let xs = [1.0, 10.0, 10.0, 10.0, 2.0, 3.0, 4.0, 0.5];
+        for (p, &x) in ps.iter().zip(&xs) {
+            let mut p = *p;
+            p.x = x;
+            soa.push(p);
+        }
+        let gone = soa.drain_leavers(|x, _| x < 5.0);
+        assert_eq!(gone.len(), 5, "all five leavers removed: {gone:?}");
+        assert_eq!(soa.len(), 3);
+        assert!((0..soa.len()).all(|i| soa.x[i] >= 5.0), "{:?}", soa.x);
+        assert!(gone.iter().all(|p| p.x < 5.0));
+    }
+
+    #[test]
+    fn chunked_sweep_bitwise_matches_serial_for_all_chunk_sizes() {
+        let (grid, ps) = population(631);
+        let consts = SimConstants::CANONICAL;
+        let n = ps.len();
+        for chunk in [1, 7, 64, n, n + 100] {
+            let mut a = ParticleBatch::from_particles(&ps);
+            let mut b = a.clone();
+            for _ in 0..8 {
+                a.advance_all(&grid, &consts);
+                b.advance_all_chunked(&grid, &consts, chunk);
+            }
+            assert_eq!(a, b, "chunk={chunk} diverged from serial");
+        }
     }
 
     #[test]

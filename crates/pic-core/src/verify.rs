@@ -51,7 +51,7 @@ pub fn expected_velocity(
     steps: u64,
 ) -> (f64, f64) {
     let vy = p.m as f64 * consts.h / consts.dt;
-    let vx = if steps % 2 == 0 {
+    let vx = if steps.is_multiple_of(2) {
         0.0
     } else {
         2.0 * p.cells_per_step_x(grid) as f64 * consts.h / consts.dt

@@ -17,7 +17,7 @@ pub fn factor_2d(p: usize) -> (usize, usize) {
     let mut best = (p, 1);
     let mut d = 1usize;
     while d * d <= p {
-        if p % d == 0 {
+        if p.is_multiple_of(d) {
             best = (p / d, d);
         }
         d += 1;

@@ -12,8 +12,7 @@
 
 use crate::decomp::Decomp2d;
 use crate::runner::{ParConfig, ParOutcome, RankState};
-use pic_comm::collective::allreduce_vec_u64;
-use pic_comm::comm::{Communicator, ReduceOp};
+use pic_comm::comm::Communicator;
 
 /// Tuning knobs of the diffusion balancer (the paper's three interfering
 /// parameters: frequency, threshold, border width — "should be co-tuned").
@@ -123,13 +122,10 @@ pub fn run_diffusion_mode(
 fn lb_step(comm: &Communicator, st: &mut RankState, params: DiffusionParams, mode: DiffusionMode) {
     let mut changed = false;
     if matches!(mode, DiffusionMode::XOnly | DiffusionMode::TwoPhase) {
-        let px = st.decomp.px;
-        let (cx, _) = st.decomp.coords_of(st.rank);
         // Aggregate per-processor-column counts with one vector allreduce:
-        // each rank contributes its local count to its column's slot.
-        let mut mine = vec![0u64; px];
-        mine[cx] = st.particles.len() as u64;
-        let col_counts = allreduce_vec_u64(comm, &mine, ReduceOp::Sum);
+        // each rank contributes its local count to its column's slot
+        // (contribution staged in the rank's reused scratch buffer).
+        let col_counts = st.aggregate_axis_counts(comm, true);
         let new_cuts = diffuse_xcuts(
             &st.decomp.xcuts,
             &col_counts,
@@ -143,11 +139,7 @@ fn lb_step(comm: &Communicator, st: &mut RankState, params: DiffusionParams, mod
         }
     }
     if matches!(mode, DiffusionMode::YOnly | DiffusionMode::TwoPhase) {
-        let py = st.decomp.py;
-        let (_, cy) = st.decomp.coords_of(st.rank);
-        let mut mine = vec![0u64; py];
-        mine[cy] = st.particles.len() as u64;
-        let row_counts = allreduce_vec_u64(comm, &mine, ReduceOp::Sum);
+        let row_counts = st.aggregate_axis_counts(comm, false);
         // The decision procedure is axis-agnostic: cuts + counts in, cuts
         // out.
         let new_cuts = diffuse_xcuts(
@@ -169,8 +161,8 @@ fn lb_step(comm: &Communicator, st: &mut RankState, params: DiffusionParams, mod
         st.rebuild_charges();
     }
     // Rehome particles under the new ownership map (border-cell residents
-    // migrate to the adjacent ranks).
-    crate::exchange::rehome_particles(comm, &st.decomp, &st.grid, st.rank, &mut st.particles);
+    // migrate to the adjacent ranks), through the rank's reused buffers.
+    st.rehome(comm);
 }
 
 #[cfg(test)]

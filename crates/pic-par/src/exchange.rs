@@ -14,6 +14,26 @@ use pic_comm::comm::Communicator;
 use pic_core::geometry::Grid;
 use pic_core::particle::Particle;
 
+/// Reusable scratch for [`route_particles_with`]: the per-destination
+/// staging buckets and the kept-particle buffer. Holding one of these in
+/// per-rank state makes the steady-state exchange loop allocation-free on
+/// the staging side — buckets are `clear()`ed, not dropped, so their
+/// capacity survives across steps. (The wire payloads handed to
+/// [`alltoallv`] still allocate: the threaded-MPI substrate transfers
+/// message ownership through channels, exactly like an MPI send buffer
+/// handed to the transport.)
+#[derive(Debug, Default)]
+pub struct ExchangeBuffers {
+    outgoing: Vec<Vec<Particle>>,
+    kept: Vec<Particle>,
+}
+
+impl ExchangeBuffers {
+    pub fn new() -> ExchangeBuffers {
+        ExchangeBuffers::default()
+    }
+}
+
 /// Route every particle whose `owner(particle)` is not `my_rank` to that
 /// owner (a communicator rank). Appends the arrivals to `particles`.
 /// Returns `(sent, received)` particle counts.
@@ -30,23 +50,43 @@ pub fn route_particles<F>(
 where
     F: Fn(&Particle) -> usize,
 {
+    let mut bufs = ExchangeBuffers::new();
+    route_particles_with(comm, my_rank, owner, particles, &mut bufs)
+}
+
+/// [`route_particles`] with caller-owned scratch buffers (see
+/// [`ExchangeBuffers`]). The hot path for per-step rehoming.
+pub fn route_particles_with<F>(
+    comm: &Communicator,
+    my_rank: usize,
+    owner: F,
+    particles: &mut Vec<Particle>,
+    bufs: &mut ExchangeBuffers,
+) -> (usize, usize)
+where
+    F: Fn(&Particle) -> usize,
+{
     debug_assert_eq!(comm.rank(), my_rank);
-    let mut outgoing: Vec<Vec<Particle>> = vec![Vec::new(); comm.size()];
-    let mut kept = Vec::with_capacity(particles.len());
+    bufs.outgoing.resize_with(comm.size(), Vec::new);
+    bufs.outgoing.iter_mut().for_each(Vec::clear);
+    bufs.kept.clear();
+    bufs.kept.reserve(particles.len());
     let mut sent = 0usize;
     for p in particles.drain(..) {
         let dst = owner(&p);
         debug_assert!(dst < comm.size(), "owner {dst} out of range");
         if dst == my_rank {
-            kept.push(p);
+            bufs.kept.push(p);
         } else {
             sent += 1;
-            outgoing[dst].push(p);
+            bufs.outgoing[dst].push(p);
         }
     }
-    *particles = kept;
+    std::mem::swap(particles, &mut bufs.kept);
 
-    let payloads: Vec<Vec<u8>> = outgoing.iter().map(|v| Particle::encode_all(v)).collect();
+    // Wire payloads are moved into the transport (channel ownership
+    // transfer), so they are built fresh per call by design.
+    let payloads: Vec<Vec<u8>> = bufs.outgoing.iter().map(|v| Particle::encode_all(v)).collect();
     let incoming = alltoallv(comm, payloads);
     let mut received = 0usize;
     for (src, buf) in incoming.into_iter().enumerate() {
@@ -69,8 +109,21 @@ pub fn rehome_particles(
     my_rank: usize,
     particles: &mut Vec<Particle>,
 ) -> (usize, usize) {
+    let mut bufs = ExchangeBuffers::new();
+    rehome_particles_with(comm, decomp, grid, my_rank, particles, &mut bufs)
+}
+
+/// [`rehome_particles`] with caller-owned scratch buffers.
+pub fn rehome_particles_with(
+    comm: &Communicator,
+    decomp: &Decomp2d,
+    grid: &Grid,
+    my_rank: usize,
+    particles: &mut Vec<Particle>,
+    bufs: &mut ExchangeBuffers,
+) -> (usize, usize) {
     debug_assert_eq!(comm.size(), decomp.ranks());
-    route_particles(
+    route_particles_with(
         comm,
         my_rank,
         |p| {
@@ -78,6 +131,7 @@ pub fn rehome_particles(
             decomp.owner_of_cell(col, row)
         },
         particles,
+        bufs,
     )
 }
 
@@ -149,6 +203,39 @@ mod tests {
         let idsum: u128 = totals.iter().map(|t| t.1).sum();
         assert_eq!(total, 200);
         assert_eq!(idsum, 200u128 * 201 / 2, "no particle lost or duplicated");
+    }
+
+    #[test]
+    fn reused_buffers_match_fresh_allocation_routing() {
+        // Route the same mis-assigned population twice per rank through one
+        // ExchangeBuffers — the second pass (warm buffers) must behave
+        // exactly like the allocating wrapper.
+        let (grid, all) = setup(240);
+        let decomp = Decomp2d::uniform(16, 4);
+        let totals = run_threads(4, |comm| {
+            let rank = comm.rank();
+            let mut bufs = ExchangeBuffers::new();
+            let mut fresh: Vec<Particle> = all
+                .iter()
+                .filter(|p| (p.id as usize) % 4 == rank)
+                .copied()
+                .collect();
+            let mut warm = fresh.clone();
+            rehome_particles(&comm, &decomp, &grid, rank, &mut fresh);
+            // First pass warms the buckets, second pass reuses them.
+            rehome_particles_with(&comm, &decomp, &grid, rank, &mut warm, &mut bufs);
+            let (sent, received) =
+                rehome_particles_with(&comm, &decomp, &grid, rank, &mut warm, &mut bufs);
+            assert_eq!(sent, 0, "second pass must already be settled");
+            assert_eq!(received, 0);
+            let mut a: Vec<u64> = fresh.iter().map(|p| p.id).collect();
+            let mut b: Vec<u64> = warm.iter().map(|p| p.id).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "warm-buffer routing must match fresh routing");
+            warm.len()
+        });
+        assert_eq!(totals.iter().sum::<usize>(), 240);
     }
 
     #[test]

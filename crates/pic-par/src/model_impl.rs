@@ -124,6 +124,9 @@ pub struct ModelOutcome {
 
 /// Per-step per-core compute and communication charges for a Cartesian
 /// decomposition with identity rank→core placement.
+// Takes the full modeled-run context piecewise so callers can keep the
+// output buffers borrowed separately from the config.
+#[allow(clippy::too_many_arguments)]
 fn charge_step(
     decomp: &Decomp2d,
     load: &ColumnLoadModel,
@@ -236,6 +239,9 @@ pub fn model_diffusion(cfg: &ModelConfig, params: DiffusionParams) -> ModelOutco
     let mut bsp = BspSimulator::new(cfg.machine, cfg.cost, cfg.cores);
     let mut compute = vec![0.0; cfg.cores];
     let mut comm = vec![0.0; cfg.cores];
+    // Reused across LB invocations: per-processor-column counts and the
+    // proposed cuts never reallocate in steady state.
+    let mut col_counts: Vec<u64> = Vec::with_capacity(decomp.px);
     let px = decomp.px;
     let py = decomp.py;
     for s in 1..=cfg.steps {
@@ -247,12 +253,11 @@ pub fn model_diffusion(cfg: &ModelConfig, params: DiffusionParams) -> ModelOutco
         if s % params.interval as u64 == 0 && s < cfg.steps {
             // Aggregate per-processor-column counts (the two reductions of
             // the paper's two-phase scheme collapse to one here).
-            let col_counts: Vec<u64> = (0..px)
-                .map(|cx| {
-                    let (a, b) = decomp.col_range(cx);
-                    load.count_in_columns(a, b)
-                })
-                .collect();
+            col_counts.clear();
+            col_counts.extend((0..px).map(|cx| {
+                let (a, b) = decomp.col_range(cx);
+                load.count_in_columns(a, b)
+            }));
             let new_cuts = diffuse_xcuts(
                 &decomp.xcuts,
                 &col_counts,
@@ -263,8 +268,8 @@ pub fn model_diffusion(cfg: &ModelConfig, params: DiffusionParams) -> ModelOutco
             // Charge the LB phase: reduction + decision + migration.
             let mut max_migration_ns = 0.0f64;
             let mut total_bytes = 0.0f64;
-            for i in 1..px {
-                let (old, new) = (decomp.xcuts[i], new_cuts[i]);
+            let moved_cuts = decomp.xcuts.iter().zip(&new_cuts).enumerate().take(px).skip(1);
+            for (i, (&old, &new)) in moved_cuts {
                 if old == new {
                     continue;
                 }
@@ -325,7 +330,7 @@ pub fn model_diffusion_tuned(cfg: &ModelConfig) -> (ModelOutcome, DiffusionParam
                 border_w: w_per_step * interval as usize * (2 * cfg.k as usize + 1),
             };
             let out = model_diffusion(cfg, params);
-            if best.as_ref().map_or(true, |(b, _)| out.seconds < b.seconds) {
+            if best.as_ref().is_none_or(|(b, _)| out.seconds < b.seconds) {
                 best = Some((out, params));
             }
         }

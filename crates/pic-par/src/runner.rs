@@ -2,9 +2,10 @@
 //! event application, and distributed verification.
 
 use crate::decomp::Decomp2d;
-use crate::exchange::{local_slice, rehome_particles};
+use crate::exchange::{local_slice, rehome_particles_with, ExchangeBuffers};
 use pic_comm::collective::{
-    allgatherv, allreduce_f64, allreduce_u128, allreduce_u64, decode_u64s, encode_u64s,
+    allgatherv, allreduce_f64, allreduce_u128, allreduce_u64, allreduce_vec_u64, decode_u64s,
+    encode_u64s,
 };
 use pic_comm::comm::{Communicator, ReduceOp};
 use pic_core::charge::SimConstants;
@@ -61,6 +62,11 @@ pub struct RankState {
     /// applied deterministically everywhere.
     expected_id_sum: u128,
     next_id: u64,
+    /// Reused exchange staging buffers: the steady-state step loop routes
+    /// particles without reallocating the per-destination buckets.
+    bufs: ExchangeBuffers,
+    /// Reused per-axis count scratch for the diffusion balancer.
+    lb_scratch: Vec<u64>,
 }
 
 impl RankState {
@@ -83,6 +89,8 @@ impl RankState {
             next_event: 0,
             expected_id_sum: setup.initial_id_sum(),
             next_id: setup.next_id,
+            bufs: ExchangeBuffers::new(),
+            lb_scratch: Vec::new(),
         }
     }
 
@@ -162,8 +170,41 @@ impl RankState {
             let (ax, ay) = self.charges.total_force(&self.grid, &self.consts, p.x, p.y, p.q);
             advance_with_acceleration(&self.grid, &self.consts, p, ax, ay);
         }
-        rehome_particles(comm, &self.decomp, &self.grid, self.rank, &mut self.particles);
+        self.rehome(comm);
         self.step += 1;
+    }
+
+    /// Route every mis-homed particle to its owner, reusing this rank's
+    /// staging buffers (steady-state: no staging allocation).
+    pub fn rehome(&mut self, comm: &Communicator) -> (usize, usize) {
+        rehome_particles_with(
+            comm,
+            &self.decomp,
+            &self.grid,
+            self.rank,
+            &mut self.particles,
+            &mut self.bufs,
+        )
+    }
+
+    /// Collectively aggregate per-processor-column (`along_x`) or per-row
+    /// particle counts for the diffusion balancer. This rank's contribution
+    /// vector lives in a reused scratch buffer; the reduced result is
+    /// allocated by the collective (message ownership crosses the
+    /// transport, as with any MPI receive buffer).
+    pub fn aggregate_axis_counts(&mut self, comm: &Communicator, along_x: bool) -> Vec<u64> {
+        let (slots, idx) = {
+            let (cx, cy) = self.decomp.coords_of(self.rank);
+            if along_x {
+                (self.decomp.px, cx)
+            } else {
+                (self.decomp.py, cy)
+            }
+        };
+        self.lb_scratch.clear();
+        self.lb_scratch.resize(slots, 0);
+        self.lb_scratch[idx] = self.particles.len() as u64;
+        allreduce_vec_u64(comm, &self.lb_scratch, ReduceOp::Sum)
     }
 
     /// Distributed verification: local analytic check, global reduction of

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerate the sweep-engine benchmark baseline.
+#
+#   scripts/bench.sh            full run (1e4..1e6 particles), writes
+#                               BENCH_sweep.json at the repository root
+#   scripts/bench.sh --quick    CI smoke run (drops the 1e6 tier)
+#
+# Interpretation notes live in results/sweep_baseline.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p pic-bench --bin bench_sweep
+./target/release/bench_sweep "$@"

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification (see ROADMAP.md) plus the static gates:
+#   build (release) -> tests -> clippy (deny warnings) -> benches compile.
+# Run from anywhere; operates on the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo bench --no-run"
+cargo bench --no-run
+
+echo "verify: OK"

@@ -1,0 +1,287 @@
+//! Minimal, offline stand-in for the `criterion` benchmarking API used by
+//! this workspace (see `shims/README.md`).
+//!
+//! Measurement model: each benchmark routine is warmed up briefly, then
+//! timed over a fixed number of batches; the reported figure is the median
+//! batch time divided by iterations per batch. No statistical analysis,
+//! plots, or saved baselines — output is one text line per benchmark.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-exported opaque-value barrier, same contract as the real crate.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; measurement here is identical for
+/// all variants (setup is always excluded from timing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Declared throughput, used to print a per-element rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `BenchmarkId::new("name", parameter)`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; `iter*` methods run and time the routine.
+pub struct Bencher<'a> {
+    /// Median nanoseconds per iteration, recorded for the caller.
+    result_ns: &'a mut f64,
+    batches: usize,
+    warmup: Duration,
+}
+
+impl<'a> Bencher<'a> {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and discover a batch size that takes a measurable time.
+        let mut iters_per_batch: u64 = 1;
+        let warmup_deadline = Instant::now() + self.warmup;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if Instant::now() >= warmup_deadline {
+                break;
+            }
+            if dt < Duration::from_millis(1) && iters_per_batch < 1 << 20 {
+                iters_per_batch *= 2;
+            }
+        }
+
+        let mut samples = Vec::with_capacity(self.batches);
+        for _ in 0..self.batches {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(routine());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / iters_per_batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        *self.result_ns = samples[samples.len() / 2];
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Setup runs outside the timed region, once per iteration.
+        let warmup_deadline = Instant::now() + self.warmup;
+        while Instant::now() < warmup_deadline {
+            let input = setup();
+            black_box(routine(input));
+        }
+
+        let mut samples = Vec::with_capacity(self.batches);
+        for _ in 0..self.batches {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            samples.push(t0.elapsed().as_nanos() as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        *self.result_ns = samples[samples.len() / 2];
+    }
+}
+
+/// Top-level driver; groups print their measurements as they finish.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_one("", name, sample_size, None, f);
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.to_string(), self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.to_string(), self.sample_size, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(
+    group: &str,
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut result_ns = f64::NAN;
+    let mut bencher = Bencher {
+        result_ns: &mut result_ns,
+        batches: sample_size,
+        warmup: Duration::from_millis(150),
+    };
+    f(&mut bencher);
+    let full = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    if result_ns.is_nan() {
+        println!("{full:<48} (no measurement)");
+        return;
+    }
+    match throughput {
+        Some(Throughput::Elements(n)) if n > 0 => {
+            println!(
+                "{full:<48} {:>12.1} ns/iter  {:>10.2} ns/elem",
+                result_ns,
+                result_ns / n as f64
+            );
+        }
+        Some(Throughput::Bytes(n)) if n > 0 => {
+            let gib_s = n as f64 / result_ns; // bytes/ns == GB/s
+            println!("{full:<48} {:>12.1} ns/iter  {:>10.2} GB/s", result_ns, gib_s);
+        }
+        _ => println!("{full:<48} {:>12.1} ns/iter", result_ns),
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_number() {
+        let mut ns = f64::NAN;
+        let mut b = Bencher {
+            result_ns: &mut ns,
+            batches: 3,
+            warmup: Duration::from_millis(1),
+        };
+        b.iter(|| black_box(3u64) * 7);
+        assert!(ns.is_finite() && ns >= 0.0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut ns = f64::NAN;
+        let mut b = Bencher {
+            result_ns: &mut ns,
+            batches: 3,
+            warmup: Duration::from_millis(1),
+        };
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(ns.is_finite());
+    }
+}

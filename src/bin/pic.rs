@@ -45,6 +45,12 @@ Implementation:
   --impl NAME         serial | baseline | diffusion | ampi (default serial)
   --ranks P           thread-ranks for the parallel implementations (default 4)
 
+Single-process engine (--impl serial):
+  --sweep MODE        serial | parallel | soa | soa-chunked : particle sweep
+                      strategy and memory layout (default serial; all modes
+                      are bit-identical)
+  --chunk N           chunk size for --sweep soa-chunked (default 4096)
+
 Diffusion balancer (--impl diffusion):
   --lb-interval F     steps between LB invocations (default 10)
   --tau T             count-difference threshold (default 0)
@@ -195,7 +201,15 @@ fn main() {
 
     let outcome: Option<ParOutcome> = match implementation.as_str() {
         "serial" => {
-            let mut sim = Simulation::new(setup);
+            let sweep = match args.value("--sweep").unwrap_or("serial") {
+                "serial" => SweepMode::Serial,
+                "parallel" => SweepMode::Parallel,
+                "soa" => SweepMode::Soa,
+                "soa-chunked" => SweepMode::SoaChunked,
+                other => bail(&format!("bad sweep mode: {other}")),
+            };
+            let chunk: usize = args.parse("--chunk", pic_prk::core::pool::DEFAULT_CHUNK);
+            let mut sim = Simulation::with_mode(setup, sweep).with_chunk_size(chunk);
             sim.run(steps);
             let report = sim.verify();
             summarize_serial(&report, sim.particle_count(), quiet);
