@@ -6,6 +6,7 @@
 //! harness here is for interactive `cargo bench sweep` comparisons.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pic_core::bin::BinnedStore;
 use pic_core::charge::SimConstants;
 use pic_core::dist::Distribution;
 use pic_core::geometry::Grid;
@@ -56,6 +57,13 @@ fn bench_sweep_modes(c: &mut Criterion) {
             b.iter_batched(
                 || batch.clone(),
                 |mut bt| bt.advance_all_chunked(&grid, &consts, DEFAULT_CHUNK),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("soa-binned", n), &n, |b, _| {
+            b.iter_batched(
+                || BinnedStore::new(&particles, &grid, 1),
+                |mut st| st.advance_all(&grid, &consts, DEFAULT_CHUNK),
                 criterion::BatchSize::LargeInput,
             )
         });

@@ -1,16 +1,25 @@
 //! Emit `BENCH_sweep.json`: wall-clock ns/particle/step for every sweep
-//! mode of the single-process engine, plus the chunk-size sensitivity of
-//! the chunked sweep.
+//! mode of the single-process engine, across a thread-count grid, plus
+//! the chunk-size sensitivity of the chunked sweep and the rebin-interval
+//! sensitivity of the binned sweep.
 //!
 //! ```text
-//! bench_sweep [--out PATH] [--quick]
+//! bench_sweep [--out PATH] [--quick] [--threads LIST]
 //! ```
 //!
-//! `--quick` drops the 1e6-particle tier (for CI smoke runs). The output
-//! is one JSON object with a record per (mode, n, chunk) configuration;
-//! `scripts/bench.sh` runs this from the repository root so the artifact
-//! lands next to the other `BENCH_*` files.
+//! `--quick` drops the 1e6-particle tier (for CI smoke runs).
+//! `--threads 1,2,4` selects the thread counts to scan (default
+//! `1,2,4,8`); the process pre-sizes the worker pool to the largest
+//! requested count (via `PIC_THREADS`) and then caps the active threads
+//! per measurement, so one process covers the whole scaling grid.
+//! Single-thread-by-construction modes (`aos-serial`, `soa-serial`) are
+//! measured once at 1 thread. The output is one JSON object with host
+//! metadata (core count, git commit, rustc version) and a record per
+//! (mode, n, threads, chunk, rebin) configuration; `scripts/bench.sh`
+//! runs this from the repository root so the artifact lands next to the
+//! other `BENCH_*` files.
 
+use pic_core::bin::DEFAULT_REBIN;
 use pic_core::dist::Distribution;
 use pic_core::engine::{Simulation, SweepMode};
 use pic_core::geometry::Grid;
@@ -27,18 +36,38 @@ fn mode_name(mode: SweepMode) -> &'static str {
         SweepMode::Parallel => "aos-parallel",
         SweepMode::Soa => "soa-serial",
         SweepMode::SoaChunked => "soa-chunked",
+        SweepMode::SoaBinned => "soa-binned",
     }
 }
 
-/// Measure one configuration: warm up (pool spawn, cache fill), then time
-/// `steps` steps and return ns per particle per step.
-fn time_mode(mode: SweepMode, chunk: usize, n: u64, steps: u32) -> f64 {
+/// Whether a mode's sweep goes through the worker pool (and therefore
+/// belongs in the thread-scaling grid).
+fn mode_is_pooled(mode: SweepMode) -> bool {
+    !matches!(mode, SweepMode::Serial | SweepMode::Soa)
+}
+
+#[derive(Clone, Copy)]
+struct Record {
+    mode: &'static str,
+    n: u64,
+    threads: usize,
+    chunk: usize,
+    rebin: u32,
+    steps: u32,
+    ns: f64,
+}
+
+/// Measure one configuration: warm up (pool spawn, cache fill, initial
+/// binning), then time `steps` steps and return ns per particle per step.
+fn time_mode(mode: SweepMode, chunk: usize, rebin: u32, n: u64, steps: u32) -> f64 {
     let grid = Grid::new(GRID).unwrap();
     let setup = InitConfig::new(grid, n, Distribution::PAPER_SKEW)
         .with_m(1)
         .build()
         .unwrap();
-    let mut sim = Simulation::with_mode(setup, mode).with_chunk_size(chunk);
+    let mut sim = Simulation::with_mode(setup, mode)
+        .with_chunk_size(chunk)
+        .with_rebin_interval(rebin);
     sim.run(3);
     let t = Instant::now();
     sim.run(steps);
@@ -56,6 +85,28 @@ fn steps_for(n: u64) -> u32 {
     }
 }
 
+fn run_record(mode: SweepMode, chunk: usize, rebin: u32, n: u64, threads: usize) -> Record {
+    let threads = pool::global().set_active_threads(threads);
+    let steps = steps_for(n);
+    let ns = time_mode(mode, chunk, rebin, n, steps);
+    eprintln!(
+        "{:>12} n={n:<9} threads={threads} chunk={chunk:<6} rebin={rebin:<3} \
+         {ns:.2} ns/particle/step",
+        mode_name(mode)
+    );
+    Record { mode: mode_name(mode), n, threads, chunk, rebin, steps, ns }
+}
+
+fn command_line(cmd: &str, args: &[&str]) -> String {
+    std::process::Command::new(cmd)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -64,6 +115,32 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+    let thread_counts: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("1,2,4,8")
+        .split(',')
+        .map(|t| t.trim().parse().expect("bad --threads entry"))
+        .collect();
+    assert!(!thread_counts.is_empty(), "--threads needs at least one count");
+
+    // Pre-size the pool to the largest requested count before first use;
+    // individual measurements then cap the active threads. On hosts with
+    // fewer cores this oversubscribes deliberately (the scaling section in
+    // results/ is where the numbers are interpreted).
+    let max_threads = *thread_counts.iter().max().unwrap();
+    if std::env::var("PIC_THREADS").is_err() {
+        std::env::set_var("PIC_THREADS", max_threads.to_string());
+    }
+    let pool_threads = pool::global().threads();
+
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let git_commit = command_line("git", &["rev-parse", "--short", "HEAD"]);
+    let rustc_version = command_line("rustc", &["--version"]);
 
     let sizes: &[u64] = if quick {
         &[10_000, 100_000]
@@ -75,43 +152,54 @@ fn main() {
         SweepMode::Parallel,
         SweepMode::Soa,
         SweepMode::SoaChunked,
+        SweepMode::SoaBinned,
     ];
-    let threads = pool::global().threads();
 
     let mut records = Vec::new();
     for &n in sizes {
-        let steps = steps_for(n);
         for mode in modes {
-            let ns = time_mode(mode, DEFAULT_CHUNK, n, steps);
-            eprintln!("{:>12} n={n:<9} chunk={DEFAULT_CHUNK:<6} {ns:.2} ns/particle/step", mode_name(mode));
-            records.push((mode_name(mode), n, DEFAULT_CHUNK, steps, ns));
+            if mode_is_pooled(mode) {
+                for &t in &thread_counts {
+                    records.push(run_record(mode, DEFAULT_CHUNK, DEFAULT_REBIN, n, t));
+                }
+            } else {
+                records.push(run_record(mode, DEFAULT_CHUNK, DEFAULT_REBIN, n, 1));
+            }
         }
     }
-    // Chunk sensitivity of the chunked sweep at the largest tier.
+    // Sensitivity scans at the largest tier, single-threaded so the knob
+    // under study is the only variable.
     let n = *sizes.last().unwrap();
-    let steps = steps_for(n);
     for chunk in [256usize, 1_024, 4_096, 16_384, 65_536] {
         if chunk == DEFAULT_CHUNK {
             continue; // already measured above
         }
-        let ns = time_mode(SweepMode::SoaChunked, chunk, n, steps);
-        eprintln!("{:>12} n={n:<9} chunk={chunk:<6} {ns:.2} ns/particle/step", "soa-chunked");
-        records.push(("soa-chunked", n, chunk, steps, ns));
+        records.push(run_record(SweepMode::SoaChunked, chunk, DEFAULT_REBIN, n, 1));
+    }
+    for rebin in [1u32, 3] {
+        if rebin == DEFAULT_REBIN {
+            continue; // already measured above
+        }
+        records.push(run_record(SweepMode::SoaBinned, DEFAULT_CHUNK, rebin, n, 1));
     }
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"benchmark\": \"sweep\",");
     let _ = writeln!(json, "  \"grid\": {GRID},");
-    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"pool_threads\": {pool_threads},");
+    let _ = writeln!(json, "  \"git_commit\": \"{git_commit}\",");
+    let _ = writeln!(json, "  \"rustc_version\": \"{rustc_version}\",");
     let _ = writeln!(json, "  \"results\": [");
-    for (i, (mode, n, chunk, steps, ns)) in records.iter().enumerate() {
+    for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 == records.len() { "" } else { "," };
         let _ = writeln!(
             json,
-            "    {{\"mode\": \"{mode}\", \"n\": {n}, \"threads\": {threads}, \
-             \"chunk\": {chunk}, \"steps\": {steps}, \
-             \"ns_per_particle_step\": {ns:.3}}}{comma}"
+            "    {{\"mode\": \"{}\", \"n\": {}, \"threads\": {}, \
+             \"chunk\": {}, \"rebin\": {}, \"steps\": {}, \
+             \"ns_per_particle_step\": {:.3}}}{comma}",
+            r.mode, r.n, r.threads, r.chunk, r.rebin, r.steps, r.ns
         );
     }
     let _ = writeln!(json, "  ]");

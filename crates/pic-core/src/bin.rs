@@ -1,0 +1,550 @@
+//! Cell-binned particle storage: counting-sort locality for the sweep.
+//!
+//! [`BinnedStore`] keeps a [`ParticleBatch`] physically ordered by cell
+//! *column* — bin `c` is the contiguous span `offsets[c]..offsets[c+1]` —
+//! so the sweep walks memory in cell order and the per-column load
+//! histogram falls out of the prefix sums for free (O(columns) instead of
+//! an O(n) scan). The permutation is rebuilt every `rebin_interval` steps
+//! with a stable counting sort and one gather pass through a persistent
+//! double buffer, so the amortized cost is O(n / R) per step and the
+//! steady state allocates nothing (scratch capacity is retained between
+//! rebins; when the population is column-homogeneous the permutation is
+//! the identity and the gather is skipped entirely).
+//!
+//! ## The parity invariant (why `q_left` can be hoisted)
+//!
+//! Between rebins particles drift out of their recorded columns, so the
+//! *column* of a bin goes stale after one step. Its *parity* does not
+//! stay merely approximately right — it is exactly shared by every
+//! particle in the bin at every step: each spec-conforming particle moves
+//! exactly `±(2k+1)` columns per step, an **odd** stride, so all
+//! particles flip column parity together each step (the periodic wrap
+//! preserves parity because the grid has an even number of columns).
+//! A bin's parity at sweep time is therefore
+//! `bin_column_parity XOR (steps_since_rebin & 1)`, valid for *any*
+//! rebin interval, and the corner charges `q_left = ±q`, `q_right =
+//! −q_left` hoist out of the inner loop. The actual column (needed for
+//! the corner displacement `rx`) is still derived per particle — that is
+//! one float-to-int truncation, with the branchy `mesh_charge` lookups
+//! gone. Debug builds assert the invariant per particle; populations
+//! whose strides are corrupted out-of-spec (failure-injection mutants)
+//! must rebin every step to stay exact.
+//!
+//! ## Bit-exactness
+//!
+//! [`advance_bin_span`] performs, per particle, the *same sequence of
+//! floating-point operations* as the unbinned sweep (`total_force` +
+//! eqs. 1–2): same `coulomb` corner evaluations in the same pairing, same
+//! integration, same wrap. Binning changes traversal order only, and
+//! particles are independent within a step, so the resulting population
+//! is bit-identical to every other sweep mode — asserted by the
+//! cross-mode property tests for rebin intervals {1, 3, 16}. Canonical
+//! (ascending-id) order is restored on export by [`BinnedStore::to_particles`].
+
+use crate::charge::{coulomb, mesh_charge, SimConstants};
+use crate::events::Region;
+use crate::geometry::Grid;
+use crate::particle::Particle;
+use crate::pool::{self, SyncMutPtr};
+use crate::soa::ParticleBatch;
+
+/// Default rebin interval, chosen from the measured amortization curve
+/// (`BENCH_sweep.json`, rebin sensitivity rows): the counting sort plus
+/// 11-array gather costs roughly three binned sweeps, so re-sorting every
+/// step erases the locality win while 16 steps of drift still leaves the
+/// order column-coherent enough to keep the kernel fast. Set the interval
+/// to 1 (`--rebin 1`, [`Simulation::with_rebin_interval`]) when a consumer
+/// wants the O(columns) histogram fast path fresh *every* step — e.g. a
+/// load balancer invoked more often than every 16 steps; the natural
+/// co-tuning is rebin = balancer interval.
+///
+/// [`Simulation::with_rebin_interval`]: crate::engine::Simulation::with_rebin_interval
+pub const DEFAULT_REBIN: u32 = 16;
+
+/// Cell-binned structure-of-arrays particle store (see module docs).
+#[derive(Debug, Clone)]
+pub struct BinnedStore {
+    /// Particle data in bin (cell-column) order; within a bin the order is
+    /// stable under rebinning.
+    batch: ParticleBatch,
+    /// Gather target, swapped with `batch` on each non-identity rebin;
+    /// retains capacity so steady-state rebins allocate nothing.
+    scratch: ParticleBatch,
+    /// `ncells + 1` prefix sums: bin `c` is `offsets[c]..offsets[c+1]`.
+    offsets: Vec<usize>,
+    /// Counting-sort destination per source index (reused across rebins).
+    perm: Vec<usize>,
+    /// Counting-sort write cursors (reused across rebins).
+    cursor: Vec<usize>,
+    /// Sweeps executed since the last rebin.
+    age: u32,
+    /// Set by any structural edit (push/remove/mutate); forces a rebin
+    /// before the next sweep and disables the histogram fast path.
+    dirty: bool,
+    rebin_interval: u32,
+}
+
+impl BinnedStore {
+    /// Bin `particles` on `grid`. `rebin_interval` is clamped to ≥ 1.
+    pub fn new(particles: &[Particle], grid: &Grid, rebin_interval: u32) -> BinnedStore {
+        let mut store = BinnedStore {
+            batch: ParticleBatch::from_particles(particles),
+            scratch: ParticleBatch::new(),
+            offsets: vec![0; grid.ncells() + 1],
+            perm: Vec::new(),
+            cursor: vec![0; grid.ncells()],
+            age: 0,
+            dirty: false,
+            rebin_interval: rebin_interval.max(1),
+        };
+        store.rebin(grid);
+        store
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.batch.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.batch.is_empty()
+    }
+
+    /// The rebin interval `R` (sweeps between counting sorts).
+    pub fn rebin_interval(&self) -> u32 {
+        self.rebin_interval
+    }
+
+    /// Change the rebin interval (clamped to ≥ 1); takes effect at the
+    /// next sweep.
+    pub fn set_rebin_interval(&mut self, rebin_interval: u32) {
+        self.rebin_interval = rebin_interval.max(1);
+    }
+
+    /// Direct view of the underlying batch — **bin order**, not canonical
+    /// order; use [`BinnedStore::to_particles`] for the canonical view.
+    pub fn batch(&self) -> &ParticleBatch {
+        &self.batch
+    }
+
+    /// Rebuild the counting-sort permutation from current positions.
+    /// Stable (equal columns keep their relative order), skips the gather
+    /// when the permutation is the identity, and reuses all scratch
+    /// storage — after warm-up this allocates nothing.
+    pub fn rebin(&mut self, grid: &Grid) {
+        let n = self.batch.len();
+        let ncells = grid.ncells();
+        self.offsets.clear();
+        self.offsets.resize(ncells + 1, 0);
+        for &x in &self.batch.x {
+            self.offsets[grid.cell_of(x) + 1] += 1;
+        }
+        for c in 0..ncells {
+            self.offsets[c + 1] += self.offsets[c];
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.offsets[..ncells]);
+        self.perm.clear();
+        self.perm.resize(n, 0);
+        let mut identity = true;
+        for (i, &x) in self.batch.x.iter().enumerate() {
+            let c = grid.cell_of(x);
+            let dst = self.cursor[c];
+            self.cursor[c] += 1;
+            self.perm[i] = dst;
+            identity &= dst == i;
+        }
+        if !identity {
+            gather(&self.batch, &mut self.scratch, &self.perm);
+            std::mem::swap(&mut self.batch, &mut self.scratch);
+        }
+        self.age = 0;
+        self.dirty = false;
+    }
+
+    /// Advance every particle one step: rebin if structurally dirty, sweep
+    /// bin spans through the pool with the parity-hoisted kernel, then
+    /// rebin at the *end* of the sweep if the interval is due — so with
+    /// `R = 1` the histogram fast path is always fresh when balancer
+    /// layers read it between steps.
+    pub fn advance_all(&mut self, grid: &Grid, consts: &SimConstants, chunk_size: usize) {
+        if self.dirty {
+            self.rebin(grid);
+        }
+        let n = self.batch.len();
+        let parity = self.age & 1;
+        let offsets = &self.offsets[..];
+        let xp = SyncMutPtr::new(self.batch.x.as_mut_ptr());
+        let yp = SyncMutPtr::new(self.batch.y.as_mut_ptr());
+        let vxp = SyncMutPtr::new(self.batch.vx.as_mut_ptr());
+        let vyp = SyncMutPtr::new(self.batch.vy.as_mut_ptr());
+        let q = &self.batch.q[..n];
+        pool::global().run_chunked(n, chunk_size, &|start, end| {
+            // Locate the bin containing `start`, then sweep the chunk one
+            // bin-clipped sub-span at a time (empty bins are skipped by
+            // the offsets walk). Chunks are disjoint, so each span is
+            // exclusively owned here.
+            let mut b = offsets.partition_point(|&o| o <= start) - 1;
+            let mut i = start;
+            while i < end {
+                while offsets[b + 1] <= i {
+                    b += 1;
+                }
+                let span_end = end.min(offsets[b + 1]);
+                let len = span_end - i;
+                let bin_parity = (b as u32 & 1) ^ parity;
+                let q_left = if bin_parity == 0 { consts.q } else { -consts.q };
+                let (x, y, vx, vy) = unsafe {
+                    (
+                        std::slice::from_raw_parts_mut(xp.get().add(i), len),
+                        std::slice::from_raw_parts_mut(yp.get().add(i), len),
+                        std::slice::from_raw_parts_mut(vxp.get().add(i), len),
+                        std::slice::from_raw_parts_mut(vyp.get().add(i), len),
+                    )
+                };
+                advance_bin_span(grid, consts, q_left, x, y, vx, vy, &q[i..span_end]);
+                i = span_end;
+            }
+        });
+        self.age += 1;
+        if self.age >= self.rebin_interval {
+            self.rebin(grid);
+        }
+    }
+
+    /// Fill `h` with the per-column particle counts. When the binning is
+    /// fresh (just rebinned, no structural edits since) this is the
+    /// O(columns) prefix-sum difference; otherwise it falls back to the
+    /// O(n) position scan the unbinned stores use.
+    pub fn column_histogram_into(&self, grid: &Grid, h: &mut Vec<u64>) {
+        h.clear();
+        h.resize(grid.ncells(), 0);
+        if self.histogram_is_fresh() {
+            for (hc, w) in h.iter_mut().zip(self.offsets.windows(2)) {
+                *hc = (w[1] - w[0]) as u64;
+            }
+        } else {
+            for &x in &self.batch.x {
+                h[grid.cell_of(x)] += 1;
+            }
+        }
+    }
+
+    /// Whether [`BinnedStore::column_histogram_into`] will take the
+    /// O(columns) fast path (true whenever the store was rebinned after
+    /// the last sweep/edit — always the case in steady state with R = 1).
+    pub fn histogram_is_fresh(&self) -> bool {
+        self.age == 0 && !self.dirty
+    }
+
+    /// Append a particle (goes to the tail, outside bin order → marks the
+    /// store dirty; the next sweep rebins first).
+    pub fn push(&mut self, p: Particle) {
+        self.batch.push(p);
+        self.dirty = true;
+    }
+
+    pub fn extend(&mut self, particles: Vec<Particle>) {
+        for p in particles {
+            self.batch.push(p);
+        }
+        self.dirty = true;
+    }
+
+    /// Apply a removal event: up to `count` particles inside `region`,
+    /// lowest ids first — identical selection rule to the other stores.
+    pub fn remove_in_region(&mut self, region: &Region, count: u64) -> Vec<Particle> {
+        self.dirty = true;
+        self.batch.remove_in_region(region, count)
+    }
+
+    /// Materialize the population in **canonical order** (ascending id —
+    /// the order every unbinned store maintains physically). Allocates;
+    /// verification/checkpoint path, not the steady state.
+    pub fn to_particles(&self) -> Vec<Particle> {
+        let mut ps = self.batch.to_particles();
+        ps.sort_unstable_by_key(|p| p.id);
+        ps
+    }
+
+    /// Physical index of the particle at canonical (ascending-id) index
+    /// `idx` — failure-injection tests *only* (O(n log n)).
+    fn physical_index(&self, idx: usize) -> usize {
+        let mut order: Vec<usize> = (0..self.batch.len()).collect();
+        order.sort_unstable_by_key(|&i| self.batch.id[i]);
+        order[idx]
+    }
+
+    /// Read the particle at canonical index `idx` — failure-injection
+    /// tests *only*.
+    pub fn particle_at(&self, idx: usize) -> Particle {
+        self.batch.get(self.physical_index(idx))
+    }
+
+    /// Overwrite the particle at canonical index `idx` — failure-injection
+    /// tests *only*. Marks the store dirty (the edit may move the particle
+    /// out of its bin or off the parity lattice).
+    pub fn set(&mut self, idx: usize, p: Particle) {
+        let i = self.physical_index(idx);
+        self.batch.set(i, p);
+        self.dirty = true;
+    }
+
+    /// Remove and return the particle with the largest id (the canonical
+    /// tail, matching `Vec::pop` on an ascending-id AoS store) —
+    /// failure-injection tests *only*.
+    pub fn pop(&mut self) -> Option<Particle> {
+        if self.batch.is_empty() {
+            return None;
+        }
+        let i = self.physical_index(self.batch.len() - 1);
+        self.dirty = true;
+        Some(self.batch.swap_remove(i))
+    }
+
+    /// Sum of ids (checksum contribution) — order-independent.
+    pub fn id_sum(&self) -> u128 {
+        self.batch.id_sum()
+    }
+}
+
+/// Gather `src` into `dst` under `perm` (`dst[perm[i]] = src[i]`),
+/// resizing `dst` only when capacity must grow.
+fn gather(src: &ParticleBatch, dst: &mut ParticleBatch, perm: &[usize]) {
+    let n = src.len();
+    macro_rules! gather_field {
+        ($f:ident, $zero:expr) => {
+            dst.$f.clear();
+            dst.$f.resize(n, $zero);
+            for (i, &d) in perm.iter().enumerate() {
+                dst.$f[d] = src.$f[i];
+            }
+        };
+    }
+    gather_field!(id, 0);
+    gather_field!(x, 0.0);
+    gather_field!(y, 0.0);
+    gather_field!(vx, 0.0);
+    gather_field!(vy, 0.0);
+    gather_field!(q, 0.0);
+    gather_field!(x0, 0.0);
+    gather_field!(y0, 0.0);
+    gather_field!(k, 0);
+    gather_field!(m, 0);
+    gather_field!(born_at, 0);
+}
+
+/// The parity-specialized sweep kernel: eqs. 1–2 over one bin-clipped
+/// span whose particles all share mesh-corner charges `q_left` (left
+/// column) and `−q_left` (right column).
+///
+/// Per particle this is the *same operation sequence* as
+/// `total_force` + the unbinned `advance_span`: the same four [`coulomb`]
+/// corner evaluations in the same pairing, the same half-acceleration
+/// integration, the same wrap. What the binning removes is per-particle
+/// work that is invariant across the span: the `mesh_charge` parity
+/// branches are gone (hoisted to `q_left`), and the force/integrate loop
+/// is split from the (branchy) wrap pass so the hot loop is branch-free —
+/// `coulomb`'s zero-distance guard is a value select — and eligible for
+/// autovectorization. Splitting is bit-neutral: particles are independent
+/// and each particle's own operation order is unchanged.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn advance_bin_span(
+    grid: &Grid,
+    consts: &SimConstants,
+    q_left: f64,
+    x: &mut [f64],
+    y: &mut [f64],
+    vx: &mut [f64],
+    vy: &mut [f64],
+    q: &[f64],
+) {
+    let dt = consts.dt;
+    let h = consts.h;
+    let q_right = -q_left;
+    for i in 0..x.len() {
+        let xi = x[i];
+        let yi = y[i];
+        // `cell_of` minus the defensive clamp: wrapped coordinates lie in
+        // [0, L), where the truncation alone yields the identical index.
+        let col = xi as usize;
+        let row = yi as usize;
+        debug_assert_eq!((col, row), grid.cell_of_point(xi, yi));
+        // The parity invariant (module docs): every particle in the span
+        // agrees with the hoisted corner charge.
+        debug_assert_eq!(mesh_charge(col, consts.q), q_left, "parity drift at x={xi}");
+        let rx = xi - col as f64;
+        let ry = yi - row as f64;
+        let qp = q[i];
+        let (fx0, fy0) = coulomb(rx, ry, q_left, qp); // bottom-left
+        let (fx1, fy1) = coulomb(rx, ry - h, q_left, qp); // top-left
+        let (fx2, fy2) = coulomb(rx - h, ry, q_right, qp); // bottom-right
+        let (fx3, fy3) = coulomb(rx - h, ry - h, q_right, qp); // top-right
+        let ax = (fx0 + fx1) + (fx2 + fx3);
+        let ay = (fy0 + fy1) + (fy2 + fy3);
+        x[i] = xi + (vx[i] + 0.5 * ax * dt) * dt;
+        y[i] = yi + (vy[i] + 0.5 * ay * dt) * dt;
+        vx[i] += ax * dt;
+        vy[i] += ay * dt;
+    }
+    for i in 0..x.len() {
+        x[i] = grid.wrap_coord(x[i]);
+        y[i] = grid.wrap_coord(y[i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Distribution;
+    use crate::init::InitConfig;
+    use crate::pool::DEFAULT_CHUNK;
+    use crate::verify::{triangular_id_sum, verify_all, DEFAULT_TOLERANCE};
+
+    fn population(n: u64, dist: Distribution) -> (Grid, Vec<Particle>) {
+        let grid = Grid::new(32).unwrap();
+        let s = InitConfig::new(grid, n, dist)
+            .with_k(1)
+            .with_m(-1)
+            .build()
+            .unwrap();
+        (grid, s.particles)
+    }
+
+    #[test]
+    fn binning_orders_by_column_and_is_stable() {
+        let (grid, ps) = population(500, Distribution::Geometric { r: 0.9 });
+        let store = BinnedStore::new(&ps, &grid, 1);
+        let b = store.batch();
+        // Non-decreasing column across the batch…
+        let cols: Vec<usize> = b.x.iter().map(|&x| grid.cell_of(x)).collect();
+        assert!(cols.windows(2).all(|w| w[0] <= w[1]), "not column-sorted");
+        // …ascending id within each bin (stability from canonical order).
+        for c in 0..grid.ncells() {
+            let span = &b.id[store.offsets[c]..store.offsets[c + 1]];
+            assert!(span.windows(2).all(|w| w[0] < w[1]), "bin {c} unstable");
+        }
+    }
+
+    #[test]
+    fn to_particles_restores_canonical_order() {
+        let (grid, ps) = population(300, Distribution::Sinusoidal);
+        let store = BinnedStore::new(&ps, &grid, 4);
+        assert_eq!(store.to_particles(), ps);
+        assert_eq!(store.id_sum(), triangular_id_sum(300));
+    }
+
+    #[test]
+    fn binned_sweep_bitwise_matches_unbinned_for_rebin_intervals() {
+        let (grid, ps) = population(400, Distribution::Geometric { r: 0.9 });
+        let consts = SimConstants::CANONICAL;
+        for rebin in [1u32, 3, 16] {
+            let mut reference = ParticleBatch::from_particles(&ps);
+            let mut binned = BinnedStore::new(&ps, &grid, rebin);
+            for _ in 0..40 {
+                reference.advance_all(&grid, &consts);
+                binned.advance_all(&grid, &consts, DEFAULT_CHUNK);
+            }
+            let mut want = reference.to_particles();
+            want.sort_unstable_by_key(|p| p.id);
+            assert_eq!(want, binned.to_particles(), "rebin={rebin} diverged");
+        }
+    }
+
+    #[test]
+    fn binned_run_verifies() {
+        let (grid, ps) = population(300, Distribution::PAPER_SKEW);
+        let consts = SimConstants::CANONICAL;
+        let mut store = BinnedStore::new(&ps, &grid, 3);
+        for _ in 0..60 {
+            store.advance_all(&grid, &consts, DEFAULT_CHUNK);
+        }
+        let report = verify_all(
+            &grid,
+            &store.to_particles(),
+            60,
+            triangular_id_sum(300),
+            DEFAULT_TOLERANCE,
+        );
+        assert!(report.passed(), "{report:?}");
+    }
+
+    #[test]
+    fn histogram_fast_path_matches_scan() {
+        let (grid, ps) = population(700, Distribution::Geometric { r: 0.8 });
+        let consts = SimConstants::CANONICAL;
+        let mut store = BinnedStore::new(&ps, &grid, 1);
+        let mut fast = Vec::new();
+        let mut scan = vec![0u64; grid.ncells()];
+        for _ in 0..5 {
+            store.advance_all(&grid, &consts, DEFAULT_CHUNK);
+            assert!(store.histogram_is_fresh(), "R=1 must stay fresh");
+            store.column_histogram_into(&grid, &mut fast);
+            scan.iter_mut().for_each(|c| *c = 0);
+            for &x in &store.batch().x {
+                scan[grid.cell_of(x)] += 1;
+            }
+            assert_eq!(fast, scan);
+        }
+    }
+
+    #[test]
+    fn histogram_falls_back_when_stale() {
+        let (grid, ps) = population(200, Distribution::Uniform);
+        let consts = SimConstants::CANONICAL;
+        let mut store = BinnedStore::new(&ps, &grid, 16);
+        store.advance_all(&grid, &consts, DEFAULT_CHUNK);
+        assert!(!store.histogram_is_fresh(), "age 1 of 16 is stale");
+        let mut h = Vec::new();
+        store.column_histogram_into(&grid, &mut h);
+        assert_eq!(h.iter().sum::<u64>(), 200);
+        // Fallback still reflects *current* positions, not the stale bins.
+        let mut scan = vec![0u64; grid.ncells()];
+        for &x in &store.batch().x {
+            scan[grid.cell_of(x)] += 1;
+        }
+        assert_eq!(h, scan);
+    }
+
+    #[test]
+    fn edits_mark_dirty_and_next_sweep_recovers() {
+        let (grid, ps) = population(100, Distribution::Uniform);
+        let consts = SimConstants::CANONICAL;
+        let mut store = BinnedStore::new(&ps, &grid, 8);
+        let doomed = store.remove_in_region(&Region::whole(32), 10);
+        assert_eq!(doomed.len(), 10);
+        assert!(!store.histogram_is_fresh());
+        // The dirty rebin runs at the start of the next sweep; the sweep
+        // itself then matches an unbinned sweep of the same survivors.
+        let mut reference = ParticleBatch::from_particles(&store.to_particles());
+        store.advance_all(&grid, &consts, DEFAULT_CHUNK);
+        reference.advance_all(&grid, &consts);
+        assert_eq!(store.len(), 90);
+        assert_eq!(store.offsets[grid.ncells()], 90, "rebin saw the removal");
+        assert_eq!(reference.to_particles(), store.to_particles());
+    }
+
+    #[test]
+    fn pop_removes_largest_id() {
+        let (grid, ps) = population(50, Distribution::Sinusoidal);
+        let mut store = BinnedStore::new(&ps, &grid, 1);
+        let p = store.pop().unwrap();
+        assert_eq!(p.id, 50);
+        assert_eq!(store.len(), 49);
+        assert_eq!(store.particle_at(0).id, 1);
+    }
+
+    #[test]
+    fn empty_store_is_harmless() {
+        let grid = Grid::new(8).unwrap();
+        let mut store = BinnedStore::new(&[], &grid, 1);
+        store.advance_all(&grid, &SimConstants::CANONICAL, DEFAULT_CHUNK);
+        assert!(store.is_empty());
+        assert!(store.pop().is_none());
+        let mut h = Vec::new();
+        store.column_histogram_into(&grid, &mut h);
+        assert!(h.iter().all(|&c| c == 0));
+    }
+}

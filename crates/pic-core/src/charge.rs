@@ -77,12 +77,26 @@ pub fn column_sign(col: usize) -> f64 {
 ///
 /// Same-sign charges give a force along `(dx, dy)` (repulsive); opposite
 /// signs reverse it (attractive).
+///
+/// The evaluation costs one square root and one division per corner:
+/// `f⃗ = q1·q2/(r²·r) · (dx, dy)`. Because this function is the *only*
+/// force arithmetic in the kernel — charge assignment
+/// ([`charge_denominator`]) and every sweep mode's per-step evaluation all
+/// route through it — the paper's reordering constraint (assignment and
+/// realized force computed by the same operation sequence) is preserved by
+/// construction, and every sweep layout stays bit-identical to the serial
+/// reference.
+///
+/// A particle sitting exactly on a mesh corner (`r² = 0`) receives zero
+/// force from that corner instead of the `0/0 → NaN` a naive evaluation
+/// would produce; the selection is written value-wise (not as an early
+/// return) so the inner sweep loops stay branch-free and vectorizable.
 #[inline]
 pub fn coulomb(dx: f64, dy: f64, q1: f64, q2: f64) -> (f64, f64) {
     let r2 = dx * dx + dy * dy;
-    let r = r2.sqrt();
-    let f = q1 * q2 / r2;
-    (f * dx / r, f * dy / r)
+    let f_over_r = q1 * q2 / (r2 * r2.sqrt());
+    let f_over_r = if r2 == 0.0 { 0.0 } else { f_over_r };
+    (f_over_r * dx, f_over_r * dy)
 }
 
 /// Total Coulomb force on a particle with charge `qp` at position `(x, y)`
@@ -191,6 +205,20 @@ mod tests {
         assert_eq!(fy, 0.0);
         let (fx, _) = coulomb(1.0, 0.0, 1.0, -1.0);
         assert!(fx < 0.0, "opposite-sign charges must attract");
+    }
+
+    #[test]
+    fn coulomb_coincident_corner_contributes_zero_force() {
+        // r² = 0 must not produce 0/0 = NaN: a particle exactly on a mesh
+        // corner gets no force contribution from that corner.
+        let (fx, fy) = coulomb(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(fx, 0.0);
+        assert_eq!(fy, 0.0);
+        // The other three corners still contribute finite force.
+        let g = Grid::new(8).unwrap();
+        let c = consts();
+        let (ax, ay) = total_force(&g, &c, 3.0, 5.0, 0.7);
+        assert!(ax.is_finite() && ay.is_finite(), "ax={ax} ay={ay}");
     }
 
     #[test]

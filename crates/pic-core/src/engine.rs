@@ -22,6 +22,7 @@
 //! populations in identical order** — asserted by this module's tests and
 //! the cross-layout property tests.
 
+use crate::bin::{BinnedStore, DEFAULT_REBIN};
 use crate::charge::SimConstants;
 use crate::events::{Event, EventKind};
 use crate::geometry::Grid;
@@ -47,12 +48,21 @@ pub enum SweepMode {
     /// Pool-parallel chunked sweep over SoA storage; chunk size is the
     /// [`Simulation::with_chunk_size`] tunable.
     SoaChunked,
+    /// Pool-parallel chunked sweep over cell-binned SoA storage
+    /// ([`BinnedStore`]): particles are kept counting-sorted by cell
+    /// column (re-sorted every [`Simulation::with_rebin_interval`] steps)
+    /// and swept with the parity-specialized kernel; the per-column load
+    /// histogram becomes an O(columns) read while the binning is fresh.
+    SoaBinned,
 }
 
 impl SweepMode {
     /// Whether this mode stores particles in SoA layout.
     pub fn is_soa(self) -> bool {
-        matches!(self, SweepMode::Soa | SweepMode::SoaChunked)
+        matches!(
+            self,
+            SweepMode::Soa | SweepMode::SoaChunked | SweepMode::SoaBinned
+        )
     }
 }
 
@@ -64,6 +74,7 @@ impl SweepMode {
 enum ParticleStore {
     Aos(Vec<Particle>),
     Soa(ParticleBatch),
+    Binned(BinnedStore),
 }
 
 impl ParticleStore {
@@ -71,13 +82,16 @@ impl ParticleStore {
         match self {
             ParticleStore::Aos(v) => v.len(),
             ParticleStore::Soa(b) => b.len(),
+            ParticleStore::Binned(b) => b.len(),
         }
     }
 
+    /// Canonical (ascending-id) materialization, identical across layouts.
     fn to_particles(&self) -> Vec<Particle> {
         match self {
             ParticleStore::Aos(v) => v.clone(),
             ParticleStore::Soa(b) => b.to_particles(),
+            ParticleStore::Binned(b) => b.to_particles(),
         }
     }
 
@@ -89,6 +103,7 @@ impl ParticleStore {
                     b.push(p);
                 }
             }
+            ParticleStore::Binned(b) => b.extend(particles),
         }
     }
 }
@@ -106,6 +121,7 @@ pub struct Simulation {
     expected_id_sum: u128,
     mode: SweepMode,
     chunk_size: usize,
+    rebin_interval: u32,
 }
 
 pub use crate::init::SimulationSetup as Setup;
@@ -122,10 +138,16 @@ impl Simulation {
         let expected_id_sum = setup.initial_id_sum();
         let mut events = setup.events;
         events.sort_by_key(|e| e.at_step);
-        let store = if mode.is_soa() {
-            ParticleStore::Soa(ParticleBatch::from_particles(&setup.particles))
-        } else {
-            ParticleStore::Aos(setup.particles)
+        let store = match mode {
+            SweepMode::Serial | SweepMode::Parallel => ParticleStore::Aos(setup.particles),
+            SweepMode::Soa | SweepMode::SoaChunked => {
+                ParticleStore::Soa(ParticleBatch::from_particles(&setup.particles))
+            }
+            SweepMode::SoaBinned => ParticleStore::Binned(BinnedStore::new(
+                &setup.particles,
+                &setup.grid,
+                DEFAULT_REBIN,
+            )),
         };
         Simulation {
             grid: setup.grid,
@@ -138,19 +160,39 @@ impl Simulation {
             expected_id_sum,
             mode,
             chunk_size: DEFAULT_CHUNK,
+            rebin_interval: DEFAULT_REBIN,
         }
     }
 
-    /// Set the chunk size used by [`SweepMode::SoaChunked`] (ignored by
-    /// the other modes). Values are clamped to at least 1.
+    /// Set the chunk size used by [`SweepMode::SoaChunked`] and
+    /// [`SweepMode::SoaBinned`] (ignored by the other modes). Values are
+    /// clamped to at least 1.
     pub fn with_chunk_size(mut self, chunk_size: usize) -> Simulation {
         self.chunk_size = chunk_size.max(1);
         self
     }
 
-    /// The chunk size the chunked sweep would use.
+    /// The chunk size the chunked sweeps would use.
     pub fn chunk_size(&self) -> usize {
         self.chunk_size
+    }
+
+    /// Set the rebin interval `R` used by [`SweepMode::SoaBinned`]
+    /// (ignored by the other modes): the counting sort re-runs every `R`
+    /// sweeps. Clamped to at least 1. The result is bit-identical for any
+    /// `R`; the trade is sort amortization against histogram freshness
+    /// and sweep locality.
+    pub fn with_rebin_interval(mut self, rebin_interval: u32) -> Simulation {
+        self.rebin_interval = rebin_interval.max(1);
+        if let ParticleStore::Binned(b) = &mut self.store {
+            b.set_rebin_interval(self.rebin_interval);
+        }
+        self
+    }
+
+    /// The rebin interval the binned sweep would use.
+    pub fn rebin_interval(&self) -> u32 {
+        self.rebin_interval
     }
 
     /// The active sweep mode.
@@ -188,11 +230,14 @@ impl Simulation {
     }
 
     /// Direct view of the SoA store, when the mode keeps one (`None` for
-    /// the AoS modes).
+    /// the AoS modes). For [`SweepMode::SoaBinned`] the batch is in bin
+    /// order, not canonical order — use [`Simulation::particles`] when
+    /// ordering matters.
     pub fn batch(&self) -> Option<&ParticleBatch> {
         match &self.store {
             ParticleStore::Aos(_) => None,
             ParticleStore::Soa(b) => Some(b),
+            ParticleStore::Binned(b) => Some(b.batch()),
         }
     }
 
@@ -236,6 +281,7 @@ impl Simulation {
                     let removed = match &mut self.store {
                         ParticleStore::Aos(v) => apply_removal(v, e.region, count),
                         ParticleStore::Soa(b) => b.remove_in_region(&e.region, count),
+                        ParticleStore::Binned(b) => b.remove_in_region(&e.region, count),
                     };
                     for p in &removed {
                         self.expected_id_sum -= p.id as u128;
@@ -259,6 +305,9 @@ impl Simulation {
             (ParticleStore::Soa(b), SweepMode::Soa) => b.advance_all(&self.grid, &self.consts),
             (ParticleStore::Soa(b), SweepMode::SoaChunked) => {
                 b.advance_all_chunked(&self.grid, &self.consts, self.chunk_size)
+            }
+            (ParticleStore::Binned(b), SweepMode::SoaBinned) => {
+                b.advance_all(&self.grid, &self.consts, self.chunk_size)
             }
             // The constructor ties store layout to mode; the pairs above
             // are exhaustive in practice.
@@ -294,8 +343,14 @@ impl Simulation {
     }
 
     /// Fill `h` with the per-column histogram, reusing its storage
-    /// (allocation-free once `h` has reached grid capacity).
+    /// (allocation-free once `h` has reached grid capacity). In
+    /// [`SweepMode::SoaBinned`] with a fresh binning this is an
+    /// O(columns) prefix-sum read instead of an O(n) scan — the quantity
+    /// the diffusion balancer polls every step comes for free.
     pub fn column_histogram_into(&self, h: &mut Vec<u64>) {
+        if let ParticleStore::Binned(b) = &self.store {
+            return b.column_histogram_into(&self.grid, h);
+        }
         h.clear();
         h.resize(self.grid.ncells(), 0);
         match &self.store {
@@ -309,6 +364,7 @@ impl Simulation {
                     h[self.grid.cell_of(x)] += 1;
                 }
             }
+            ParticleStore::Binned(_) => unreachable!(),
         }
     }
 
@@ -321,7 +377,9 @@ impl Simulation {
         h
     }
 
-    /// Fill `h` with the per-row histogram, reusing its storage.
+    /// Fill `h` with the per-row histogram, reusing its storage. (Bins
+    /// are per *column*, so the binned store has no row fast path — this
+    /// is always the O(n) scan.)
     pub fn row_histogram_into(&self, h: &mut Vec<u64>) {
         h.clear();
         h.resize(self.grid.ncells(), 0);
@@ -333,6 +391,11 @@ impl Simulation {
             }
             ParticleStore::Soa(b) => {
                 for &y in &b.y {
+                    h[self.grid.cell_of(y)] += 1;
+                }
+            }
+            ParticleStore::Binned(b) => {
+                for &y in &b.batch().y {
                     h[self.grid.cell_of(y)] += 1;
                 }
             }
@@ -349,24 +412,32 @@ impl Simulation {
                 f(&mut p);
                 b.set(idx, p);
             }
+            ParticleStore::Binned(b) => {
+                let mut p = b.particle_at(idx);
+                f(&mut p);
+                b.set(idx, p);
+            }
         }
     }
 
-    /// Read one particle by store index — failure-injection tests *only*.
+    /// Read one particle by canonical index — failure-injection tests
+    /// *only*. (`idx` addresses the same particle in every sweep mode.)
     #[doc(hidden)]
     pub fn particle_at(&self, idx: usize) -> Particle {
         match &self.store {
             ParticleStore::Aos(v) => v[idx],
             ParticleStore::Soa(b) => b.get(idx),
+            ParticleStore::Binned(b) => b.particle_at(idx),
         }
     }
 
-    /// Drop the last particle — failure-injection tests *only*.
+    /// Drop the canonically-last particle — failure-injection tests *only*.
     #[doc(hidden)]
     pub fn pop_particle(&mut self) -> Option<Particle> {
         match &mut self.store {
             ParticleStore::Aos(v) => v.pop(),
             ParticleStore::Soa(b) => b.pop(),
+            ParticleStore::Binned(b) => b.pop(),
         }
     }
 
@@ -377,6 +448,7 @@ impl Simulation {
         match &mut self.store {
             ParticleStore::Aos(v) => v.push(p),
             ParticleStore::Soa(b) => b.push(p),
+            ParticleStore::Binned(b) => b.push(p),
         }
     }
 
@@ -398,10 +470,14 @@ impl Simulation {
     /// Resume from a checkpoint; the continuation is bit-exact with an
     /// uninterrupted run.
     pub fn restore(cp: crate::checkpoint::CheckpointData, mode: SweepMode) -> Simulation {
-        let store = if mode.is_soa() {
-            ParticleStore::Soa(ParticleBatch::from_particles(&cp.particles))
-        } else {
-            ParticleStore::Aos(cp.particles)
+        let store = match mode {
+            SweepMode::Serial | SweepMode::Parallel => ParticleStore::Aos(cp.particles),
+            SweepMode::Soa | SweepMode::SoaChunked => {
+                ParticleStore::Soa(ParticleBatch::from_particles(&cp.particles))
+            }
+            SweepMode::SoaBinned => {
+                ParticleStore::Binned(BinnedStore::new(&cp.particles, &cp.grid, DEFAULT_REBIN))
+            }
         };
         Simulation {
             grid: cp.grid,
@@ -414,6 +490,7 @@ impl Simulation {
             expected_id_sum: cp.expected_id_sum,
             mode,
             chunk_size: DEFAULT_CHUNK,
+            rebin_interval: DEFAULT_REBIN,
         }
     }
 }
@@ -462,8 +539,15 @@ mod tests {
             .with_event(Event::remove(25, Region::whole(32), 25));
         let mut reference = Simulation::with_mode(s.clone(), SweepMode::Serial);
         reference.run(40);
-        for mode in [SweepMode::Parallel, SweepMode::Soa, SweepMode::SoaChunked] {
-            let mut sim = Simulation::with_mode(s.clone(), mode).with_chunk_size(37);
+        for mode in [
+            SweepMode::Parallel,
+            SweepMode::Soa,
+            SweepMode::SoaChunked,
+            SweepMode::SoaBinned,
+        ] {
+            let mut sim = Simulation::with_mode(s.clone(), mode)
+                .with_chunk_size(37)
+                .with_rebin_interval(3);
             sim.run(40);
             assert_eq!(
                 reference.particles(),

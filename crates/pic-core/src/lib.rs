@@ -37,6 +37,7 @@
 //! assert!(report.passed());
 //! ```
 
+pub mod bin;
 pub mod charge;
 pub mod charge_grid;
 pub mod checkpoint;
@@ -55,6 +56,7 @@ pub mod verify;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use crate::bin::BinnedStore;
     pub use crate::charge::{mesh_charge, total_force, SimConstants};
     pub use crate::charge_grid::ChargeGrid;
     pub use crate::dist::Distribution;

@@ -176,6 +176,32 @@ mod tests {
     }
 
     #[test]
+    fn particle_exactly_on_mesh_point_steps_finite() {
+        // Regression for the r² = 0 corner guard in `coulomb`: a particle
+        // sitting exactly on a mesh point shares a position with one corner
+        // of its cell; a naive 0/0 there would turn the whole trajectory
+        // into NaN on the first step. With the guard, the coincident corner
+        // contributes zero force and the step stays finite.
+        let g = Grid::new(16).unwrap();
+        let c = SimConstants::default();
+        let mut p = make(&g, &c, 3, 5, 0, 1, 1);
+        let (x, y) = (3.0, 5.0); // bottom-left corner of cell (3, 5)
+        p.x = x;
+        p.y = y;
+        p.x0 = x;
+        p.y0 = y;
+        for step in 1..=10 {
+            advance_particle(&g, &c, &mut p);
+            assert!(
+                p.x.is_finite() && p.y.is_finite() && p.vx.is_finite() && p.vy.is_finite(),
+                "non-finite state at step {step}: {p:?}"
+            );
+            assert!((0.0..g.extent()).contains(&p.x), "x escaped: {}", p.x);
+            assert!((0.0..g.extent()).contains(&p.y), "y escaped: {}", p.y);
+        }
+    }
+
+    #[test]
     fn long_run_error_stays_bounded() {
         // The xπ = h/2 placement makes the per-step FP error non-amplifying;
         // verify the positional error stays far below the 1e-5 verification

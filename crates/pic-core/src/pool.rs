@@ -68,6 +68,9 @@ struct JobPtr {
     body: *const (dyn Fn(usize, usize) + Sync),
     len: usize,
     chunk: usize,
+    /// Workers allowed to join this job (the submitter participates on
+    /// top); the scaling harness caps this below the spawned count.
+    max_workers: usize,
 }
 
 unsafe impl Send for JobPtr {}
@@ -78,6 +81,10 @@ struct State {
     job: Option<JobPtr>,
     /// Workers currently inside the published job's claim loop.
     running: usize,
+    /// Workers that joined the current job — never decremented while the
+    /// job is live, so the `max_workers` cap is strict even when an early
+    /// finisher leaves before a late riser looks at the job.
+    joined: usize,
 }
 
 struct Shared {
@@ -92,6 +99,9 @@ struct Shared {
 pub struct Pool {
     shared: Arc<Shared>,
     workers: usize,
+    /// Workers allowed to join the next job (≤ `workers`); adjusted by
+    /// [`Pool::set_active_threads`] for thread-scaling measurements.
+    active_cap: AtomicUsize,
     /// Serializes submitters (one job in flight at a time).
     submit: Mutex<()>,
 }
@@ -99,7 +109,10 @@ pub struct Pool {
 static GLOBAL: OnceLock<Pool> = OnceLock::new();
 
 /// The process-global pool, spawned on first use with
-/// `available_parallelism() - 1` workers (the submitter is the +1).
+/// `available_parallelism() - 1` workers (the submitter is the +1). The
+/// `PIC_THREADS` environment variable, when set to a positive integer,
+/// overrides the hardware count — it both caps a big machine and lets a
+/// small one oversubscribe for scaling sanity runs.
 pub fn global() -> &'static Pool {
     GLOBAL.get_or_init(Pool::new)
 }
@@ -109,9 +122,14 @@ impl Pool {
         let hw = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        let workers = hw.saturating_sub(1);
+        let threads = std::env::var("PIC_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or(hw);
+        let workers = threads.saturating_sub(1);
         let shared = Arc::new(Shared {
-            state: Mutex::new(State { epoch: 0, job: None, running: 0 }),
+            state: Mutex::new(State { epoch: 0, job: None, running: 0, joined: 0 }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             cursor: AtomicUsize::new(0),
@@ -124,12 +142,28 @@ impl Pool {
                 .spawn(move || worker_loop(&shared))
                 .expect("spawn sweep worker");
         }
-        Pool { shared, workers, submit: Mutex::new(()) }
+        Pool { shared, workers, active_cap: AtomicUsize::new(workers), submit: Mutex::new(()) }
     }
 
-    /// Total threads that participate in a sweep (workers + submitter).
+    /// Total threads that can participate in a sweep (workers + submitter).
     pub fn threads(&self) -> usize {
         self.workers + 1
+    }
+
+    /// Cap the number of threads (including the submitter) that take part
+    /// in subsequent sweeps, without tearing down workers. Clamped to
+    /// `[1, threads()]`; returns the effective value. Results are
+    /// bit-identical at any setting — only scheduling changes — which is
+    /// what lets the scaling harness scan thread counts in one process.
+    pub fn set_active_threads(&self, t: usize) -> usize {
+        let t = t.clamp(1, self.workers + 1);
+        self.active_cap.store(t - 1, Ordering::SeqCst);
+        t
+    }
+
+    /// Threads (including the submitter) the next sweep will use.
+    pub fn active_threads(&self) -> usize {
+        self.active_cap.load(Ordering::SeqCst).min(self.workers) + 1
     }
 
     /// Run `body(start, end)` over every fixed-size chunk of `0..len`.
@@ -141,8 +175,10 @@ impl Pool {
         if len == 0 {
             return;
         }
-        // Single chunk or no workers: run inline, no synchronization.
-        if self.workers == 0 || len <= chunk {
+        let cap = self.active_cap.load(Ordering::SeqCst).min(self.workers);
+        // Single chunk, no workers, or capped to the submitter alone:
+        // run inline, no synchronization.
+        if cap == 0 || len <= chunk {
             let mut start = 0;
             while start < len {
                 let end = (start + chunk).min(len);
@@ -164,12 +200,14 @@ impl Pool {
             },
             len,
             chunk,
+            max_workers: cap,
         };
         {
             let mut st = self.shared.state.lock().unwrap();
             self.shared.cursor.store(0, Ordering::SeqCst);
             self.shared.panicked.store(false, Ordering::SeqCst);
             st.epoch += 1;
+            st.joined = 0;
             st.job = Some(job);
         }
         self.shared.work_cv.notify_all();
@@ -214,9 +252,15 @@ fn worker_loop(shared: &Shared) {
             loop {
                 match st.job {
                     Some(j) if st.epoch != seen_epoch => {
+                        // Mark the epoch seen whether or not we join, so a
+                        // capped-out worker doesn't spin on the same job.
                         seen_epoch = st.epoch;
-                        st.running += 1;
-                        break j;
+                        if st.joined < j.max_workers {
+                            st.joined += 1;
+                            st.running += 1;
+                            break j;
+                        }
+                        st = shared.work_cv.wait(st).unwrap();
                     }
                     _ => st = shared.work_cv.wait(st).unwrap(),
                 }
@@ -293,6 +337,24 @@ mod tests {
         assert!(result.is_err());
         // Pool must remain usable after a panicked sweep.
         global().run_chunked(10, 2, &|_, _| {});
+    }
+
+    #[test]
+    fn active_thread_cap_clamps_and_restores() {
+        let pool = global();
+        let full = pool.threads();
+        assert_eq!(pool.set_active_threads(1), 1);
+        assert_eq!(pool.active_threads(), 1);
+        // Capped to the submitter alone the sweep still covers everything.
+        let total = AtomicUsize::new(0);
+        pool.run_chunked(1000, 16, &|s, e| {
+            total.fetch_add(e - s, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 1000);
+        // Out-of-range requests clamp instead of panicking.
+        assert_eq!(pool.set_active_threads(0), 1);
+        assert_eq!(pool.set_active_threads(usize::MAX), full);
+        assert_eq!(pool.active_threads(), full);
     }
 
     #[test]

@@ -65,7 +65,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-fn warmed_sim(mode: SweepMode) -> Simulation {
+fn warmed_sim(mode: SweepMode, rebin: u32) -> Simulation {
     let grid = Grid::new(32).unwrap();
     let setup = InitConfig::new(grid, 3_000, Distribution::Geometric { r: 0.9 })
         .with_m(1)
@@ -75,20 +75,27 @@ fn warmed_sim(mode: SweepMode) -> Simulation {
         // are exhausted before the counted region begins.
         .with_event(Event::inject(2, Region { x0: 0, x1: 8, y0: 0, y1: 8 }, 64, 0, 0, 1))
         .with_event(Event::remove(4, Region { x0: 0, x1: 32, y0: 0, y1: 16 }, 32));
-    let mut sim = Simulation::with_mode(setup, mode).with_chunk_size(256);
-    sim.run(8); // past all events; pool spawned if the mode uses it
+    let mut sim = Simulation::with_mode(setup, mode)
+        .with_chunk_size(256)
+        .with_rebin_interval(rebin);
+    sim.run(8); // past all events; pool spawned; binned scratch warmed
     sim
 }
 
 #[test]
 fn steady_state_step_loop_allocates_nothing() {
-    for mode in [
-        SweepMode::Serial,
-        SweepMode::Parallel,
-        SweepMode::Soa,
-        SweepMode::SoaChunked,
+    // SoaBinned runs at rebin 1 (counting sort + gather in *every* counted
+    // step — the strictest case) and at 3 (rebins interleave with plain
+    // sweeps, exercising both the fresh and stale histogram paths).
+    for (mode, rebin) in [
+        (SweepMode::Serial, 1),
+        (SweepMode::Parallel, 1),
+        (SweepMode::Soa, 1),
+        (SweepMode::SoaChunked, 1),
+        (SweepMode::SoaBinned, 1),
+        (SweepMode::SoaBinned, 3),
     ] {
-        let mut sim = warmed_sim(mode);
+        let mut sim = warmed_sim(mode, rebin);
         let mut cols = Vec::new();
         let mut rows = Vec::new();
         // Size the histogram scratch once, then go quiet.

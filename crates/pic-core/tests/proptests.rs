@@ -403,6 +403,133 @@ proptest! {
             prop_assert!(report.passed(), "chunk {chunk}: {report:?}");
         }
     }
+    /// The cell-binned sweep is bit-identical to the serial AoS sweep for
+    /// every distribution family, with injection and removal events firing
+    /// mid-run, across rebin intervals {1, 3, 16} — the counting-sort
+    /// traversal reorder and the parity-hoisted kernel change scheduling
+    /// and bookkeeping only, never arithmetic.
+    #[test]
+    fn binned_bitwise_matches_aos_serial_all_distributions(
+        which in 0usize..5,
+        n in 50u64..300,
+        k in 0u32..2,
+        m in -2i32..3,
+        steps in 10u32..50,
+        inject_n in 1u64..60,
+        remove_n in 1u64..60,
+        r in 0.8f64..1.2,
+    ) {
+        use pic_core::engine::SweepMode;
+        let grid = Grid::new(32).unwrap();
+        let dist = match which {
+            0 => Distribution::Uniform,
+            1 => Distribution::Geometric { r },
+            2 => Distribution::Sinusoidal,
+            3 => Distribution::Linear { alpha: 1.0, beta: 2.0 },
+            _ => Distribution::Patch { x0: 4, x1: 16, y0: 4, y1: 16 },
+        };
+        let setup = InitConfig::new(grid, n, dist)
+            .with_k(k)
+            .with_m(m)
+            .build()
+            .unwrap()
+            .with_event(Event::inject(3, Region { x0: 0, x1: 16, y0: 0, y1: 16 }, inject_n, 0, 0, 1))
+            .with_event(Event::remove(7, Region::whole(32), remove_n));
+        let mut reference = Simulation::with_mode(setup.clone(), SweepMode::Serial);
+        reference.run(steps);
+        let expect = reference.particles();
+        for rebin in [1u32, 3, 16] {
+            let mut sim = Simulation::with_mode(setup.clone(), SweepMode::SoaBinned)
+                .with_rebin_interval(rebin);
+            sim.run(steps);
+            // PartialEq on Particle is field-exact over the raw f64s, so
+            // equality here means bit-for-bit identical trajectories.
+            prop_assert_eq!(&sim.particles(), &expect, "rebin {} diverged", rebin);
+            prop_assert_eq!(sim.expected_id_sum(), reference.expected_id_sum());
+            let report = sim.verify();
+            prop_assert!(report.passed(), "rebin {rebin}: {report:?}");
+        }
+    }
+
+    /// Force-field parity antisymmetry — the invariant behind the binned
+    /// kernel's corner-charge hoisting. At the mirrored relative position
+    /// (`1 − f`, dyadic so the mirror is exact) in a column of opposite
+    /// parity, the x-force negates bit-exactly and the y-force is
+    /// bit-identical: negation and squaring are sign-symmetric in IEEE
+    /// arithmetic and the kernel's corner pairing is commutative.
+    #[test]
+    fn force_field_parity_antisymmetry(
+        gridhalf in 2usize..32,
+        even_col in 0usize..16,
+        odd_col in 0usize..16,
+        fx_num in 1u64..64,
+        fy_num in 0u64..64,
+        qp in -5.0f64..5.0,
+    ) {
+        let grid = Grid::new(gridhalf * 2).unwrap();
+        let even_col = (even_col * 2) % grid.ncells();
+        let odd_col = (odd_col * 2 + 1) % grid.ncells();
+        let f = fx_num as f64 / 64.0; // dyadic: 1 - f is exact
+        let row = (fy_num as usize / 8) % grid.ncells();
+        let y = row as f64 + (fy_num % 8) as f64 / 8.0;
+        // Exact negation up to the sign of zero: a cancelling sum yields
+        // +0.0 in both parities (IEEE `-a + a = +0.0`), so a bitwise
+        // negation check must treat ±0.0 as one value.
+        let negates = |a: f64, b: f64| (a == 0.0 && b == 0.0) || a.to_bits() == (-b).to_bits();
+        let (ax_e, ay_e) = total_force(&grid, &SimConstants::CANONICAL, even_col as f64 + f, y, qp);
+        let (ax_o, ay_o) = total_force(&grid, &SimConstants::CANONICAL, odd_col as f64 + (1.0 - f), y, qp);
+        prop_assert!(negates(ax_e, ax_o), "fx must negate exactly: {ax_e} vs {ax_o}");
+        prop_assert_eq!(ay_e.to_bits(), ay_o.to_bits(), "fy must match exactly");
+        // Same relative position, opposite parity: every corner charge
+        // negates, so the whole force negates bit-exactly.
+        let (ax_n, ay_n) = total_force(&grid, &SimConstants::CANONICAL, odd_col as f64 + f, y, qp);
+        prop_assert!(negates(ax_e, ax_n), "{ax_e} vs {ax_n}");
+        prop_assert!(negates(ay_e, ay_n), "{ay_e} vs {ay_n}");
+    }
+
+    /// The binned store's O(columns) histogram fast path agrees with the
+    /// O(n) scan for every distribution family with mid-run injection and
+    /// removal, at every step of the run.
+    #[test]
+    fn binned_histogram_matches_scan_all_distributions(
+        which in 0usize..5,
+        n in 50u64..300,
+        k in 0u32..2,
+        m in -2i32..3,
+        steps in 10u32..30,
+        rebin in 1u32..6,
+        inject_n in 1u64..60,
+        remove_n in 1u64..60,
+    ) {
+        use pic_core::engine::SweepMode;
+        let grid = Grid::new(32).unwrap();
+        let dist = match which {
+            0 => Distribution::Uniform,
+            1 => Distribution::Geometric { r: 0.9 },
+            2 => Distribution::Sinusoidal,
+            3 => Distribution::Linear { alpha: 1.0, beta: 2.0 },
+            _ => Distribution::Patch { x0: 4, x1: 16, y0: 4, y1: 16 },
+        };
+        let setup = InitConfig::new(grid, n, dist)
+            .with_k(k)
+            .with_m(m)
+            .build()
+            .unwrap()
+            .with_event(Event::inject(3, Region { x0: 0, x1: 16, y0: 0, y1: 16 }, inject_n, 0, 0, 1))
+            .with_event(Event::remove(7, Region::whole(32), remove_n));
+        let mut sim = Simulation::with_mode(setup, SweepMode::SoaBinned)
+            .with_rebin_interval(rebin);
+        let mut h = Vec::new();
+        for _ in 0..steps {
+            sim.step();
+            sim.column_histogram_into(&mut h);
+            let mut scan = vec![0u64; grid.ncells()];
+            for p in sim.particles() {
+                scan[grid.cell_of(p.x)] += 1;
+            }
+            prop_assert_eq!(&h, &scan, "histogram diverged at step {}", sim.step_index());
+        }
+    }
 }
 
 /// Deterministic regression: same config builds identical populations.

@@ -86,6 +86,42 @@ pub fn diffuse_xcuts(
     out
 }
 
+/// Aggregate a per-mesh-cell-column particle histogram into
+/// per-processor-column counts under `xcuts`, reusing `out`.
+///
+/// This is the bridge between the engine's histogram readback
+/// (`Simulation::column_histogram_into`, an O(columns) prefix-sum read
+/// when the store is binned) and the per-processor-column counts the
+/// diffusion decision operates on: processor column `i` owns mesh columns
+/// `xcuts[i]..xcuts[i+1]`, so its count is the sum of that slice.
+pub fn per_column_counts_into(hist: &[u64], xcuts: &[usize], out: &mut Vec<u64>) {
+    let px = xcuts.len().checked_sub(1).expect("xcuts must be non-empty");
+    assert_eq!(
+        *xcuts.last().unwrap(),
+        hist.len(),
+        "last cut must pin the histogram's right edge"
+    );
+    out.clear();
+    out.resize(px, 0);
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = hist[xcuts[i]..xcuts[i + 1]].iter().sum();
+    }
+}
+
+/// One diffusion decision straight from a per-cell-column histogram: the
+/// counts never exist per particle on the deciding side, so a binned
+/// engine store feeds the balancer at O(columns) per invocation.
+pub fn diffuse_xcuts_from_histogram(
+    xcuts: &[usize],
+    hist: &[u64],
+    tau: u64,
+    border_w: usize,
+) -> Vec<usize> {
+    let mut counts = Vec::new();
+    per_column_counts_into(hist, xcuts, &mut counts);
+    diffuse_xcuts(xcuts, &counts, tau, border_w, hist.len())
+}
+
 /// Run the diffusion-balanced implementation on this rank with the
 /// paper's experimental x-only balancing.
 pub fn run_diffusion(
@@ -215,6 +251,66 @@ mod tests {
         }
         assert_eq!(cuts[0], 0);
         assert_eq!(cuts[4], 16);
+    }
+
+    #[test]
+    fn per_column_counts_aggregates_histogram_slices() {
+        let hist = [5u64, 0, 3, 7, 1, 2, 0, 4];
+        let mut out = vec![99; 7]; // stale contents must be overwritten
+        per_column_counts_into(&hist, &[0, 2, 5, 8], &mut out);
+        assert_eq!(out, vec![5, 11, 6]);
+        // Degenerate single-column world.
+        per_column_counts_into(&hist, &[0, 8], &mut out);
+        assert_eq!(out, vec![22]);
+        // The histogram-driven decision equals the counts-driven one.
+        let cuts = diffuse_xcuts_from_histogram(&[0, 2, 5, 8], &hist, 0, 1);
+        assert_eq!(cuts, diffuse_xcuts(&[0, 2, 5, 8], &[5, 11, 6], 0, 1, 8));
+    }
+
+    #[test]
+    fn binned_histogram_fast_path_drives_cut_movement() {
+        // End-to-end tentpole path: a SoaBinned simulation at rebin 1 keeps
+        // its column histogram fresh (O(columns) prefix-sum read, no
+        // per-particle scan), and that readback alone steers the diffusion
+        // cuts after the paper's drifting skewed cloud.
+        use pic_core::engine::{Simulation, SweepMode};
+        let grid = Grid::new(32).unwrap();
+        let setup = InitConfig::new(grid, 2000, Distribution::Geometric { r: 0.8 })
+            .with_m(1)
+            .build()
+            .unwrap();
+        let mut sim = Simulation::with_mode(setup, SweepMode::SoaBinned).with_rebin_interval(1);
+        let ncells = grid.ncells();
+        let px = 4;
+        let mut cuts: Vec<usize> = (0..=px).map(|i| i * ncells / px).collect();
+        let static_cuts = cuts.clone();
+        let mut hist = Vec::new();
+        let mut counts = Vec::new();
+        let (mut max_balanced, mut max_static) = (0u64, 0u64);
+        for _ in 0..40 {
+            sim.step();
+            sim.column_histogram_into(&mut hist);
+            // The fast-path histogram agrees with an O(n) rescan of the
+            // canonical population.
+            let mut scan = vec![0u64; ncells];
+            for p in sim.particles() {
+                scan[grid.cell_of(p.x)] += 1;
+            }
+            assert_eq!(hist, scan);
+            // Track worst-case per-processor-column load under moving vs
+            // frozen cuts (border_w 2 per step outruns the 1 cell/step
+            // drift, as in `balancing_reduces_max_count_vs_baseline`).
+            cuts = diffuse_xcuts_from_histogram(&cuts, &hist, 0, 2);
+            per_column_counts_into(&hist, &cuts, &mut counts);
+            max_balanced = max_balanced.max(*counts.iter().max().unwrap());
+            per_column_counts_into(&hist, &static_cuts, &mut counts);
+            max_static = max_static.max(*counts.iter().max().unwrap());
+        }
+        assert!(sim.verify().passed());
+        assert!(
+            max_balanced < max_static,
+            "histogram-driven cuts max {max_balanced} must beat static cuts max {max_static}"
+        );
     }
 
     #[test]

@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # Regenerate the sweep-engine benchmark baseline.
 #
-#   scripts/bench.sh            full run (1e4..1e6 particles), writes
-#                               BENCH_sweep.json at the repository root
-#   scripts/bench.sh --quick    CI smoke run (drops the 1e6 tier)
+#   scripts/bench.sh                 full run (1e4..1e6 particles), writes
+#                                    BENCH_sweep.json at the repository root
+#   scripts/bench.sh --quick         CI smoke run (drops the 1e6 tier)
+#   scripts/bench.sh --threads 1,2,4 thread counts for the scaling grid
+#                                    (default 1,2,4,8; pooled modes only —
+#                                    pre-sizes the pool via PIC_THREADS)
 #
-# Interpretation notes live in results/sweep_baseline.md.
+# All flags are forwarded to the bench_sweep binary. Interpretation notes
+# live in results/sweep_baseline.md and results/sweep_scaling.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

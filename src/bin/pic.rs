@@ -46,10 +46,15 @@ Implementation:
   --ranks P           thread-ranks for the parallel implementations (default 4)
 
 Single-process engine (--impl serial):
-  --sweep MODE        serial | parallel | soa | soa-chunked : particle sweep
-                      strategy and memory layout (default serial; all modes
-                      are bit-identical)
-  --chunk N           chunk size for --sweep soa-chunked (default 4096)
+  --sweep MODE        serial | parallel | soa | soa-chunked | soa-binned :
+                      particle sweep strategy and memory layout (default
+                      serial; all modes are bit-identical)
+  --chunk N           chunk size for --sweep soa-chunked / soa-binned
+                      (default 4096)
+  --rebin R           counting-sort interval for --sweep soa-binned
+                      (steps between re-sorts, default 1)
+  --threads T         cap the sweep worker pool at T threads (default:
+                      all cores; PIC_THREADS overrides the pool size)
 
 Diffusion balancer (--impl diffusion):
   --lb-interval F     steps between LB invocations (default 10)
@@ -206,10 +211,18 @@ fn main() {
                 "parallel" => SweepMode::Parallel,
                 "soa" => SweepMode::Soa,
                 "soa-chunked" => SweepMode::SoaChunked,
+                "soa-binned" => SweepMode::SoaBinned,
                 other => bail(&format!("bad sweep mode: {other}")),
             };
             let chunk: usize = args.parse("--chunk", pic_prk::core::pool::DEFAULT_CHUNK);
-            let mut sim = Simulation::with_mode(setup, sweep).with_chunk_size(chunk);
+            let rebin: u32 = args.parse("--rebin", pic_prk::core::bin::DEFAULT_REBIN);
+            if let Some(t) = args.value("--threads") {
+                let t: usize = t.parse().unwrap_or_else(|_| bail("bad --threads"));
+                pic_prk::core::pool::global().set_active_threads(t.max(1));
+            }
+            let mut sim = Simulation::with_mode(setup, sweep)
+                .with_chunk_size(chunk)
+                .with_rebin_interval(rebin);
             sim.run(steps);
             let report = sim.verify();
             summarize_serial(&report, sim.particle_count(), quiet);
