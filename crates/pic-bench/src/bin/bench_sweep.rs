@@ -1,10 +1,11 @@
 //! Emit `BENCH_sweep.json`: wall-clock ns/particle/step for every sweep
 //! mode of the single-process engine, across a thread-count grid, plus
-//! the chunk-size sensitivity of the chunked sweep and the rebin-interval
-//! sensitivity of the binned sweep.
+//! the chunk-size sensitivity of the chunked sweep, the rebin-interval
+//! sensitivity of the binned sweep, and a SIMD-on/SIMD-off pair for the
+//! binned sweep (vector backend vs forced-scalar kernel).
 //!
 //! ```text
-//! bench_sweep [--out PATH] [--quick] [--threads LIST]
+//! bench_sweep [--out PATH] [--quick] [--threads LIST] [--modes LIST]
 //! ```
 //!
 //! `--quick` drops the 1e6-particle tier (for CI smoke runs).
@@ -12,19 +13,23 @@
 //! `1,2,4,8`); the process pre-sizes the worker pool to the largest
 //! requested count (via `PIC_THREADS`) and then caps the active threads
 //! per measurement, so one process covers the whole scaling grid.
-//! Single-thread-by-construction modes (`aos-serial`, `soa-serial`) are
-//! measured once at 1 thread. The output is one JSON object with host
-//! metadata (core count, git commit, rustc version) and a record per
-//! (mode, n, threads, chunk, rebin) configuration; `scripts/bench.sh`
-//! runs this from the repository root so the artifact lands next to the
-//! other `BENCH_*` files.
+//! `--modes soa-serial,soa-binned` restricts the run to a subset of sweep
+//! modes (default: all five; the sensitivity scans only run when their
+//! mode is selected). Single-thread-by-construction modes (`aos-serial`,
+//! `soa-serial`) are measured once at 1 thread. The output is one JSON
+//! object with host metadata (core count, detected SIMD backend, git
+//! commit, rustc version) and a record per (mode, n, threads, chunk,
+//! rebin, simd) configuration; `scripts/bench.sh` runs this from the
+//! repository root so the artifact lands next to the other `BENCH_*`
+//! files.
 
 use pic_core::bin::DEFAULT_REBIN;
 use pic_core::dist::Distribution;
 use pic_core::engine::{Simulation, SweepMode};
 use pic_core::geometry::Grid;
 use pic_core::init::InitConfig;
-use pic_core::pool::{self, DEFAULT_CHUNK};
+use pic_core::pool;
+use pic_core::simd::SimdBackend;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -40,6 +45,17 @@ fn mode_name(mode: SweepMode) -> &'static str {
     }
 }
 
+fn mode_from_name(name: &str) -> Option<SweepMode> {
+    Some(match name {
+        "aos-serial" => SweepMode::Serial,
+        "aos-parallel" => SweepMode::Parallel,
+        "soa-serial" => SweepMode::Soa,
+        "soa-chunked" => SweepMode::SoaChunked,
+        "soa-binned" => SweepMode::SoaBinned,
+        _ => return None,
+    })
+}
+
 /// Whether a mode's sweep goes through the worker pool (and therefore
 /// belongs in the thread-scaling grid).
 fn mode_is_pooled(mode: SweepMode) -> bool {
@@ -53,27 +69,44 @@ struct Record {
     threads: usize,
     chunk: usize,
     rebin: u32,
+    /// SIMD backend the sweep kernel ran on: a vector ISA name or
+    /// "scalar" for `soa-binned`, "-" for modes without a SIMD path.
+    simd: &'static str,
     steps: u32,
     ns: f64,
 }
 
 /// Measure one configuration: warm up (pool spawn, cache fill, initial
-/// binning), then time `steps` steps and return ns per particle per step.
-fn time_mode(mode: SweepMode, chunk: usize, rebin: u32, n: u64, steps: u32) -> f64 {
+/// binning), then time `steps` steps and return ns per particle per step
+/// together with the effective chunk size the run used (`chunk: None`
+/// means the adaptive default; the resolved value is what gets recorded).
+fn time_mode(
+    mode: SweepMode,
+    chunk: Option<usize>,
+    rebin: u32,
+    backend: Option<SimdBackend>,
+    n: u64,
+    steps: u32,
+) -> (f64, usize) {
     let grid = Grid::new(GRID).unwrap();
     let setup = InitConfig::new(grid, n, Distribution::PAPER_SKEW)
         .with_m(1)
         .build()
         .unwrap();
-    let mut sim = Simulation::with_mode(setup, mode)
-        .with_chunk_size(chunk)
-        .with_rebin_interval(rebin);
+    let mut sim = Simulation::with_mode(setup, mode).with_rebin_interval(rebin);
+    if let Some(chunk) = chunk {
+        sim = sim.with_chunk_size(chunk);
+    }
+    if let Some(backend) = backend {
+        sim = sim.with_simd_backend(backend);
+    }
+    let effective_chunk = sim.chunk_size();
     sim.run(3);
     let t = Instant::now();
     sim.run(steps);
     let ns = t.elapsed().as_nanos() as f64;
     assert!(sim.verify().passed(), "{mode:?} n={n}: verification failed");
-    ns / (steps as f64 * n as f64)
+    (ns / (steps as f64 * n as f64), effective_chunk)
 }
 
 /// Steps per timing run, scaled so every tier takes a comparable wall time.
@@ -85,16 +118,37 @@ fn steps_for(n: u64) -> u32 {
     }
 }
 
-fn run_record(mode: SweepMode, chunk: usize, rebin: u32, n: u64, threads: usize) -> Record {
+fn run_record(
+    mode: SweepMode,
+    chunk: Option<usize>,
+    rebin: u32,
+    backend: Option<SimdBackend>,
+    n: u64,
+    threads: usize,
+) -> Record {
     let threads = pool::global().set_active_threads(threads);
     let steps = steps_for(n);
-    let ns = time_mode(mode, chunk, rebin, n, steps);
+    let (ns, effective_chunk) = time_mode(mode, chunk, rebin, backend, n, steps);
+    let simd = match (mode, backend) {
+        (SweepMode::SoaBinned, Some(b)) => b.name(),
+        (SweepMode::SoaBinned, None) => SimdBackend::detect().name(),
+        _ => "-",
+    };
     eprintln!(
-        "{:>12} n={n:<9} threads={threads} chunk={chunk:<6} rebin={rebin:<3} \
-         {ns:.2} ns/particle/step",
+        "{:>12} n={n:<9} threads={threads} chunk={effective_chunk:<6} rebin={rebin:<3} \
+         simd={simd:<6} {ns:.2} ns/particle/step",
         mode_name(mode)
     );
-    Record { mode: mode_name(mode), n, threads, chunk, rebin, steps, ns }
+    Record {
+        mode: mode_name(mode),
+        n,
+        threads,
+        chunk: effective_chunk,
+        rebin,
+        simd,
+        steps,
+        ns,
+    }
 }
 
 fn command_line(cmd: &str, args: &[&str]) -> String {
@@ -124,7 +178,32 @@ fn main() {
         .split(',')
         .map(|t| t.trim().parse().expect("bad --threads entry"))
         .collect();
-    assert!(!thread_counts.is_empty(), "--threads needs at least one count");
+    assert!(
+        !thread_counts.is_empty(),
+        "--threads needs at least one count"
+    );
+    let all_modes = [
+        SweepMode::Serial,
+        SweepMode::Parallel,
+        SweepMode::Soa,
+        SweepMode::SoaChunked,
+        SweepMode::SoaBinned,
+    ];
+    let modes: Vec<SweepMode> = match args
+        .iter()
+        .position(|a| a == "--modes")
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(list) => list
+            .split(',')
+            .map(|m| {
+                mode_from_name(m.trim())
+                    .unwrap_or_else(|| panic!("bad --modes entry: {m} (see --help of pic)"))
+            })
+            .collect(),
+        None => all_modes.to_vec(),
+    };
+    assert!(!modes.is_empty(), "--modes needs at least one mode");
 
     // Pre-size the pool to the largest requested count before first use;
     // individual measurements then cap the active threads. On hosts with
@@ -139,6 +218,7 @@ fn main() {
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let simd_backend = SimdBackend::detect();
     let git_commit = command_line("git", &["rev-parse", "--short", "HEAD"]);
     let rustc_version = command_line("rustc", &["--version"]);
 
@@ -147,40 +227,56 @@ fn main() {
     } else {
         &[10_000, 100_000, 1_000_000]
     };
-    let modes = [
-        SweepMode::Serial,
-        SweepMode::Parallel,
-        SweepMode::Soa,
-        SweepMode::SoaChunked,
-        SweepMode::SoaBinned,
-    ];
 
     let mut records = Vec::new();
     for &n in sizes {
-        for mode in modes {
+        for &mode in &modes {
             if mode_is_pooled(mode) {
                 for &t in &thread_counts {
-                    records.push(run_record(mode, DEFAULT_CHUNK, DEFAULT_REBIN, n, t));
+                    records.push(run_record(mode, None, DEFAULT_REBIN, None, n, t));
                 }
             } else {
-                records.push(run_record(mode, DEFAULT_CHUNK, DEFAULT_REBIN, n, 1));
+                records.push(run_record(mode, None, DEFAULT_REBIN, None, n, 1));
             }
+        }
+        // SIMD-off contrast rows: the binned sweep with the vector path
+        // forced to the scalar kernel, at 1 thread so the backend is the
+        // only variable. Skipped when the host has no vector backend —
+        // the default rows already are the scalar numbers.
+        if modes.contains(&SweepMode::SoaBinned) && simd_backend.is_vector() {
+            records.push(run_record(
+                SweepMode::SoaBinned,
+                None,
+                DEFAULT_REBIN,
+                Some(SimdBackend::Scalar),
+                n,
+                1,
+            ));
         }
     }
     // Sensitivity scans at the largest tier, single-threaded so the knob
-    // under study is the only variable.
+    // under study is the only variable (explicit chunk sizes here; the
+    // grid above uses the adaptive default).
     let n = *sizes.last().unwrap();
-    for chunk in [256usize, 1_024, 4_096, 16_384, 65_536] {
-        if chunk == DEFAULT_CHUNK {
-            continue; // already measured above
+    if modes.contains(&SweepMode::SoaChunked) {
+        for chunk in [256usize, 1_024, 4_096, 16_384, 65_536] {
+            records.push(run_record(
+                SweepMode::SoaChunked,
+                Some(chunk),
+                DEFAULT_REBIN,
+                None,
+                n,
+                1,
+            ));
         }
-        records.push(run_record(SweepMode::SoaChunked, chunk, DEFAULT_REBIN, n, 1));
     }
-    for rebin in [1u32, 3] {
-        if rebin == DEFAULT_REBIN {
-            continue; // already measured above
+    if modes.contains(&SweepMode::SoaBinned) {
+        for rebin in [1u32, 3] {
+            if rebin == DEFAULT_REBIN {
+                continue; // already measured above
+            }
+            records.push(run_record(SweepMode::SoaBinned, None, rebin, None, n, 1));
         }
-        records.push(run_record(SweepMode::SoaBinned, DEFAULT_CHUNK, rebin, n, 1));
     }
 
     let mut json = String::new();
@@ -189,6 +285,7 @@ fn main() {
     let _ = writeln!(json, "  \"grid\": {GRID},");
     let _ = writeln!(json, "  \"host_cores\": {host_cores},");
     let _ = writeln!(json, "  \"pool_threads\": {pool_threads},");
+    let _ = writeln!(json, "  \"simd_backend\": \"{}\",", simd_backend.name());
     let _ = writeln!(json, "  \"git_commit\": \"{git_commit}\",");
     let _ = writeln!(json, "  \"rustc_version\": \"{rustc_version}\",");
     let _ = writeln!(json, "  \"results\": [");
@@ -197,9 +294,9 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"mode\": \"{}\", \"n\": {}, \"threads\": {}, \
-             \"chunk\": {}, \"rebin\": {}, \"steps\": {}, \
+             \"chunk\": {}, \"rebin\": {}, \"simd\": \"{}\", \"steps\": {}, \
              \"ns_per_particle_step\": {:.3}}}{comma}",
-            r.mode, r.n, r.threads, r.chunk, r.rebin, r.steps, r.ns
+            r.mode, r.n, r.threads, r.chunk, r.rebin, r.simd, r.steps, r.ns
         );
     }
     let _ = writeln!(json, "  ]");

@@ -46,6 +46,7 @@ use crate::events::Region;
 use crate::geometry::Grid;
 use crate::particle::Particle;
 use crate::pool::{self, SyncMutPtr};
+use crate::simd::{self, SimdBackend};
 use crate::soa::ParticleBatch;
 
 /// Default rebin interval, chosen from the measured amortization curve
@@ -82,6 +83,10 @@ pub struct BinnedStore {
     /// before the next sweep and disables the histogram fast path.
     dirty: bool,
     rebin_interval: u32,
+    /// Instruction-set backend for the span kernel, selected once at
+    /// construction ([`SimdBackend::detect`]); every backend is
+    /// bit-identical, so this is a pure throughput knob.
+    backend: SimdBackend,
 }
 
 impl BinnedStore {
@@ -96,9 +101,21 @@ impl BinnedStore {
             age: 0,
             dirty: false,
             rebin_interval: rebin_interval.max(1),
+            backend: SimdBackend::detect(),
         };
         store.rebin(grid);
         store
+    }
+
+    /// The instruction-set backend the sweep kernel runs on.
+    pub fn simd_backend(&self) -> SimdBackend {
+        self.backend
+    }
+
+    /// Override the kernel backend (A/B measurements and the cross-backend
+    /// identity tests; results are bit-identical on every backend).
+    pub fn set_simd_backend(&mut self, backend: SimdBackend) {
+        self.backend = backend;
     }
 
     #[inline]
@@ -174,6 +191,7 @@ impl BinnedStore {
         }
         let n = self.batch.len();
         let parity = self.age & 1;
+        let backend = self.backend;
         let offsets = &self.offsets[..];
         let xp = SyncMutPtr::new(self.batch.x.as_mut_ptr());
         let yp = SyncMutPtr::new(self.batch.y.as_mut_ptr());
@@ -203,7 +221,17 @@ impl BinnedStore {
                         std::slice::from_raw_parts_mut(vyp.get().add(i), len),
                     )
                 };
-                advance_bin_span(grid, consts, q_left, x, y, vx, vy, &q[i..span_end]);
+                simd::advance_bin_span_simd(
+                    backend,
+                    grid,
+                    consts,
+                    q_left,
+                    x,
+                    y,
+                    vx,
+                    vy,
+                    &q[i..span_end],
+                );
                 i = span_end;
             }
         });
@@ -335,24 +363,11 @@ fn gather(src: &ParticleBatch, dst: &mut ParticleBatch, perm: &[usize]) {
     gather_field!(born_at, 0);
 }
 
-/// The parity-specialized sweep kernel: eqs. 1–2 over one bin-clipped
-/// span whose particles all share mesh-corner charges `q_left` (left
-/// column) and `−q_left` (right column).
-///
-/// Per particle this is the *same operation sequence* as
-/// `total_force` + the unbinned `advance_span`: the same four [`coulomb`]
-/// corner evaluations in the same pairing, the same half-acceleration
-/// integration, the same wrap. What the binning removes is per-particle
-/// work that is invariant across the span: the `mesh_charge` parity
-/// branches are gone (hoisted to `q_left`), and the force/integrate loop
-/// is split from the (branchy) wrap pass so the hot loop is branch-free —
-/// `coulomb`'s zero-distance guard is a value select — and eligible for
-/// autovectorization. Splitting is bit-neutral: particles are independent
-/// and each particle's own operation order is unchanged.
-#[allow(clippy::too_many_arguments)]
+/// The force-and-integrate half of the parity-specialized sweep kernel
+/// ([`advance_bin_span`]), exposed separately so the SIMD layer can run
+/// span tails (`len mod 4`) through exactly this code.
 #[inline(always)]
-fn advance_bin_span(
-    grid: &Grid,
+pub(crate) fn force_span(
     consts: &SimConstants,
     q_left: f64,
     x: &mut [f64],
@@ -371,7 +386,6 @@ fn advance_bin_span(
         // [0, L), where the truncation alone yields the identical index.
         let col = xi as usize;
         let row = yi as usize;
-        debug_assert_eq!((col, row), grid.cell_of_point(xi, yi));
         // The parity invariant (module docs): every particle in the span
         // agrees with the hoisted corner charge.
         debug_assert_eq!(mesh_charge(col, consts.q), q_left, "parity drift at x={xi}");
@@ -389,6 +403,45 @@ fn advance_bin_span(
         vx[i] += ax * dt;
         vy[i] += ay * dt;
     }
+}
+
+/// The parity-specialized sweep kernel: eqs. 1–2 over one bin-clipped
+/// span whose particles all share mesh-corner charges `q_left` (left
+/// column) and `−q_left` (right column). This is the scalar reference
+/// the SIMD backends ([`crate::simd`]) are proven bit-identical against,
+/// and the kernel the `Scalar` backend runs directly.
+///
+/// Per particle this is the *same operation sequence* as
+/// `total_force` + the unbinned `advance_span`: the same four [`coulomb`]
+/// corner evaluations in the same pairing, the same half-acceleration
+/// integration, the same wrap. What the binning removes is per-particle
+/// work that is invariant across the span: the `mesh_charge` parity
+/// branches are gone (hoisted to `q_left`), and the force/integrate loop
+/// ([`force_span`]) is split from the (branchy) wrap pass so the hot loop
+/// is branch-free — `coulomb`'s zero-distance guard is a value select —
+/// and eligible for autovectorization. Splitting is bit-neutral:
+/// particles are independent and each particle's own operation order is
+/// unchanged.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub(crate) fn advance_bin_span(
+    grid: &Grid,
+    consts: &SimConstants,
+    q_left: f64,
+    x: &mut [f64],
+    y: &mut [f64],
+    vx: &mut [f64],
+    vy: &mut [f64],
+    q: &[f64],
+) {
+    #[cfg(debug_assertions)]
+    for i in 0..x.len() {
+        debug_assert_eq!(
+            (x[i] as usize, y[i] as usize),
+            grid.cell_of_point(x[i], y[i])
+        );
+    }
+    force_span(consts, q_left, x, y, vx, vy, q);
     for i in 0..x.len() {
         x[i] = grid.wrap_coord(x[i]);
         y[i] = grid.wrap_coord(y[i]);

@@ -99,6 +99,20 @@ pub fn coulomb(dx: f64, dy: f64, q1: f64, q2: f64) -> (f64, f64) {
     (f_over_r * dx, f_over_r * dy)
 }
 
+/// Lane-wise [`coulomb`]: the identical operation sequence — two squares,
+/// one add, one sqrt, two multiplies, one divide, the zero-distance value
+/// select, two multiplies — applied to four particles at once, one per
+/// lane. Because every lane operation is IEEE-754 correctly rounded and
+/// no term is reassociated or fused, each lane's result is bit-identical
+/// to the scalar evaluation on that lane's operands (DESIGN.md §10).
+#[inline(always)]
+pub(crate) fn coulomb_lanes<V: crate::simd::Lanes>(dx: V, dy: V, q1: V, q2: V) -> (V, V) {
+    let r2 = dx.mul(dx).add(dy.mul(dy));
+    let f_over_r = q1.mul(q2).div(r2.mul(r2.sqrt()));
+    let f_over_r = f_over_r.zero_where_zero(r2);
+    (f_over_r.mul(dx), f_over_r.mul(dy))
+}
+
 /// Total Coulomb force on a particle with charge `qp` at position `(x, y)`
 /// from the four fixed charges at the corners of its containing cell.
 ///

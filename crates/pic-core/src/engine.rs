@@ -29,7 +29,8 @@ use crate::geometry::Grid;
 use crate::init::{apply_removal, build_injection, validate_event, InitError, SimulationSetup};
 use crate::motion::{advance_all, advance_all_parallel};
 use crate::particle::Particle;
-use crate::pool::DEFAULT_CHUNK;
+use crate::pool;
+use crate::simd::SimdBackend;
 use crate::soa::ParticleBatch;
 use crate::verify::{verify_all, VerifyReport, DEFAULT_TOLERANCE};
 
@@ -120,7 +121,10 @@ pub struct Simulation {
     next_id: u64,
     expected_id_sum: u128,
     mode: SweepMode,
-    chunk_size: usize,
+    /// Explicit chunk size for the pooled sweeps; `None` (the default)
+    /// selects [`pool::adaptive_chunk`] from the population size and the
+    /// active thread count at each step.
+    chunk_size: Option<usize>,
     rebin_interval: u32,
 }
 
@@ -159,22 +163,29 @@ impl Simulation {
             next_id: setup.next_id,
             expected_id_sum,
             mode,
-            chunk_size: DEFAULT_CHUNK,
+            chunk_size: None,
             rebin_interval: DEFAULT_REBIN,
         }
     }
 
-    /// Set the chunk size used by [`SweepMode::SoaChunked`] and
+    /// Set an explicit chunk size for [`SweepMode::SoaChunked`] and
     /// [`SweepMode::SoaBinned`] (ignored by the other modes). Values are
-    /// clamped to at least 1.
+    /// clamped to at least 1. Without this, the engine picks an adaptive
+    /// default — [`pool::adaptive_chunk`] — that scales with the
+    /// population and the active thread count so per-chunk dispatch
+    /// overhead never dominates. Chunk size affects scheduling only;
+    /// results are bit-identical for any value.
     pub fn with_chunk_size(mut self, chunk_size: usize) -> Simulation {
-        self.chunk_size = chunk_size.max(1);
+        self.chunk_size = Some(chunk_size.max(1));
         self
     }
 
-    /// The chunk size the chunked sweeps would use.
+    /// The chunk size the next chunked sweep would use (the explicit
+    /// setting, or the adaptive default for the current population).
     pub fn chunk_size(&self) -> usize {
-        self.chunk_size
+        self.chunk_size.unwrap_or_else(|| {
+            pool::adaptive_chunk(self.store.len(), pool::global().active_threads())
+        })
     }
 
     /// Set the rebin interval `R` used by [`SweepMode::SoaBinned`]
@@ -193,6 +204,28 @@ impl Simulation {
     /// The rebin interval the binned sweep would use.
     pub fn rebin_interval(&self) -> u32 {
         self.rebin_interval
+    }
+
+    /// Force a specific SIMD backend for the [`SweepMode::SoaBinned`]
+    /// kernel (no-op in the other modes, which don't use the explicit
+    /// SIMD layer). The default is [`SimdBackend::detect`] at
+    /// construction. Every backend is bit-identical; this is the A/B
+    /// handle behind the `PIC_NO_SIMD` environment variable and the
+    /// cross-backend identity tests.
+    pub fn with_simd_backend(mut self, backend: SimdBackend) -> Simulation {
+        if let ParticleStore::Binned(b) = &mut self.store {
+            b.set_simd_backend(backend);
+        }
+        self
+    }
+
+    /// The SIMD backend the binned sweep kernel runs on (`None` for modes
+    /// that don't use the explicit SIMD layer).
+    pub fn simd_backend(&self) -> Option<SimdBackend> {
+        match &self.store {
+            ParticleStore::Binned(b) => Some(b.simd_backend()),
+            _ => None,
+        }
     }
 
     /// The active sweep mode.
@@ -296,18 +329,22 @@ impl Simulation {
     pub fn step(&mut self) {
         self.apply_due_events();
         match (&mut self.store, self.mode) {
-            (ParticleStore::Aos(v), SweepMode::Serial) => {
-                advance_all(&self.grid, &self.consts, v)
-            }
+            (ParticleStore::Aos(v), SweepMode::Serial) => advance_all(&self.grid, &self.consts, v),
             (ParticleStore::Aos(v), SweepMode::Parallel) => {
                 advance_all_parallel(&self.grid, &self.consts, v)
             }
             (ParticleStore::Soa(b), SweepMode::Soa) => b.advance_all(&self.grid, &self.consts),
             (ParticleStore::Soa(b), SweepMode::SoaChunked) => {
-                b.advance_all_chunked(&self.grid, &self.consts, self.chunk_size)
+                let chunk = self.chunk_size.unwrap_or_else(|| {
+                    pool::adaptive_chunk(b.len(), pool::global().active_threads())
+                });
+                b.advance_all_chunked(&self.grid, &self.consts, chunk)
             }
             (ParticleStore::Binned(b), SweepMode::SoaBinned) => {
-                b.advance_all(&self.grid, &self.consts, self.chunk_size)
+                let chunk = self.chunk_size.unwrap_or_else(|| {
+                    pool::adaptive_chunk(b.len(), pool::global().active_threads())
+                });
+                b.advance_all(&self.grid, &self.consts, chunk)
             }
             // The constructor ties store layout to mode; the pairs above
             // are exhaustive in practice.
@@ -489,7 +526,7 @@ impl Simulation {
             next_id: cp.next_id,
             expected_id_sum: cp.expected_id_sum,
             mode,
-            chunk_size: DEFAULT_CHUNK,
+            chunk_size: None,
             rebin_interval: DEFAULT_REBIN,
         }
     }
@@ -533,7 +570,12 @@ mod tests {
 
     #[test]
     fn all_sweep_modes_match_serial_bitwise() {
-        let region = Region { x0: 0, x1: 8, y0: 0, y1: 8 };
+        let region = Region {
+            x0: 0,
+            x1: 8,
+            y0: 0,
+            y1: 8,
+        };
         let s = setup(400, Distribution::Geometric { r: 0.9 })
             .with_event(Event::inject(30, region, 10, 0, 1, 1))
             .with_event(Event::remove(25, Region::whole(32), 25));
@@ -600,8 +642,14 @@ mod tests {
 
     #[test]
     fn injection_updates_ledger_and_verifies() {
-        let region = Region { x0: 0, x1: 8, y0: 0, y1: 8 };
-        let s = setup(100, Distribution::Uniform).with_event(Event::inject(10, region, 50, 0, 0, 1));
+        let region = Region {
+            x0: 0,
+            x1: 8,
+            y0: 0,
+            y1: 8,
+        };
+        let s =
+            setup(100, Distribution::Uniform).with_event(Event::inject(10, region, 50, 0, 0, 1));
         let mut sim = Simulation::new(s);
         sim.run(30);
         assert_eq!(sim.particle_count(), 150);
@@ -616,8 +664,8 @@ mod tests {
 
     #[test]
     fn removal_updates_ledger_and_verifies() {
-        let s = setup(100, Distribution::Uniform)
-            .with_event(Event::remove(5, Region::whole(32), 30));
+        let s =
+            setup(100, Distribution::Uniform).with_event(Event::remove(5, Region::whole(32), 30));
         let mut sim = Simulation::new(s);
         sim.run(20);
         assert_eq!(sim.particle_count(), 70);
@@ -628,7 +676,12 @@ mod tests {
 
     #[test]
     fn events_fire_in_step_order_even_if_added_unsorted() {
-        let region = Region { x0: 0, x1: 32, y0: 0, y1: 32 };
+        let region = Region {
+            x0: 0,
+            x1: 32,
+            y0: 0,
+            y1: 32,
+        };
         let s = setup(10, Distribution::Uniform)
             .with_event(Event::inject(20, region, 5, 0, 0, 1))
             .with_event(Event::inject(5, region, 7, 0, 0, 1));
@@ -682,7 +735,12 @@ mod tests {
 
     #[test]
     fn checkpoint_resume_is_bit_exact() {
-        let region = Region { x0: 0, x1: 8, y0: 0, y1: 8 };
+        let region = Region {
+            x0: 0,
+            x1: 8,
+            y0: 0,
+            y1: 8,
+        };
         let setup = setup(200, Distribution::Geometric { r: 0.9 })
             .with_event(Event::inject(25, region, 30, 0, 1, 1))
             .with_event(Event::remove(40, Region::whole(32), 20));
@@ -705,7 +763,12 @@ mod tests {
 
     #[test]
     fn checkpoint_mid_events_keeps_pending_only() {
-        let region = Region { x0: 0, x1: 8, y0: 0, y1: 8 };
+        let region = Region {
+            x0: 0,
+            x1: 8,
+            y0: 0,
+            y1: 8,
+        };
         let setup = setup(100, Distribution::Uniform)
             .with_event(Event::inject(5, region, 10, 0, 0, 1))
             .with_event(Event::inject(50, region, 10, 0, 0, 1));

@@ -50,6 +50,7 @@ pub mod motion;
 pub mod particle;
 pub mod pool;
 pub mod rng;
+pub mod simd;
 pub mod soa;
 pub mod trajectory;
 pub mod verify;
@@ -61,11 +62,12 @@ pub mod prelude {
     pub use crate::charge_grid::ChargeGrid;
     pub use crate::dist::Distribution;
     pub use crate::engine::{Simulation, SweepMode};
-    pub use crate::init::SimulationSetup;
     pub use crate::events::{Event, EventKind, Region};
     pub use crate::geometry::Grid;
+    pub use crate::init::SimulationSetup;
     pub use crate::init::{InitConfig, InitError, RowSpread, SkewAxis};
     pub use crate::particle::Particle;
+    pub use crate::simd::SimdBackend;
     pub use crate::soa::ParticleBatch;
     pub use crate::verify::{verify_particle, VerifyReport};
 }

@@ -55,7 +55,8 @@ pub fn advance_all(grid: &Grid, consts: &SimConstants, particles: &mut [Particle
 pub fn advance_all_parallel(grid: &Grid, consts: &SimConstants, particles: &mut [Particle]) {
     let len = particles.len();
     let base = crate::pool::SyncMutPtr::new(particles.as_mut_ptr());
-    crate::pool::global().run_chunked(len, crate::pool::DEFAULT_CHUNK, &|start, end| {
+    let chunk = crate::pool::adaptive_chunk(len, crate::pool::global().active_threads());
+    crate::pool::global().run_chunked(len, chunk, &|start, end| {
         // Chunks are disjoint, so each subslice is exclusively owned here.
         let span = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
         for p in span {
@@ -69,7 +70,15 @@ mod tests {
     use super::*;
     use crate::charge::{particle_charge, sign_for_direction};
 
-    fn make(grid: &Grid, consts: &SimConstants, col: usize, row: usize, k: u32, m: i32, dir: i8) -> Particle {
+    fn make(
+        grid: &Grid,
+        consts: &SimConstants,
+        col: usize,
+        row: usize,
+        k: u32,
+        m: i32,
+        dir: i8,
+    ) -> Particle {
         let (x, y) = grid.cell_center(col, row);
         Particle {
             id: 1,
@@ -118,7 +127,11 @@ mod tests {
             advance_particle(&g, &c, &mut p);
         }
         // 5 steps × 3 cells, starting at 0.5, wrapping at 16.
-        assert!((p.y - g.wrap_coord(0.5 + 15.0)).abs() < 1e-12, "y = {}", p.y);
+        assert!(
+            (p.y - g.wrap_coord(0.5 + 15.0)).abs() < 1e-12,
+            "y = {}",
+            p.y
+        );
         assert!((p.vy - 3.0).abs() < 1e-12);
     }
 
@@ -132,7 +145,11 @@ mod tests {
         advance_particle(&g, &c, &mut p);
         assert!((p.x - 0.5).abs() < 1e-12, "x = {}", p.x);
         advance_particle(&g, &c, &mut p);
-        assert!((p.x - 15.5).abs() < 1e-12, "periodic wrap leftward, x = {}", p.x);
+        assert!(
+            (p.x - 15.5).abs() < 1e-12,
+            "periodic wrap leftward, x = {}",
+            p.x
+        );
     }
 
     #[test]
@@ -157,7 +174,15 @@ mod tests {
         let c = SimConstants::default();
         let mut a: Vec<Particle> = (0..200)
             .map(|i| {
-                let mut p = make(&g, &c, (i * 7) % 32, (i * 3) % 32, (i % 3) as u32, (i % 5) as i32 - 2, if i % 2 == 0 { 1 } else { -1 });
+                let mut p = make(
+                    &g,
+                    &c,
+                    (i * 7) % 32,
+                    (i * 3) % 32,
+                    (i % 3) as u32,
+                    (i % 5) as i32 - 2,
+                    if i % 2 == 0 { 1 } else { -1 },
+                );
                 p.id = i as u64 + 1;
                 p
             })

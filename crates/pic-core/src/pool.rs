@@ -35,8 +35,34 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Default sweep chunk size: big enough that the claim `fetch_add` is
 /// amortized to noise, small enough that a skewed tail still spreads over
-/// the pool (see `BENCH_sweep.json` for the measured sensitivity).
+/// the pool (see `BENCH_sweep.json` for the measured sensitivity). This is
+/// also the *floor* of [`adaptive_chunk`] — the engine's default when no
+/// explicit chunk size is configured.
 pub const DEFAULT_CHUNK: usize = 4096;
+
+/// Chunks-per-thread target of [`adaptive_chunk`]. More than one chunk per
+/// thread keeps dynamic self-scheduling meaningful (a late thread can pick
+/// up slack); too many re-introduces the per-chunk dispatch overhead the
+/// adaptive size exists to amortize.
+pub const CHUNK_OVERSUBSCRIPTION: usize = 4;
+
+/// Adaptive default chunk size for a sweep over `len` indices on `threads`
+/// participating threads: `max(DEFAULT_CHUNK, len / (threads ·
+/// CHUNK_OVERSUBSCRIPTION))`.
+///
+/// A fixed chunk size couples dispatch overhead to the population size:
+/// at `len = 1e5` a 4096-element chunk means ~25 dyn-dispatched closure
+/// calls per sweep whether or not there are threads to feed, which is what
+/// made the fixed-chunk `soa-chunked` rows trail `soa-serial` in the PR 2
+/// baseline. Scaling the chunk with `len / threads` caps the dispatch
+/// count at `CHUNK_OVERSUBSCRIPTION` chunks per thread while the
+/// `DEFAULT_CHUNK` floor keeps small populations from degenerating into
+/// per-particle dispatch. Chunk size never affects results — only
+/// scheduling — so the adaptive choice preserves bit-identity trivially.
+pub fn adaptive_chunk(len: usize, threads: usize) -> usize {
+    let slots = threads.max(1).saturating_mul(CHUNK_OVERSUBSCRIPTION);
+    (len / slots).max(DEFAULT_CHUNK)
+}
 
 /// A `*mut T` that may be shared across the pool's threads. The pool's
 /// drain handshake guarantees exclusive, disjoint use: each chunk of the
@@ -129,7 +155,12 @@ impl Pool {
             .unwrap_or(hw);
         let workers = threads.saturating_sub(1);
         let shared = Arc::new(Shared {
-            state: Mutex::new(State { epoch: 0, job: None, running: 0, joined: 0 }),
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                running: 0,
+                joined: 0,
+            }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             cursor: AtomicUsize::new(0),
@@ -142,7 +173,12 @@ impl Pool {
                 .spawn(move || worker_loop(&shared))
                 .expect("spawn sweep worker");
         }
-        Pool { shared, workers, active_cap: AtomicUsize::new(workers), submit: Mutex::new(()) }
+        Pool {
+            shared,
+            workers,
+            active_cap: AtomicUsize::new(workers),
+            submit: Mutex::new(()),
+        }
     }
 
     /// Total threads that can participate in a sweep (workers + submitter).
@@ -298,6 +334,18 @@ mod tests {
                 "chunk={chunk}: some index not covered exactly once"
             );
         }
+    }
+
+    #[test]
+    fn adaptive_chunk_floors_and_scales() {
+        // Small populations stay at the floor…
+        assert_eq!(adaptive_chunk(0, 4), DEFAULT_CHUNK);
+        assert_eq!(adaptive_chunk(10_000, 1), DEFAULT_CHUNK);
+        // …large ones scale to CHUNK_OVERSUBSCRIPTION chunks per thread…
+        assert_eq!(adaptive_chunk(1_000_000, 1), 250_000);
+        assert_eq!(adaptive_chunk(1_000_000, 4), 62_500);
+        // …and a degenerate thread count is treated as one thread.
+        assert_eq!(adaptive_chunk(1_000_000, 0), 250_000);
     }
 
     #[test]

@@ -1,0 +1,782 @@
+//! Explicit SIMD backends for the binned sweep kernel.
+//!
+//! The binned kernel (`advance_bin_span`, see [`crate::bin`]) was shaped
+//! branch-free so the compiler *could* vectorize it, but the baseline
+//! x86-64 target only licenses 2-lane SSE2 autovectorization and the
+//! sqrt/divide chain in [`coulomb`] dominates the critical path. This
+//! module vectorizes the kernel by hand, four particles per iteration
+//! (**lane-per-particle**), with the widest instruction set the host
+//! actually has — selected once at engine construction, not at compile
+//! time, so one binary serves every deployment target.
+//!
+//! ## Backends
+//!
+//! * [`SimdBackend::Avx2`] — one 256-bit register per quartet (x86-64,
+//!   runtime-detected via `is_x86_feature_detected!`). AVX2 only: the
+//!   backend deliberately does **not** enable FMA, because a fused
+//!   multiply-add rounds once where the scalar kernel rounds twice and
+//!   would break bit-identity.
+//! * [`SimdBackend::Sse2`] — two 128-bit registers per quartet; SSE2 is
+//!   part of the x86-64 baseline, so this backend needs no detection.
+//! * [`SimdBackend::Neon`] — two 128-bit registers per quartet; NEON is
+//!   mandatory on aarch64, so this backend needs no detection.
+//! * [`SimdBackend::Scalar`] — the scalar reference kernel itself. Always
+//!   available, and forcible at runtime with `PIC_NO_SIMD=1` for A/B
+//!   measurements and for keeping the fallback path under test on
+//!   vector-capable hosts.
+//!
+//! ## Why the vector path is bit-identical (DESIGN.md §10)
+//!
+//! Lane-wise `+ − × ÷ sqrt` are IEEE-754 **correctly rounded** on every
+//! supported backend, i.e. each lane computes exactly what the scalar
+//! instruction computes on that lane's operands. The kernel assigns one
+//! particle per lane and performs, per lane, the *same operation sequence
+//! in the same order* as the scalar kernel — the four corner evaluations
+//! are unrolled across the lane group in the scalar kernel's pairing and
+//! summation order, nothing is reassociated across a particle's own
+//! arithmetic, and no FMA contraction is permitted. Span tails (`len mod
+//! 4`) run the scalar kernel unchanged, and the wrap pass takes each lane
+//! through the exact scalar [`Grid::wrap_coord`] whenever any lane left
+//! the domain. Particles are independent within a step, so processing
+//! them four at a time changes *where* arithmetic happens, never *what*
+//! arithmetic happens — asserted by the SIMD-vs-scalar property-test
+//! family across every backend the host can run.
+//!
+//! [`coulomb`]: crate::charge::coulomb
+
+use crate::charge::{coulomb_lanes, SimConstants};
+use crate::geometry::Grid;
+
+/// Number of f64 lanes every backend processes per iteration.
+pub const LANES: usize = 4;
+
+/// The instruction-set backend driving [`advance_bin_span_simd`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdBackend {
+    /// 4 × f64 in one 256-bit register (x86-64, runtime-detected; FMA
+    /// deliberately unused).
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    /// 4 × f64 in two 128-bit registers (x86-64 baseline).
+    #[cfg(target_arch = "x86_64")]
+    Sse2,
+    /// 4 × f64 in two 128-bit registers (aarch64 baseline).
+    #[cfg(target_arch = "aarch64")]
+    Neon,
+    /// The scalar reference kernel (any arch; forced by `PIC_NO_SIMD=1`).
+    Scalar,
+}
+
+impl SimdBackend {
+    /// Pick the widest backend the host supports, honouring the
+    /// `PIC_NO_SIMD` escape hatch. Called once per engine construction;
+    /// the choice is recorded so benchmarks and logs can report it.
+    pub fn detect() -> SimdBackend {
+        if scalar_forced_by(std::env::var("PIC_NO_SIMD").ok().as_deref()) {
+            return SimdBackend::Scalar;
+        }
+        Self::widest_available()
+    }
+
+    /// The widest backend the host supports, ignoring `PIC_NO_SIMD`.
+    pub fn widest_available() -> SimdBackend {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return SimdBackend::Avx2;
+            }
+            SimdBackend::Sse2
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            SimdBackend::Neon
+        }
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+        {
+            SimdBackend::Scalar
+        }
+    }
+
+    /// Every backend the host can execute, scalar last — the test grid
+    /// iterates this so vector-vs-scalar identity is proven on whatever
+    /// hardware runs the suite.
+    pub fn available() -> Vec<SimdBackend> {
+        let mut v = Vec::new();
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                v.push(SimdBackend::Avx2);
+            }
+            v.push(SimdBackend::Sse2);
+        }
+        #[cfg(target_arch = "aarch64")]
+        v.push(SimdBackend::Neon);
+        v.push(SimdBackend::Scalar);
+        v
+    }
+
+    /// Stable lower-case name for logs and benchmark metadata.
+    pub fn name(self) -> &'static str {
+        match self {
+            #[cfg(target_arch = "x86_64")]
+            SimdBackend::Avx2 => "avx2",
+            #[cfg(target_arch = "x86_64")]
+            SimdBackend::Sse2 => "sse2",
+            #[cfg(target_arch = "aarch64")]
+            SimdBackend::Neon => "neon",
+            SimdBackend::Scalar => "scalar",
+        }
+    }
+
+    /// Whether this backend uses vector registers (false only for the
+    /// scalar fallback).
+    pub fn is_vector(self) -> bool {
+        self != SimdBackend::Scalar
+    }
+}
+
+/// `PIC_NO_SIMD` semantics, factored out so the parse is testable without
+/// mutating the process environment: any value other than empty/`0` forces
+/// the scalar backend.
+fn scalar_forced_by(val: Option<&str>) -> bool {
+    match val {
+        None => false,
+        Some(v) => {
+            let v = v.trim();
+            !v.is_empty() && v != "0"
+        }
+    }
+}
+
+/// Four f64 lanes with correctly-rounded lane-wise arithmetic. Every
+/// operation maps to one (or two, for the split-register backends)
+/// machine instruction whose per-lane result is bit-identical to the
+/// corresponding scalar instruction — the property the whole module rests
+/// on. Implementations are `#[inline(always)]` so they fuse into the
+/// per-backend kernel instantiations below.
+pub(crate) trait Lanes: Copy {
+    /// Load 4 lanes from `p` (unaligned).
+    ///
+    /// # Safety
+    /// `p` must be valid for reading 4 consecutive f64 values.
+    unsafe fn load(p: *const f64) -> Self;
+    /// Store 4 lanes to `p` (unaligned).
+    ///
+    /// # Safety
+    /// `p` must be valid for writing 4 consecutive f64 values.
+    unsafe fn store(self, p: *mut f64);
+    fn splat(v: f64) -> Self;
+    fn add(self, o: Self) -> Self;
+    fn sub(self, o: Self) -> Self;
+    fn mul(self, o: Self) -> Self;
+    fn div(self, o: Self) -> Self;
+    fn sqrt(self) -> Self;
+    /// Truncate toward zero through the arch's f64→int→f64 round trip —
+    /// exactly the scalar kernel's `x as usize as f64` for in-domain
+    /// coordinates (which fit comfortably in the narrowest intermediate,
+    /// i32).
+    fn trunc(self) -> Self;
+    /// Zero every lane of `self` whose lane in `r2` equals `0.0` — the
+    /// vector form of [`coulomb`]'s value-select zero-distance guard.
+    ///
+    /// [`coulomb`]: crate::charge::coulomb
+    fn zero_where_zero(self, r2: Self) -> Self;
+    /// Whether every lane lies in `[0.0, hi)` — the wrap pass's fast-path
+    /// test.
+    fn all_in_range(self, hi: f64) -> bool;
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::Lanes;
+    use std::arch::x86_64::*;
+
+    /// 4 × f64 in one ymm register.
+    #[derive(Clone, Copy)]
+    pub struct Avx2(__m256d);
+
+    impl Lanes for Avx2 {
+        #[inline(always)]
+        unsafe fn load(p: *const f64) -> Self {
+            Avx2(_mm256_loadu_pd(p))
+        }
+
+        #[inline(always)]
+        unsafe fn store(self, p: *mut f64) {
+            _mm256_storeu_pd(p, self.0)
+        }
+
+        #[inline(always)]
+        fn splat(v: f64) -> Self {
+            Avx2(unsafe { _mm256_set1_pd(v) })
+        }
+
+        #[inline(always)]
+        fn add(self, o: Self) -> Self {
+            Avx2(unsafe { _mm256_add_pd(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn sub(self, o: Self) -> Self {
+            Avx2(unsafe { _mm256_sub_pd(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn mul(self, o: Self) -> Self {
+            Avx2(unsafe { _mm256_mul_pd(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn div(self, o: Self) -> Self {
+            Avx2(unsafe { _mm256_div_pd(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn sqrt(self) -> Self {
+            Avx2(unsafe { _mm256_sqrt_pd(self.0) })
+        }
+
+        #[inline(always)]
+        fn trunc(self) -> Self {
+            Avx2(unsafe { _mm256_cvtepi32_pd(_mm256_cvttpd_epi32(self.0)) })
+        }
+
+        #[inline(always)]
+        fn zero_where_zero(self, r2: Self) -> Self {
+            unsafe {
+                let zero_mask = _mm256_cmp_pd::<_CMP_EQ_OQ>(r2.0, _mm256_setzero_pd());
+                Avx2(_mm256_andnot_pd(zero_mask, self.0))
+            }
+        }
+
+        #[inline(always)]
+        fn all_in_range(self, hi: f64) -> bool {
+            unsafe {
+                let ge = _mm256_cmp_pd::<_CMP_GE_OQ>(self.0, _mm256_setzero_pd());
+                let lt = _mm256_cmp_pd::<_CMP_LT_OQ>(self.0, _mm256_set1_pd(hi));
+                _mm256_movemask_pd(_mm256_and_pd(ge, lt)) == 0b1111
+            }
+        }
+    }
+
+    /// 4 × f64 in two xmm registers (x86-64 baseline: no detection needed).
+    #[derive(Clone, Copy)]
+    pub struct Sse2(__m128d, __m128d);
+
+    impl Lanes for Sse2 {
+        #[inline(always)]
+        unsafe fn load(p: *const f64) -> Self {
+            Sse2(_mm_loadu_pd(p), _mm_loadu_pd(p.add(2)))
+        }
+
+        #[inline(always)]
+        unsafe fn store(self, p: *mut f64) {
+            _mm_storeu_pd(p, self.0);
+            _mm_storeu_pd(p.add(2), self.1);
+        }
+
+        #[inline(always)]
+        fn splat(v: f64) -> Self {
+            unsafe { Sse2(_mm_set1_pd(v), _mm_set1_pd(v)) }
+        }
+
+        #[inline(always)]
+        fn add(self, o: Self) -> Self {
+            unsafe { Sse2(_mm_add_pd(self.0, o.0), _mm_add_pd(self.1, o.1)) }
+        }
+
+        #[inline(always)]
+        fn sub(self, o: Self) -> Self {
+            unsafe { Sse2(_mm_sub_pd(self.0, o.0), _mm_sub_pd(self.1, o.1)) }
+        }
+
+        #[inline(always)]
+        fn mul(self, o: Self) -> Self {
+            unsafe { Sse2(_mm_mul_pd(self.0, o.0), _mm_mul_pd(self.1, o.1)) }
+        }
+
+        #[inline(always)]
+        fn div(self, o: Self) -> Self {
+            unsafe { Sse2(_mm_div_pd(self.0, o.0), _mm_div_pd(self.1, o.1)) }
+        }
+
+        #[inline(always)]
+        fn sqrt(self) -> Self {
+            unsafe { Sse2(_mm_sqrt_pd(self.0), _mm_sqrt_pd(self.1)) }
+        }
+
+        #[inline(always)]
+        fn trunc(self) -> Self {
+            unsafe {
+                Sse2(
+                    _mm_cvtepi32_pd(_mm_cvttpd_epi32(self.0)),
+                    _mm_cvtepi32_pd(_mm_cvttpd_epi32(self.1)),
+                )
+            }
+        }
+
+        #[inline(always)]
+        fn zero_where_zero(self, r2: Self) -> Self {
+            unsafe {
+                let z = _mm_setzero_pd();
+                Sse2(
+                    _mm_andnot_pd(_mm_cmpeq_pd(r2.0, z), self.0),
+                    _mm_andnot_pd(_mm_cmpeq_pd(r2.1, z), self.1),
+                )
+            }
+        }
+
+        #[inline(always)]
+        fn all_in_range(self, hi: f64) -> bool {
+            unsafe {
+                let z = _mm_setzero_pd();
+                let h = _mm_set1_pd(hi);
+                let lo = _mm_and_pd(_mm_cmpge_pd(self.0, z), _mm_cmplt_pd(self.0, h));
+                let hi_half = _mm_and_pd(_mm_cmpge_pd(self.1, z), _mm_cmplt_pd(self.1, h));
+                _mm_movemask_pd(lo) == 0b11 && _mm_movemask_pd(hi_half) == 0b11
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod arm {
+    use super::Lanes;
+    use std::arch::aarch64::*;
+
+    /// 4 × f64 in two NEON q registers (aarch64 baseline: no detection
+    /// needed).
+    #[derive(Clone, Copy)]
+    pub struct Neon(float64x2_t, float64x2_t);
+
+    impl Lanes for Neon {
+        #[inline(always)]
+        unsafe fn load(p: *const f64) -> Self {
+            Neon(vld1q_f64(p), vld1q_f64(p.add(2)))
+        }
+
+        #[inline(always)]
+        unsafe fn store(self, p: *mut f64) {
+            vst1q_f64(p, self.0);
+            vst1q_f64(p.add(2), self.1);
+        }
+
+        #[inline(always)]
+        fn splat(v: f64) -> Self {
+            unsafe { Neon(vdupq_n_f64(v), vdupq_n_f64(v)) }
+        }
+
+        #[inline(always)]
+        fn add(self, o: Self) -> Self {
+            unsafe { Neon(vaddq_f64(self.0, o.0), vaddq_f64(self.1, o.1)) }
+        }
+
+        #[inline(always)]
+        fn sub(self, o: Self) -> Self {
+            unsafe { Neon(vsubq_f64(self.0, o.0), vsubq_f64(self.1, o.1)) }
+        }
+
+        #[inline(always)]
+        fn mul(self, o: Self) -> Self {
+            unsafe { Neon(vmulq_f64(self.0, o.0), vmulq_f64(self.1, o.1)) }
+        }
+
+        #[inline(always)]
+        fn div(self, o: Self) -> Self {
+            unsafe { Neon(vdivq_f64(self.0, o.0), vdivq_f64(self.1, o.1)) }
+        }
+
+        #[inline(always)]
+        fn sqrt(self) -> Self {
+            unsafe { Neon(vsqrtq_f64(self.0), vsqrtq_f64(self.1)) }
+        }
+
+        #[inline(always)]
+        fn trunc(self) -> Self {
+            unsafe {
+                Neon(
+                    vcvtq_f64_s64(vcvtq_s64_f64(self.0)),
+                    vcvtq_f64_s64(vcvtq_s64_f64(self.1)),
+                )
+            }
+        }
+
+        #[inline(always)]
+        fn zero_where_zero(self, r2: Self) -> Self {
+            unsafe {
+                let z = vdupq_n_f64(0.0);
+                Neon(
+                    vbslq_f64(vceqq_f64(r2.0, z), z, self.0),
+                    vbslq_f64(vceqq_f64(r2.1, z), z, self.1),
+                )
+            }
+        }
+
+        #[inline(always)]
+        fn all_in_range(self, hi: f64) -> bool {
+            unsafe {
+                let z = vdupq_n_f64(0.0);
+                let h = vdupq_n_f64(hi);
+                let lo = vandq_u64(vcgeq_f64(self.0, z), vcltq_f64(self.0, h));
+                let up = vandq_u64(vcgeq_f64(self.1, z), vcltq_f64(self.1, h));
+                let both = vandq_u64(lo, up);
+                vminvq_u32(vreinterpretq_u32_u64(both)) == u32::MAX
+            }
+        }
+    }
+}
+
+/// Force-and-integrate over `groups` quartets starting at the span base —
+/// the vector transcription of the scalar kernel's first loop, lane per
+/// particle, four corner evaluations unrolled in the scalar pairing and
+/// summation order.
+///
+/// # Safety
+/// The pointers must each be valid for `groups * LANES` elements and the
+/// x/y/vx/vy regions must be disjoint (they are distinct SoA columns).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+unsafe fn force_groups<V: Lanes>(
+    consts: &SimConstants,
+    q_left: f64,
+    x: *mut f64,
+    y: *mut f64,
+    vx: *mut f64,
+    vy: *mut f64,
+    q: *const f64,
+    groups: usize,
+) {
+    let dt = V::splat(consts.dt);
+    let h = V::splat(consts.h);
+    let half = V::splat(0.5);
+    let ql = V::splat(q_left);
+    let qr = V::splat(-q_left);
+    for g in 0..groups {
+        let o = g * LANES;
+        let xi = V::load(x.add(o));
+        let yi = V::load(y.add(o));
+        // `cell_of` minus the defensive clamp, as in the scalar kernel:
+        // wrapped coordinates lie in [0, L) where truncation alone yields
+        // the identical column/row index.
+        let col = xi.trunc();
+        let row = yi.trunc();
+        let rx = xi.sub(col);
+        let ry = yi.sub(row);
+        let qp = V::load(q.add(o));
+        let (fx0, fy0) = coulomb_lanes(rx, ry, ql, qp); // bottom-left
+        let (fx1, fy1) = coulomb_lanes(rx, ry.sub(h), ql, qp); // top-left
+        let (fx2, fy2) = coulomb_lanes(rx.sub(h), ry, qr, qp); // bottom-right
+        let (fx3, fy3) = coulomb_lanes(rx.sub(h), ry.sub(h), qr, qp); // top-right
+        let ax = (fx0.add(fx1)).add(fx2.add(fx3));
+        let ay = (fy0.add(fy1)).add(fy2.add(fy3));
+        let vxi = V::load(vx.add(o));
+        let vyi = V::load(vy.add(o));
+        // x += (vx + 0.5·ax·dt)·dt — same association as the scalar kernel.
+        xi.add(vxi.add(half.mul(ax).mul(dt)).mul(dt))
+            .store(x.add(o));
+        yi.add(vyi.add(half.mul(ay).mul(dt)).mul(dt))
+            .store(y.add(o));
+        vxi.add(ax.mul(dt)).store(vx.add(o));
+        vyi.add(ay.mul(dt)).store(vy.add(o));
+    }
+}
+
+/// Periodic wrap over `groups` quartets: a vector range test selects the
+/// (overwhelmingly common) all-in-domain fast path; any quartet with an
+/// escaped lane goes through the exact scalar [`Grid::wrap_coord`], so the
+/// pass is bit-identical to the scalar wrap loop by construction.
+///
+/// # Safety
+/// `c` must be valid for `groups * LANES` elements.
+#[inline(always)]
+unsafe fn wrap_groups<V: Lanes>(grid: &Grid, c: *mut f64, groups: usize) {
+    let l = grid.extent();
+    for g in 0..groups {
+        let p = c.add(g * LANES);
+        if V::load(p).all_in_range(l) {
+            continue;
+        }
+        for k in 0..LANES {
+            *p.add(k) = grid.wrap_coord(*p.add(k));
+        }
+    }
+}
+
+/// The full span kernel for one vector backend: quartets through
+/// [`force_groups`], the `len mod 4` tail through the scalar kernel, then
+/// the wrap pass (vector fast-path test, scalar wrap for escaped lanes).
+///
+/// # Safety
+/// Vector ops of `V` must be executable on the current CPU; the caller
+/// guarantees this via [`SimdBackend`] dispatch.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+unsafe fn advance_span_lanes<V: Lanes>(
+    grid: &Grid,
+    consts: &SimConstants,
+    q_left: f64,
+    x: &mut [f64],
+    y: &mut [f64],
+    vx: &mut [f64],
+    vy: &mut [f64],
+    q: &[f64],
+) {
+    let n = x.len();
+    debug_assert!(y.len() == n && vx.len() == n && vy.len() == n && q.len() == n);
+    // The scalar kernel's per-particle invariant checks, hoisted out of
+    // the vector loop (debug builds only).
+    #[cfg(debug_assertions)]
+    for i in 0..n {
+        let (col, row) = grid.cell_of_point(x[i], y[i]);
+        debug_assert_eq!((col, row), (x[i] as usize, y[i] as usize));
+        debug_assert_eq!(
+            crate::charge::mesh_charge(col, consts.q),
+            q_left,
+            "parity drift at x={}",
+            x[i]
+        );
+    }
+    let groups = n / LANES;
+    let tail = groups * LANES;
+    force_groups::<V>(
+        consts,
+        q_left,
+        x.as_mut_ptr(),
+        y.as_mut_ptr(),
+        vx.as_mut_ptr(),
+        vy.as_mut_ptr(),
+        q.as_ptr(),
+        groups,
+    );
+    crate::bin::force_span(
+        consts,
+        q_left,
+        &mut x[tail..],
+        &mut y[tail..],
+        &mut vx[tail..],
+        &mut vy[tail..],
+        &q[tail..],
+    );
+    wrap_groups::<V>(grid, x.as_mut_ptr(), groups);
+    wrap_groups::<V>(grid, y.as_mut_ptr(), groups);
+    for i in tail..n {
+        x[i] = grid.wrap_coord(x[i]);
+        y[i] = grid.wrap_coord(y[i]);
+    }
+}
+
+/// AVX2 instantiation. `#[target_feature]` licenses 256-bit codegen for
+/// everything inlined beneath it — but not FMA contraction, which stays
+/// disabled to preserve bit-identity.
+///
+/// # Safety
+/// The CPU must support AVX2 (guaranteed by [`SimdBackend::detect`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn advance_span_avx2(
+    grid: &Grid,
+    consts: &SimConstants,
+    q_left: f64,
+    x: &mut [f64],
+    y: &mut [f64],
+    vx: &mut [f64],
+    vy: &mut [f64],
+    q: &[f64],
+) {
+    advance_span_lanes::<x86::Avx2>(grid, consts, q_left, x, y, vx, vy, q)
+}
+
+/// Advance one bin-clipped span with the selected backend — the SIMD
+/// counterpart of [`crate::bin::advance_bin_span`], bit-identical to it
+/// (and therefore to every other sweep mode) on every backend.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn advance_bin_span_simd(
+    backend: SimdBackend,
+    grid: &Grid,
+    consts: &SimConstants,
+    q_left: f64,
+    x: &mut [f64],
+    y: &mut [f64],
+    vx: &mut [f64],
+    vy: &mut [f64],
+    q: &[f64],
+) {
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        SimdBackend::Avx2 => unsafe { advance_span_avx2(grid, consts, q_left, x, y, vx, vy, q) },
+        #[cfg(target_arch = "x86_64")]
+        SimdBackend::Sse2 => unsafe {
+            // SSE2 is unconditionally present on x86-64.
+            advance_span_lanes::<x86::Sse2>(grid, consts, q_left, x, y, vx, vy, q)
+        },
+        #[cfg(target_arch = "aarch64")]
+        SimdBackend::Neon => unsafe {
+            // NEON is unconditionally present on aarch64.
+            advance_span_lanes::<arm::Neon>(grid, consts, q_left, x, y, vx, vy, q)
+        },
+        SimdBackend::Scalar => crate::bin::advance_bin_span(grid, consts, q_left, x, y, vx, vy, q),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::charge::{mesh_charge, particle_charge, sign_for_direction};
+    use crate::particle::Particle;
+    use crate::soa::ParticleBatch;
+
+    /// `n` spec-conforming particles, all in cell column `col` (distinct
+    /// rows, jittered x within the column so corner distances differ).
+    fn column_population(grid: &Grid, col: usize, n: usize, k: u32) -> ParticleBatch {
+        let consts = SimConstants::CANONICAL;
+        let mut b = ParticleBatch::new();
+        for i in 0..n {
+            let row = i % grid.ncells();
+            let x = col as f64 + 0.5;
+            let y = row as f64 + 0.5;
+            b.push(Particle {
+                id: i as u64 + 1,
+                x,
+                y,
+                vx: 0.0,
+                vy: 1.0,
+                q: particle_charge(&consts, 0.5, k, sign_for_direction(col, 1)),
+                x0: x,
+                y0: y,
+                k,
+                m: 1,
+                born_at: 0,
+            });
+        }
+        b
+    }
+
+    /// Advance `steps` steps through the raw span kernel, recomputing the
+    /// hoisted corner charge from the (column-coherent) population each
+    /// step. Returns the final batch.
+    fn run_kernel(
+        mut b: ParticleBatch,
+        grid: &Grid,
+        steps: u32,
+        advance: &mut dyn FnMut(&Grid, f64, &mut ParticleBatch),
+    ) -> ParticleBatch {
+        let consts = SimConstants::CANONICAL;
+        for _ in 0..steps {
+            let q_left = if b.is_empty() {
+                consts.q
+            } else {
+                mesh_charge(b.x[0] as usize, consts.q)
+            };
+            advance(grid, q_left, &mut b);
+        }
+        b
+    }
+
+    /// Every available backend is bit-identical to the scalar kernel for
+    /// every span length 0..=7 (covers the empty span, every remainder
+    /// tail, and one full quartet plus each tail) and a couple of larger
+    /// spans, including steps where the particles wrap the boundary.
+    #[test]
+    fn all_backends_bitwise_match_scalar_for_all_tail_lengths() {
+        let grid = Grid::new(8).unwrap();
+        let consts = SimConstants::CANONICAL;
+        for backend in SimdBackend::available() {
+            for len in (0..=7).chain([8, 37]) {
+                // Column 6 with stride 1: wraps off the right edge within
+                // a few steps, exercising the escaped-lane wrap path.
+                let seed = column_population(&grid, 6, len, 0);
+                let scalar = run_kernel(seed.clone(), &grid, 5, &mut |g, ql, b| {
+                    let n = b.len();
+                    crate::bin::advance_bin_span(
+                        g,
+                        &consts,
+                        ql,
+                        &mut b.x[..n],
+                        &mut b.y[..n],
+                        &mut b.vx[..n],
+                        &mut b.vy[..n],
+                        &b.q[..n],
+                    );
+                });
+                let simd = run_kernel(seed, &grid, 5, &mut |g, ql, b| {
+                    let n = b.len();
+                    advance_bin_span_simd(
+                        backend,
+                        g,
+                        &consts,
+                        ql,
+                        &mut b.x[..n],
+                        &mut b.y[..n],
+                        &mut b.vx[..n],
+                        &mut b.vy[..n],
+                        &b.q[..n],
+                    );
+                });
+                assert_eq!(
+                    scalar,
+                    simd,
+                    "backend {} diverged at span length {len}",
+                    backend.name()
+                );
+            }
+        }
+    }
+
+    /// The zero-distance guard survives vectorization: a particle sitting
+    /// exactly on a mesh corner gets zero force from that corner in every
+    /// lane position.
+    #[test]
+    fn corner_particle_is_finite_in_every_lane() {
+        let grid = Grid::new(8).unwrap();
+        let consts = SimConstants::CANONICAL;
+        for backend in SimdBackend::available() {
+            for lane in 0..LANES {
+                let mut b = column_population(&grid, 2, LANES, 0);
+                b.x[lane] = 2.0; // exactly on the bottom-left corner
+                b.y[lane] = 3.0;
+                let q = b.q.clone();
+                let n = b.len();
+                advance_bin_span_simd(
+                    backend,
+                    &grid,
+                    &consts,
+                    mesh_charge(2, consts.q),
+                    &mut b.x[..n],
+                    &mut b.y[..n],
+                    &mut b.vx[..n],
+                    &mut b.vy[..n],
+                    &q,
+                );
+                for i in 0..n {
+                    assert!(
+                        b.x[i].is_finite() && b.y[i].is_finite(),
+                        "backend {} lane {lane}: non-finite state",
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn env_parse_semantics() {
+        assert!(!scalar_forced_by(None));
+        assert!(!scalar_forced_by(Some("")));
+        assert!(!scalar_forced_by(Some("0")));
+        assert!(!scalar_forced_by(Some("  0  ")));
+        assert!(scalar_forced_by(Some("1")));
+        assert!(scalar_forced_by(Some("true")));
+        assert!(scalar_forced_by(Some(" yes ")));
+    }
+
+    #[test]
+    fn available_ends_with_scalar_and_contains_widest() {
+        let avail = SimdBackend::available();
+        assert_eq!(*avail.last().unwrap(), SimdBackend::Scalar);
+        assert!(avail.contains(&SimdBackend::widest_available()));
+        // Names are unique and stable.
+        let names: std::collections::HashSet<_> = avail.iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), avail.len());
+    }
+}

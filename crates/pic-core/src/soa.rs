@@ -29,13 +29,40 @@ fn advance_span(
     q: &[f64],
 ) {
     let dt = consts.dt;
-    for i in 0..x.len() {
+    // Re-slice everything to one length so the bounds checks fold away
+    // even when this body is compiled out of line (callers always pass
+    // equal-length spans; the serial path's inlining used to prove that
+    // implicitly, the outlined path cannot).
+    let n = x.len();
+    let (y, vx, vy, q) = (&mut y[..n], &mut vx[..n], &mut vy[..n], &q[..n]);
+    for i in 0..n {
         let (ax, ay) = total_force(grid, consts, x[i], y[i], q[i]);
         x[i] = grid.wrap_coord(x[i] + (vx[i] + 0.5 * ax * dt) * dt);
         y[i] = grid.wrap_coord(y[i] + (vy[i] + 0.5 * ay * dt) * dt);
         vx[i] += ax * dt;
         vy[i] += ay * dt;
     }
+}
+
+/// Out-of-line shell around [`advance_span`] for callers whose spans are
+/// reconstructed from raw pointers (the pool closures). The real function
+/// boundary is what hands LLVM the `noalias` guarantee on the four
+/// `&mut [f64]` parameters; inlined straight into a closure the slices'
+/// provenance is four raw pointers whose disjointness is unprovable, every
+/// store blocks the next iteration's loads, and the sweep measures ~45%
+/// slower at 10⁶ particles. Callers whose slices visibly come from
+/// distinct struct fields (the serial path) call `advance_span` directly.
+#[inline(never)]
+pub(crate) fn advance_span_outlined(
+    grid: &Grid,
+    consts: &SimConstants,
+    x: &mut [f64],
+    y: &mut [f64],
+    vx: &mut [f64],
+    vy: &mut [f64],
+    q: &[f64],
+) {
+    advance_span(grid, consts, x, y, vx, vy, q);
 }
 
 /// A batch of particles in structure-of-arrays layout.
@@ -203,7 +230,11 @@ impl ParticleBatch {
     /// `count` particles inside `region`, lowest ids first — the same
     /// deterministic rule as [`crate::init::apply_removal`] on AoS, so
     /// both layouts shed exactly the same particles.
-    pub fn remove_in_region(&mut self, region: &crate::events::Region, count: u64) -> Vec<Particle> {
+    pub fn remove_in_region(
+        &mut self,
+        region: &crate::events::Region,
+        count: u64,
+    ) -> Vec<Particle> {
         let mut candidate_ids: Vec<u64> = (0..self.len())
             .filter(|&i| region.contains_point(self.x[i], self.y[i]))
             .map(|i| self.id[i])
@@ -248,10 +279,11 @@ impl ParticleBatch {
         );
     }
 
-    /// Pool-parallel sweep with the default chunk size; bit-identical to
+    /// Pool-parallel sweep with the adaptive chunk size; bit-identical to
     /// [`ParticleBatch::advance_all`].
     pub fn advance_all_parallel(&mut self, grid: &Grid, consts: &SimConstants) {
-        self.advance_all_chunked(grid, consts, pool::DEFAULT_CHUNK);
+        let chunk = pool::adaptive_chunk(self.len(), pool::global().active_threads());
+        self.advance_all_chunked(grid, consts, chunk);
     }
 
     /// Deterministic chunked parallel sweep: the index space is split into
@@ -277,7 +309,7 @@ impl ParticleBatch {
                     std::slice::from_raw_parts_mut(vyp.get().add(start), len),
                 )
             };
-            advance_span(grid, consts, x, y, vx, vy, &q[start..end]);
+            advance_span_outlined(grid, consts, x, y, vx, vy, &q[start..end]);
         });
     }
 
@@ -336,7 +368,7 @@ mod tests {
     use crate::dist::Distribution;
     use crate::init::InitConfig;
     use crate::motion::advance_all as advance_all_aos;
-    use crate::verify::{verify_all, triangular_id_sum, DEFAULT_TOLERANCE};
+    use crate::verify::{triangular_id_sum, verify_all, DEFAULT_TOLERANCE};
 
     fn population(n: u64) -> (Grid, Vec<Particle>) {
         let grid = Grid::new(32).unwrap();

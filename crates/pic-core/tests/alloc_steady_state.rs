@@ -24,6 +24,7 @@ use pic_core::engine::{Simulation, SweepMode};
 use pic_core::events::{Event, Region};
 use pic_core::geometry::Grid;
 use pic_core::init::InitConfig;
+use pic_core::simd::SimdBackend;
 
 struct CountingAlloc;
 
@@ -65,7 +66,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-fn warmed_sim(mode: SweepMode, rebin: u32) -> Simulation {
+fn warmed_sim(mode: SweepMode, rebin: u32, backend: Option<SimdBackend>) -> Simulation {
     let grid = Grid::new(32).unwrap();
     let setup = InitConfig::new(grid, 3_000, Distribution::Geometric { r: 0.9 })
         .with_m(1)
@@ -73,11 +74,35 @@ fn warmed_sim(mode: SweepMode, rebin: u32) -> Simulation {
         .unwrap()
         // Events exercise the injection/removal paths during warm-up and
         // are exhausted before the counted region begins.
-        .with_event(Event::inject(2, Region { x0: 0, x1: 8, y0: 0, y1: 8 }, 64, 0, 0, 1))
-        .with_event(Event::remove(4, Region { x0: 0, x1: 32, y0: 0, y1: 16 }, 32));
+        .with_event(Event::inject(
+            2,
+            Region {
+                x0: 0,
+                x1: 8,
+                y0: 0,
+                y1: 8,
+            },
+            64,
+            0,
+            0,
+            1,
+        ))
+        .with_event(Event::remove(
+            4,
+            Region {
+                x0: 0,
+                x1: 32,
+                y0: 0,
+                y1: 16,
+            },
+            32,
+        ));
     let mut sim = Simulation::with_mode(setup, mode)
         .with_chunk_size(256)
         .with_rebin_interval(rebin);
+    if let Some(b) = backend {
+        sim = sim.with_simd_backend(b);
+    }
     sim.run(8); // past all events; pool spawned; binned scratch warmed
     sim
 }
@@ -86,16 +111,21 @@ fn warmed_sim(mode: SweepMode, rebin: u32) -> Simulation {
 fn steady_state_step_loop_allocates_nothing() {
     // SoaBinned runs at rebin 1 (counting sort + gather in *every* counted
     // step — the strictest case) and at 3 (rebins interleave with plain
-    // sweeps, exercising both the fresh and stale histogram paths).
-    for (mode, rebin) in [
-        (SweepMode::Serial, 1),
-        (SweepMode::Parallel, 1),
-        (SweepMode::Soa, 1),
-        (SweepMode::SoaChunked, 1),
-        (SweepMode::SoaBinned, 1),
-        (SweepMode::SoaBinned, 3),
+    // sweeps, exercising both the fresh and stale histogram paths). The
+    // binned rows run once on the detected SIMD backend and once with the
+    // vector path forced off: the quartet body, the scalar remainder loop,
+    // and the forced-scalar kernel must all stay allocation-free.
+    for (mode, rebin, backend) in [
+        (SweepMode::Serial, 1, None),
+        (SweepMode::Parallel, 1, None),
+        (SweepMode::Soa, 1, None),
+        (SweepMode::SoaChunked, 1, None),
+        (SweepMode::SoaBinned, 1, None),
+        (SweepMode::SoaBinned, 3, None),
+        (SweepMode::SoaBinned, 1, Some(SimdBackend::Scalar)),
+        (SweepMode::SoaBinned, 3, Some(SimdBackend::Scalar)),
     ] {
-        let mut sim = warmed_sim(mode, rebin);
+        let mut sim = warmed_sim(mode, rebin, backend);
         let mut cols = Vec::new();
         let mut rows = Vec::new();
         // Size the histogram scratch once, then go quiet.

@@ -405,8 +405,10 @@ proptest! {
     }
     /// The cell-binned sweep is bit-identical to the serial AoS sweep for
     /// every distribution family, with injection and removal events firing
-    /// mid-run, across rebin intervals {1, 3, 16} — the counting-sort
-    /// traversal reorder and the parity-hoisted kernel change scheduling
+    /// mid-run, across rebin intervals {1, 3, 16} and across every SIMD
+    /// backend executable on this host (widest vector down to forced
+    /// scalar) — the counting-sort traversal reorder, the parity-hoisted
+    /// kernel, and the lane-per-particle vectorization change scheduling
     /// and bookkeeping only, never arithmetic.
     #[test]
     fn binned_bitwise_matches_aos_serial_all_distributions(
@@ -439,15 +441,62 @@ proptest! {
         reference.run(steps);
         let expect = reference.particles();
         for rebin in [1u32, 3, 16] {
+            for backend in pic_core::simd::SimdBackend::available() {
+                let mut sim = Simulation::with_mode(setup.clone(), SweepMode::SoaBinned)
+                    .with_rebin_interval(rebin)
+                    .with_simd_backend(backend);
+                sim.run(steps);
+                // PartialEq on Particle is field-exact over the raw f64s, so
+                // equality here means bit-for-bit identical trajectories.
+                prop_assert_eq!(
+                    &sim.particles(), &expect,
+                    "rebin {} backend {} diverged", rebin, backend.name()
+                );
+                prop_assert_eq!(sim.expected_id_sum(), reference.expected_id_sum());
+                let report = sim.verify();
+                prop_assert!(report.passed(), "rebin {rebin} backend {}: {report:?}", backend.name());
+            }
+        }
+    }
+
+    /// SIMD span tails: a patch distribution narrowed to a single column
+    /// yields per-cell spans of every length in 0..=7, exercising the
+    /// quartet body (4-lane groups) and the scalar remainder loop at every
+    /// possible tail length. All executable backends must be bit-identical
+    /// to the serial AoS reference.
+    #[test]
+    fn simd_span_tails_bitwise_match_aos_serial(
+        span_len in 0u64..8,
+        extra_cols in 0usize..3,
+        k in 0u32..2,
+        m in -2i32..3,
+        steps in 5u32..25,
+    ) {
+        use pic_core::engine::SweepMode;
+        use pic_core::simd::SimdBackend;
+        let grid = Grid::new(32).unwrap();
+        // One narrow patch column plus a few neighbours: per-cell spans of
+        // length span_len, including the empty-population edge case.
+        let x1 = 5 + extra_cols;
+        let n = span_len * (1 + extra_cols as u64);
+        let setup = InitConfig::new(grid, n, Distribution::Patch { x0: 4, x1, y0: 4, y1: 20 })
+            .with_k(k)
+            .with_m(m)
+            .build()
+            .unwrap();
+        let mut reference = Simulation::with_mode(setup.clone(), SweepMode::Serial);
+        reference.run(steps);
+        let expect = reference.particles();
+        for backend in SimdBackend::available() {
             let mut sim = Simulation::with_mode(setup.clone(), SweepMode::SoaBinned)
-                .with_rebin_interval(rebin);
+                .with_rebin_interval(1)
+                .with_simd_backend(backend);
             sim.run(steps);
-            // PartialEq on Particle is field-exact over the raw f64s, so
-            // equality here means bit-for-bit identical trajectories.
-            prop_assert_eq!(&sim.particles(), &expect, "rebin {} diverged", rebin);
-            prop_assert_eq!(sim.expected_id_sum(), reference.expected_id_sum());
-            let report = sim.verify();
-            prop_assert!(report.passed(), "rebin {rebin}: {report:?}");
+            prop_assert_eq!(
+                &sim.particles(), &expect,
+                "span {} backend {} diverged", span_len, backend.name()
+            );
+            prop_assert!(sim.verify().passed());
         }
     }
 

@@ -7,9 +7,19 @@
 #   scripts/bench.sh --threads 1,2,4 thread counts for the scaling grid
 #                                    (default 1,2,4,8; pooled modes only —
 #                                    pre-sizes the pool via PIC_THREADS)
+#   scripts/bench.sh --modes soa-serial,soa-binned
+#                                    restrict to a subset of sweep modes
+#                                    (default: all five; sensitivity scans
+#                                    run only when their mode is selected)
+#
+# The binned sweep auto-selects the widest SIMD backend the host supports
+# (reported in the artifact's "simd_backend" field and per record); the
+# run includes forced-scalar contrast rows. PIC_NO_SIMD=1 forces the
+# scalar kernel for the whole run.
 #
 # All flags are forwarded to the bench_sweep binary. Interpretation notes
-# live in results/sweep_baseline.md and results/sweep_scaling.md.
+# live in results/sweep_baseline.md, results/sweep_scaling.md, and
+# results/sweep_simd.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification (see ROADMAP.md) plus the static gates:
-#   build (release) -> tests -> clippy (deny warnings) -> benches compile.
+#   build (release) -> tests (SIMD on and forced off) -> fmt ->
+#   clippy (deny warnings) -> benches compile.
 # Run from anywhere; operates on the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -10,6 +11,12 @@ cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> PIC_NO_SIMD=1 cargo test -q"
+PIC_NO_SIMD=1 cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings

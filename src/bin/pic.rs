@@ -50,11 +50,14 @@ Single-process engine (--impl serial):
                       particle sweep strategy and memory layout (default
                       serial; all modes are bit-identical)
   --chunk N           chunk size for --sweep soa-chunked / soa-binned
-                      (default 4096)
+                      (default: adaptive, max(4096, n / (threads * 4)))
   --rebin R           counting-sort interval for --sweep soa-binned
                       (steps between re-sorts, default 1)
   --threads T         cap the sweep worker pool at T threads (default:
                       all cores; PIC_THREADS overrides the pool size)
+                      soa-binned auto-selects the widest SIMD backend the
+                      host supports; set PIC_NO_SIMD=1 to force the scalar
+                      kernel (results are bit-identical either way)
 
 Diffusion balancer (--impl diffusion):
   --lb-interval F     steps between LB invocations (default 10)
@@ -103,7 +106,9 @@ fn parse_dist(spec: &str) -> Distribution {
     match kind {
         "uniform" => Distribution::Uniform,
         "geometric" => Distribution::Geometric {
-            r: rest.parse().unwrap_or_else(|_| bail(&format!("bad geometric ratio: {rest}"))),
+            r: rest
+                .parse()
+                .unwrap_or_else(|_| bail(&format!("bad geometric ratio: {rest}"))),
         },
         "sinusoidal" => Distribution::Sinusoidal,
         "linear" => {
@@ -124,7 +129,12 @@ fn parse_dist(spec: &str) -> Distribution {
             if p.len() != 4 {
                 bail::<usize>("patch needs X0,X1,Y0,Y1");
             }
-            Distribution::Patch { x0: p[0], x1: p[1], y0: p[2], y1: p[3] }
+            Distribution::Patch {
+                x0: p[0],
+                x1: p[1],
+                y0: p[2],
+                y1: p[3],
+            }
         }
         other => bail(&format!("unknown distribution: {other}")),
     }
@@ -214,15 +224,19 @@ fn main() {
                 "soa-binned" => SweepMode::SoaBinned,
                 other => bail(&format!("bad sweep mode: {other}")),
             };
-            let chunk: usize = args.parse("--chunk", pic_prk::core::pool::DEFAULT_CHUNK);
+            let chunk: Option<usize> = args.value("--chunk").map(|v| match v.parse() {
+                Ok(c) => c,
+                Err(_) => bail("bad --chunk"),
+            });
             let rebin: u32 = args.parse("--rebin", pic_prk::core::bin::DEFAULT_REBIN);
             if let Some(t) = args.value("--threads") {
                 let t: usize = t.parse().unwrap_or_else(|_| bail("bad --threads"));
                 pic_prk::core::pool::global().set_active_threads(t.max(1));
             }
-            let mut sim = Simulation::with_mode(setup, sweep)
-                .with_chunk_size(chunk)
-                .with_rebin_interval(rebin);
+            let mut sim = Simulation::with_mode(setup, sweep).with_rebin_interval(rebin);
+            if let Some(chunk) = chunk {
+                sim = sim.with_chunk_size(chunk);
+            }
             sim.run(steps);
             let report = sim.verify();
             summarize_serial(&report, sim.particle_count(), quiet);
@@ -260,7 +274,11 @@ fn main() {
                 "none" => Balancer::None,
                 other => bail(&format!("bad balancer: {other}")),
             };
-            let params = AmpiParams { d: args.parse("--d", 4), interval, balancer };
+            let params = AmpiParams {
+                d: args.parse("--d", 4),
+                interval,
+                balancer,
+            };
             let cfg = ParConfig { setup, steps };
             Some(run_threads(ranks, |comm| run_ampi(&comm, &cfg, &params)).swap_remove(0))
         }
@@ -287,7 +305,10 @@ fn summarize_serial(report: &pic_prk::core::verify::VerifyReport, count: usize, 
         "id checksum           : {} (expected {})",
         report.id_sum, report.expected_id_sum
     );
-    println!("verification          : {}", if report.passed() { "PASS" } else { "FAIL" });
+    println!(
+        "verification          : {}",
+        if report.passed() { "PASS" } else { "FAIL" }
+    );
 }
 
 fn summarize_parallel(o: &ParOutcome, ranks: usize, quiet: bool) {
@@ -309,5 +330,8 @@ fn summarize_parallel(o: &ParOutcome, ranks: usize, quiet: bool) {
         "id checksum           : {} (expected {})",
         o.verify.id_sum, o.verify.expected_id_sum
     );
-    println!("verification          : {}", if o.verify.passed() { "PASS" } else { "FAIL" });
+    println!(
+        "verification          : {}",
+        if o.verify.passed() { "PASS" } else { "FAIL" }
+    );
 }
