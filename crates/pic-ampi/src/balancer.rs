@@ -29,7 +29,9 @@ pub enum Balancer {
 impl Balancer {
     /// The paper's choice with a sensible move bound.
     pub fn paper_default() -> Balancer {
-        Balancer::Refine { max_moves: usize::MAX }
+        Balancer::Refine {
+            max_moves: usize::MAX,
+        }
     }
 
     /// Compute a new assignment. `loads[vp]` is the VP's measured load;
@@ -48,12 +50,7 @@ pub fn greedy_assign(loads: &[f64], cores: usize) -> Vec<usize> {
     assert!(cores >= 1);
     let mut order: Vec<usize> = (0..loads.len()).collect();
     // Heaviest first; ties by VP index for determinism.
-    order.sort_by(|&a, &b| {
-        loads[b]
-            .partial_cmp(&loads[a])
-            .unwrap()
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| loads[b].partial_cmp(&loads[a]).unwrap().then(a.cmp(&b)));
     // Min-heap of (core load, core id).
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
@@ -73,8 +70,7 @@ pub fn greedy_assign(loads: &[f64], cores: usize) -> Vec<usize> {
                 .then(self.1.cmp(&other.1))
         }
     }
-    let mut heap: BinaryHeap<Reverse<Entry>> =
-        (0..cores).map(|c| Reverse(Entry(0.0, c))).collect();
+    let mut heap: BinaryHeap<Reverse<Entry>> = (0..cores).map(|c| Reverse(Entry(0.0, c))).collect();
     let mut assignment = vec![0usize; loads.len()];
     for vp in order {
         let Reverse(Entry(load, core)) = heap.pop().unwrap();
@@ -146,7 +142,9 @@ pub fn refine_assign(
             .range(..(Key(gap), 0usize))
             .next_back()
             .copied();
-        let Some((Key(load), vp)) = candidate else { break };
+        let Some((Key(load), vp)) = candidate else {
+            break;
+        };
         debug_assert!(load > 0.0 && load < gap);
         per_core[max_core].remove(&(Key(load), vp));
         per_core[min_core].insert((Key(load), vp));
@@ -221,7 +219,10 @@ mod tests {
         let before = imbalance(&loads, &current, 4);
         let asg = refine_assign(&loads, &current, 4, usize::MAX);
         let after = imbalance(&loads, &asg, 4);
-        assert!(after <= before + 1e-12, "refine must not worsen: {before} → {after}");
+        assert!(
+            after <= before + 1e-12,
+            "refine must not worsen: {before} → {after}"
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@ impl AmpiParams {
     /// Figure 5's fixed points: `d = 4` for the F sweep, `F = 1000` for
     /// the d sweep.
     pub fn paper_default() -> AmpiParams {
-        AmpiParams { d: 4, interval: 160, balancer: Balancer::paper_default() }
+        AmpiParams {
+            d: 4,
+            interval: 160,
+            balancer: Balancer::paper_default(),
+        }
     }
 }
 
@@ -52,7 +56,11 @@ pub fn model_ampi(cfg: &ModelConfig, params: &AmpiParams) -> ModelOutcome {
     let x_neighbor: Vec<usize> = (0..nvps)
         .map(|vp| {
             let (vx, vy) = grid.decomp.coords_of(vp);
-            let nx = if rightward { (vx + 1) % vpx } else { (vx + vpx - 1) % vpx };
+            let nx = if rightward {
+                (vx + 1) % vpx
+            } else {
+                (vx + vpx - 1) % vpx
+            };
             grid.decomp.rank_of(nx, vy)
         })
         .collect();
@@ -166,7 +174,11 @@ pub fn model_ampi_tuned(cfg: &ModelConfig) -> (ModelOutcome, AmpiParams) {
     intervals.dedup();
     for &d in &[4usize, 16] {
         for &interval in &intervals {
-            let params = AmpiParams { d, interval, balancer: Balancer::paper_default() };
+            let params = AmpiParams {
+                d,
+                interval,
+                balancer: Balancer::paper_default(),
+            };
             let out = model_ampi(cfg, &params);
             if best.as_ref().is_none_or(|(b, _)| out.seconds < b.seconds) {
                 best = Some((out, params));
@@ -205,7 +217,11 @@ mod tests {
     fn ampi_beats_baseline_on_skew() {
         let cfg = small_cfg(16);
         let base = model_baseline(&cfg);
-        let params = AmpiParams { d: 8, interval: 40, balancer: Balancer::paper_default() };
+        let params = AmpiParams {
+            d: 8,
+            interval: 40,
+            balancer: Balancer::paper_default(),
+        };
         let ampi = model_ampi(&cfg, &params);
         assert!(
             ampi.seconds < base.seconds,
@@ -220,7 +236,11 @@ mod tests {
     fn no_balancer_is_baseline_plus_overhead() {
         let cfg = small_cfg(8);
         let base = model_baseline(&cfg);
-        let params = AmpiParams { d: 4, interval: 100, balancer: Balancer::None };
+        let params = AmpiParams {
+            d: 4,
+            interval: 100,
+            balancer: Balancer::None,
+        };
         let ampi = model_ampi(&cfg, &params);
         // Over-decomposition without balancing only adds overhead.
         assert!(ampi.seconds >= base.seconds * 0.95);
@@ -234,7 +254,11 @@ mod tests {
         let mk = |interval| {
             model_ampi(
                 &cfg,
-                &AmpiParams { d: 4, interval, balancer: Balancer::paper_default() },
+                &AmpiParams {
+                    d: 4,
+                    interval,
+                    balancer: Balancer::paper_default(),
+                },
             )
             .seconds
         };
@@ -254,7 +278,11 @@ mod tests {
         let mk = |d| {
             model_ampi(
                 &cfg,
-                &AmpiParams { d, interval: 50, balancer: Balancer::paper_default() },
+                &AmpiParams {
+                    d,
+                    interval: 50,
+                    balancer: Balancer::paper_default(),
+                },
             )
         };
         let d1 = mk(1);
@@ -271,9 +299,17 @@ mod tests {
     #[test]
     fn d_one_refine_swaps_cannot_balance() {
         let cfg = small_cfg(8);
-        let params = AmpiParams { d: 1, interval: 50, balancer: Balancer::paper_default() };
+        let params = AmpiParams {
+            d: 1,
+            interval: 50,
+            balancer: Balancer::paper_default(),
+        };
         let out = model_ampi(&cfg, &params);
-        assert!(out.stats.imbalance > 1.3, "imbalance {}", out.stats.imbalance);
+        assert!(
+            out.stats.imbalance > 1.3,
+            "imbalance {}",
+            out.stats.imbalance
+        );
     }
 
     #[test]
@@ -283,22 +319,34 @@ mod tests {
         // scheme sees nothing to fix — but the runtime balancer measures
         // wall time and shifts VPs off the slow cores.
         use pic_cluster::noise::NoiseModel;
-        use pic_par::model_impl::{model_baseline, model_diffusion};
         use pic_par::diffusion::DiffusionParams;
+        use pic_par::model_impl::{model_baseline, model_diffusion};
         let mut cfg = small_cfg(16);
         cfg.dist = pic_core::dist::Distribution::Uniform;
         cfg.noise = NoiseModel::slow_tail(16, 4, 2.0);
         let base = model_baseline(&cfg);
         let diff = model_diffusion(
             &cfg,
-            DiffusionParams { interval: 10, tau: 0, border_w: 4 },
+            DiffusionParams {
+                interval: 10,
+                tau: 0,
+                border_w: 4,
+            },
         );
         let ampi = model_ampi(
             &cfg,
-            &AmpiParams { d: 8, interval: 40, balancer: Balancer::paper_default() },
+            &AmpiParams {
+                d: 8,
+                interval: 40,
+                balancer: Balancer::paper_default(),
+            },
         );
         // Baseline suffers the full 2× straggler penalty.
-        assert!(base.stats.imbalance > 1.5, "baseline imbalance {}", base.stats.imbalance);
+        assert!(
+            base.stats.imbalance > 1.5,
+            "baseline imbalance {}",
+            base.stats.imbalance
+        );
         // Count-based diffusion cannot help (counts are already equal).
         assert!(
             diff.seconds > 0.9 * base.seconds,
@@ -323,11 +371,19 @@ mod tests {
         let cfg = small_cfg(48); // 2 nodes on the Edison layout
         let before = model_ampi(
             &cfg,
-            &AmpiParams { d: 8, interval: 40, balancer: Balancer::None },
+            &AmpiParams {
+                d: 8,
+                interval: 40,
+                balancer: Balancer::None,
+            },
         );
         let after = model_ampi(
             &cfg,
-            &AmpiParams { d: 8, interval: 40, balancer: Balancer::Greedy },
+            &AmpiParams {
+                d: 8,
+                interval: 40,
+                balancer: Balancer::Greedy,
+            },
         );
         assert!(
             before.remote_neighbor_frac < 0.2,
@@ -347,11 +403,19 @@ mod tests {
         let cfg = small_cfg(8);
         let refine = model_ampi(
             &cfg,
-            &AmpiParams { d: 8, interval: 40, balancer: Balancer::paper_default() },
+            &AmpiParams {
+                d: 8,
+                interval: 40,
+                balancer: Balancer::paper_default(),
+            },
         );
         let greedy = model_ampi(
             &cfg,
-            &AmpiParams { d: 8, interval: 40, balancer: Balancer::Greedy },
+            &AmpiParams {
+                d: 8,
+                interval: 40,
+                balancer: Balancer::Greedy,
+            },
         );
         assert!(refine.stats.imbalance < 1.6);
         assert!(greedy.stats.imbalance < 1.6);

@@ -39,11 +39,10 @@ pub fn run_ampi(comm: &Communicator, cfg: &ParConfig, params: &AmpiParams) -> Pa
     let nvps = vps.vp_count();
     let mut assignment = vps.initial_assignment();
 
-    let owner_of =
-        |p: &Particle, vps: &VpGrid, assignment: &[usize]| -> usize {
-            let (c, r) = p_cell(&grid, p);
-            assignment[vps.vp_of_cell(c, r)]
-        };
+    let owner_of = |p: &Particle, vps: &VpGrid, assignment: &[usize]| -> usize {
+        let (c, r) = p_cell(&grid, p);
+        assignment[vps.vp_of_cell(c, r)]
+    };
 
     // Local population: particles whose VP is initially assigned to me.
     let mut particles: Vec<Particle> = cfg
@@ -69,7 +68,15 @@ pub fn run_ampi(comm: &Communicator, cfg: &ParConfig, params: &AmpiParams) -> Pa
             match e.kind {
                 EventKind::Inject { count, k, m, dir } => {
                     let newcomers = build_injection(
-                        grid, consts, e.region, count, k, m, dir, step_idx, &mut next_id,
+                        grid,
+                        consts,
+                        e.region,
+                        count,
+                        k,
+                        m,
+                        dir,
+                        step_idx,
+                        &mut next_id,
                     );
                     for p in &newcomers {
                         expected_id_sum += p.id as u128;
@@ -86,8 +93,7 @@ pub fn run_ampi(comm: &Communicator, cfg: &ParConfig, params: &AmpiParams) -> Pa
                         .collect();
                     local_ids.sort_unstable();
                     let gathered = allgatherv(comm, encode_u64s(&local_ids));
-                    let mut all: Vec<u64> =
-                        gathered.iter().flat_map(|b| decode_u64s(b)).collect();
+                    let mut all: Vec<u64> = gathered.iter().flat_map(|b| decode_u64s(b)).collect();
                     all.sort_unstable();
                     all.truncate(count as usize);
                     let doomed: std::collections::HashSet<u64> = all.iter().copied().collect();
@@ -214,7 +220,11 @@ mod tests {
     }
 
     fn params(d: usize, interval: u32) -> AmpiParams {
-        AmpiParams { d, interval, balancer: Balancer::paper_default() }
+        AmpiParams {
+            d,
+            interval,
+            balancer: Balancer::paper_default(),
+        }
     }
 
     #[test]
@@ -233,7 +243,15 @@ mod tests {
     fn migration_reduces_max_count() {
         let c = cfg(2000, Distribution::Geometric { r: 0.8 }, 30);
         let none = run_threads(4, |comm| {
-            run_ampi(&comm, &c, &AmpiParams { d: 4, interval: 5, balancer: Balancer::None })
+            run_ampi(
+                &comm,
+                &c,
+                &AmpiParams {
+                    d: 4,
+                    interval: 5,
+                    balancer: Balancer::None,
+                },
+            )
         });
         let refine = run_threads(4, |comm| run_ampi(&comm, &c, &params(4, 5)));
         assert!(none[0].verify.passed());
@@ -249,7 +267,11 @@ mod tests {
     #[test]
     fn greedy_strategy_also_verifies() {
         let c = cfg(600, Distribution::Sinusoidal, 24);
-        let p = AmpiParams { d: 8, interval: 4, balancer: Balancer::Greedy };
+        let p = AmpiParams {
+            d: 8,
+            interval: 4,
+            balancer: Balancer::Greedy,
+        };
         let outcomes = run_threads(2, |comm| run_ampi(&comm, &c, &p));
         for o in outcomes {
             assert!(o.verify.passed(), "{:?}", o.verify);
@@ -258,7 +280,12 @@ mod tests {
 
     #[test]
     fn events_work_under_virtualization() {
-        let region = Region { x0: 8, x1: 24, y0: 8, y1: 24 };
+        let region = Region {
+            x0: 8,
+            x1: 24,
+            y0: 8,
+            y1: 24,
+        };
         let mut c = cfg(300, Distribution::Uniform, 40);
         c.setup = c
             .setup

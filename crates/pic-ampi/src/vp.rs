@@ -30,7 +30,13 @@ impl VpGrid {
         let (px, py) = factor_2d(cores);
         let (a, b) = factor_2d(d);
         let decomp = Decomp2d::uniform_grid(ncells, px * a, py * b);
-        VpGrid { decomp, px, py, a, b }
+        VpGrid {
+            decomp,
+            px,
+            py,
+            a,
+            b,
+        }
     }
 
     /// Total VP count (`d · P`).

@@ -28,7 +28,15 @@ fn bench_force(c: &mut Criterion) {
     let grid = Grid::new(512).unwrap();
     let consts = SimConstants::CANONICAL;
     c.bench_function("force/total_force", |b| {
-        b.iter(|| total_force(&grid, &consts, black_box(137.5), black_box(88.5), black_box(0.3535)))
+        b.iter(|| {
+            total_force(
+                &grid,
+                &consts,
+                black_box(137.5),
+                black_box(88.5),
+                black_box(0.3535),
+            )
+        })
     });
 }
 
@@ -64,8 +72,12 @@ fn bench_wire_codec(c: &mut Criterion) {
     let encoded = Particle::encode_all(&particles);
     let mut group = c.benchmark_group("wire");
     group.throughput(Throughput::Bytes(encoded.len() as u64));
-    group.bench_function("encode/10k", |b| b.iter(|| Particle::encode_all(black_box(&particles))));
-    group.bench_function("decode/10k", |b| b.iter(|| Particle::decode_all(black_box(&encoded))));
+    group.bench_function("encode/10k", |b| {
+        b.iter(|| Particle::encode_all(black_box(&particles)))
+    });
+    group.bench_function("decode/10k", |b| {
+        b.iter(|| Particle::decode_all(black_box(&encoded)))
+    });
     group.finish();
 }
 
@@ -140,7 +152,15 @@ fn bench_charge_grid(c: &mut Criterion) {
     });
     let cg = ChargeGrid::build(&grid, &consts, (128, 256), (128, 256));
     group.bench_function("gridded_force", |b| {
-        b.iter(|| cg.total_force(&grid, &consts, black_box(200.5), black_box(200.5), black_box(0.35)))
+        b.iter(|| {
+            cg.total_force(
+                &grid,
+                &consts,
+                black_box(200.5),
+                black_box(200.5),
+                black_box(0.35),
+            )
+        })
     });
     group.finish();
 }

@@ -56,13 +56,26 @@ fn bench_modeled_single_points(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("baseline/192c", |b| b.iter(|| model_baseline(&cfg)));
     group.bench_function("diffusion/192c", |b| {
-        b.iter(|| model_diffusion(&cfg, DiffusionParams { interval: 20, tau: 100, border_w: 20 }))
+        b.iter(|| {
+            model_diffusion(
+                &cfg,
+                DiffusionParams {
+                    interval: 20,
+                    tau: 100,
+                    border_w: 20,
+                },
+            )
+        })
     });
     group.bench_function("ampi/192c", |b| {
         b.iter(|| {
             model_ampi(
                 &cfg,
-                &AmpiParams { d: 4, interval: 160, balancer: Balancer::paper_default() },
+                &AmpiParams {
+                    d: 4,
+                    interval: 160,
+                    balancer: Balancer::paper_default(),
+                },
             )
         })
     });
@@ -87,9 +100,17 @@ fn bench_functional_runs(c: &mut Criterion) {
     group.bench_function("diffusion/4ranks", |b| {
         b.iter(|| {
             run_threads(4, |comm| {
-                run_diffusion(&comm, &cfg, DiffusionParams { interval: 4, tau: 0, border_w: 4 })
-                    .verify
-                    .passed()
+                run_diffusion(
+                    &comm,
+                    &cfg,
+                    DiffusionParams {
+                        interval: 4,
+                        tau: 0,
+                        border_w: 4,
+                    },
+                )
+                .verify
+                .passed()
             })
         })
     });
@@ -99,7 +120,11 @@ fn bench_functional_runs(c: &mut Criterion) {
                 run_ampi(
                     &comm,
                     &cfg,
-                    &AmpiParams { d: 4, interval: 8, balancer: Balancer::paper_default() },
+                    &AmpiParams {
+                        d: 4,
+                        interval: 8,
+                        balancer: Balancer::paper_default(),
+                    },
                 )
                 .verify
                 .passed()

@@ -79,13 +79,17 @@ fn bench_chunk_sensitivity(c: &mut Criterion) {
     let mut group = c.benchmark_group("sweep-chunk");
     group.throughput(Throughput::Elements(n));
     for &chunk in &[64usize, 1_024, 4_096, 16_384, 65_536] {
-        group.bench_with_input(BenchmarkId::new("soa-chunked-100k", chunk), &chunk, |b, &ch| {
-            b.iter_batched(
-                || batch.clone(),
-                |mut bt| bt.advance_all_chunked(&grid, &consts, ch),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("soa-chunked-100k", chunk),
+            &chunk,
+            |b, &ch| {
+                b.iter_batched(
+                    || batch.clone(),
+                    |mut bt| bt.advance_all_chunked(&grid, &consts, ch),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
     }
     group.finish();
 }

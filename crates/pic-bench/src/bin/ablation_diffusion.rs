@@ -17,7 +17,14 @@ fn main() {
     let scale = scale_from_args();
     let cfg = ModelConfig::paper_strong(192).shortened(scale);
     let t = |interval: u32, tau: u64, w: usize| {
-        let out = model_diffusion(&cfg, DiffusionParams { interval, tau, border_w: w });
+        let out = model_diffusion(
+            &cfg,
+            DiffusionParams {
+                interval,
+                tau,
+                border_w: w,
+            },
+        );
         (out.seconds * scale as f64, out.stats.imbalance)
     };
     let base_tau = (cfg.n / 192 / 20).max(1);

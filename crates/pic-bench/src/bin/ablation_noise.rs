@@ -29,18 +29,38 @@ fn main() {
         ("none", NoiseModel::None),
         ("slow-socket-1.5x", NoiseModel::slow_tail(cores, 12, 1.5)),
         ("slow-socket-2x", NoiseModel::slow_tail(cores, 12, 2.0)),
-        ("jitter-25%", NoiseModel::Jitter { amplitude: 0.25, seed: 7 }),
-        ("jitter-50%", NoiseModel::Jitter { amplitude: 0.5, seed: 7 }),
+        (
+            "jitter-25%",
+            NoiseModel::Jitter {
+                amplitude: 0.25,
+                seed: 7,
+            },
+        ),
+        (
+            "jitter-50%",
+            NoiseModel::Jitter {
+                amplitude: 0.5,
+                seed: 7,
+            },
+        ),
     ] {
         cfg.noise = noise;
         let base = model_baseline(&cfg);
         let diff = model_diffusion(
             &cfg,
-            DiffusionParams { interval: 10, tau: 0, border_w: 10 },
+            DiffusionParams {
+                interval: 10,
+                tau: 0,
+                border_w: 10,
+            },
         );
         let ampi = model_ampi(
             &cfg,
-            &AmpiParams { d: 8, interval: (600 / scale).max(1) as u32, balancer: Balancer::paper_default() },
+            &AmpiParams {
+                d: 8,
+                interval: (600 / scale).max(1) as u32,
+                balancer: Balancer::paper_default(),
+            },
         );
         println!(
             "{name},{:.3},{:.3},{:.3},{:.2},{:.2}",

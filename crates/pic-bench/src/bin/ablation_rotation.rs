@@ -14,20 +14,35 @@ use pic_par::runner::ParConfig;
 
 fn main() {
     let ranks = 4;
-    let params = DiffusionParams { interval: 1, tau: 0, border_w: 2 };
+    let params = DiffusionParams {
+        interval: 1,
+        tau: 0,
+        border_w: 2,
+    };
     println!("axis,mode,max_per_rank,ideal,verified");
-    for (axis_name, axis, m) in [("x-skew", SkewAxis::X, 0i32), ("y-skew (rotated)", SkewAxis::Y, 1)] {
+    for (axis_name, axis, m) in [
+        ("x-skew", SkewAxis::X, 0i32),
+        ("y-skew (rotated)", SkewAxis::Y, 1),
+    ] {
         let cfg = ParConfig {
-            setup: InitConfig::new(Grid::new(32).unwrap(), 4_000, Distribution::Geometric { r: 0.8 })
-                .with_skew_axis(axis)
-                .with_m(m)
-                .build()
-                .unwrap(),
+            setup: InitConfig::new(
+                Grid::new(32).unwrap(),
+                4_000,
+                Distribution::Geometric { r: 0.8 },
+            )
+            .with_skew_axis(axis)
+            .with_m(m)
+            .build()
+            .unwrap(),
             steps: 48,
         };
         let ideal = 4_000 / ranks as u64;
         let base = run_threads(ranks, |comm| run_baseline(&comm, &cfg));
-        println!("{axis_name},none,{},{ideal},{}", base[0].max_count, base[0].verify.passed());
+        println!(
+            "{axis_name},none,{},{ideal},{}",
+            base[0].max_count,
+            base[0].verify.passed()
+        );
         for (mode_name, mode) in [
             ("x-only", DiffusionMode::XOnly),
             ("y-only", DiffusionMode::YOnly),

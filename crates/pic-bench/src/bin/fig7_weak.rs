@@ -12,6 +12,9 @@ fn main() {
     eprint!("{}", scaling_markdown(&pts));
     if let Some(p) = pts.last() {
         let (a, d) = p.speedup_over_baseline();
-        eprintln!("at {} cores: ampi {:.1}× / diffusion {:.1}× over baseline (paper: 2.4× / 1.8×)", p.cores, a, d);
+        eprintln!(
+            "at {} cores: ampi {:.1}× / diffusion {:.1}× over baseline (paper: 2.4× / 1.8×)",
+            p.cores, a, d
+        );
     }
 }

@@ -35,8 +35,16 @@ fn main() {
     let d = fig5_d_sweep(scale);
     fs::write(dir.join("fig5_f_sweep.csv"), tuning_csv(&f, "F")).unwrap();
     fs::write(dir.join("fig5_d_sweep.csv"), tuning_csv(&d, "d")).unwrap();
-    let f_best = f.iter().cloned().min_by(|a, b| a.seconds.partial_cmp(&b.seconds).unwrap()).unwrap();
-    let d_best = d.iter().cloned().min_by(|a, b| a.seconds.partial_cmp(&b.seconds).unwrap()).unwrap();
+    let f_best = f
+        .iter()
+        .cloned()
+        .min_by(|a, b| a.seconds.partial_cmp(&b.seconds).unwrap())
+        .unwrap();
+    let d_best = d
+        .iter()
+        .cloned()
+        .min_by(|a, b| a.seconds.partial_cmp(&b.seconds).unwrap())
+        .unwrap();
     summary.push_str("## Figure 5 — AMPI parameter sensitivity (192 cores)\n\n");
     summary.push_str(&format!(
         "F sweep (d=4): F=20 → {:.1}s; best F={} → {:.1}s ({:.1}× swing; paper: 180s → 43s, 4.2×)\n\n",

@@ -7,9 +7,7 @@
 
 use pic_ampi::balancer::Balancer;
 use pic_ampi::model::{model_ampi, model_ampi_tuned, AmpiParams};
-use pic_par::model_impl::{
-    model_baseline, model_diffusion_tuned, ModelConfig, ModelOutcome,
-};
+use pic_par::model_impl::{model_baseline, model_diffusion_tuned, ModelConfig, ModelOutcome};
 
 /// A point on one of the scaling figures.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,7 +23,10 @@ pub struct ScalingPoint {
 
 impl ScalingPoint {
     pub fn speedup_over_baseline(&self) -> (f64, f64) {
-        (self.baseline_s / self.ampi_s, self.baseline_s / self.diffusion_s)
+        (
+            self.baseline_s / self.ampi_s,
+            self.baseline_s / self.diffusion_s,
+        )
     }
 }
 
@@ -65,7 +66,11 @@ pub fn fig5_f_sweep(scale: u64) -> Vec<TuningPoint> {
                 interval: (f as u64 / scale).max(1) as u32,
                 balancer: Balancer::paper_default(),
             };
-            TuningPoint { factor, value: f, seconds: model_ampi(&cfg, &params).seconds * scale as f64 }
+            TuningPoint {
+                factor,
+                value: f,
+                seconds: model_ampi(&cfg, &params).seconds * scale as f64,
+            }
         })
         .collect()
 }
@@ -83,7 +88,11 @@ pub fn fig5_d_sweep(scale: u64) -> Vec<TuningPoint> {
                 interval: (1000u64 / scale).max(1) as u32,
                 balancer: Balancer::paper_default(),
             };
-            TuningPoint { factor: d, value: d, seconds: model_ampi(&cfg, &params).seconds * scale as f64 }
+            TuningPoint {
+                factor: d,
+                value: d,
+                seconds: model_ampi(&cfg, &params).seconds * scale as f64,
+            }
         })
         .collect()
 }
@@ -163,15 +172,14 @@ pub fn strong_serial_seconds(scale: u64) -> f64 {
 
 /// Convenience wrapper for ablation studies: one modeled diffusion run
 /// with explicit parameters.
-pub fn diffusion_with(
-    cfg: &ModelConfig,
-    interval: u32,
-    tau: u64,
-    border_w: usize,
-) -> ModelOutcome {
+pub fn diffusion_with(cfg: &ModelConfig, interval: u32, tau: u64, border_w: usize) -> ModelOutcome {
     pic_par::model_impl::model_diffusion(
         cfg,
-        pic_par::diffusion::DiffusionParams { interval, tau, border_w },
+        pic_par::diffusion::DiffusionParams {
+            interval,
+            tau,
+            border_w,
+        },
     )
 }
 

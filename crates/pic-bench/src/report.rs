@@ -73,16 +73,28 @@ mod tests {
 
     #[test]
     fn csv_formats() {
-        let pts = vec![ScalingPoint { cores: 24, baseline_s: 20.0, ampi_s: 15.0, diffusion_s: 12.5 }];
+        let pts = vec![ScalingPoint {
+            cores: 24,
+            baseline_s: 20.0,
+            ampi_s: 15.0,
+            diffusion_s: 12.5,
+        }];
         let csv = scaling_csv(&pts);
         assert!(csv.contains("24,20.000,15.000,12.500"), "{csv}");
         let md = scaling_markdown(&pts);
-        assert!(md.contains("| 24 | 20.0 | 15.0 | 12.5 | 1.33× | 1.60× |"), "{md}");
+        assert!(
+            md.contains("| 24 | 20.0 | 15.0 | 12.5 | 1.33× | 1.60× |"),
+            "{md}"
+        );
     }
 
     #[test]
     fn tuning_csv_format() {
-        let pts = vec![TuningPoint { factor: 8, value: 160, seconds: 43.0 }];
+        let pts = vec![TuningPoint {
+            factor: 8,
+            value: 160,
+            seconds: 43.0,
+        }];
         let csv = tuning_csv(&pts, "F");
         assert!(csv.starts_with("factor,F,seconds\n"));
         assert!(csv.contains("8,160,43.000"));
@@ -90,7 +102,11 @@ mod tests {
 
     #[test]
     fn max_count_table() {
-        let row = MaxCountRow { baseline_max: 62645.0, diffusion_max: 30585.0, ideal: 25000.0 };
+        let row = MaxCountRow {
+            baseline_max: 62645.0,
+            diffusion_max: 30585.0,
+            ideal: 25000.0,
+        };
         let md = max_count_markdown(&row);
         assert!(md.contains("2.51×"));
         assert!(md.contains("1.22×"));

@@ -80,7 +80,11 @@ impl CostModel {
     /// `vps` virtual processors (migration volume charged separately).
     #[inline]
     pub fn ampi_lb_invocation_ns(&self, cores: usize, vps: usize) -> f64 {
-        let levels = if cores <= 1 { 0.0 } else { (cores as f64).log2().ceil() };
+        let levels = if cores <= 1 {
+            0.0
+        } else {
+            (cores as f64).log2().ceil()
+        };
         self.ampi_lb_base_ns + self.ampi_lb_tree_ns * levels + self.ampi_lb_per_vp_ns * vps as f64
     }
 
@@ -105,7 +109,10 @@ impl CostModel {
     /// particles over `dist`.
     #[inline]
     pub fn migration_ns(&self, dist: Distance, cells: f64, particles: f64) -> f64 {
-        self.msg_cost_ns(dist, cells * self.cell_bytes + particles * self.particle_bytes)
+        self.msg_cost_ns(
+            dist,
+            cells * self.cell_bytes + particles * self.particle_bytes,
+        )
     }
 
     /// Per-step synchronization cost for a `cores`-core job.
@@ -167,6 +174,9 @@ mod tests {
         // matching the paper's single-core strong-scaling start point.
         let c = CostModel::edison_like();
         let serial_s = 600_000.0 * 6_000.0 * c.particle_ns * 1e-9;
-        assert!((400.0..650.0).contains(&serial_s), "serial estimate {serial_s}");
+        assert!(
+            (400.0..650.0).contains(&serial_s),
+            "serial estimate {serial_s}"
+        );
     }
 }

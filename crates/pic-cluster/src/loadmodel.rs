@@ -68,7 +68,15 @@ impl ColumnLoadModel {
             prefix.push(prefix.last().unwrap() + x);
         }
         let total = *prefix.last().unwrap();
-        ColumnLoadModel { counts, prefix, c, stride, shift: 0, total, row_range }
+        ColumnLoadModel {
+            counts,
+            prefix,
+            c,
+            stride,
+            shift: 0,
+            total,
+            row_range,
+        }
     }
 
     #[inline]
@@ -249,7 +257,11 @@ mod tests {
             m.advance(steps);
             for &(a, b) in &[(0usize, 32usize), (0, 5), (10, 20), (31, 32), (5, 5)] {
                 let direct: u64 = (a..b).map(|j| m.count_in_column(j)).sum();
-                assert_eq!(m.count_in_columns(a, b), direct, "range ({a},{b}) after {steps}");
+                assert_eq!(
+                    m.count_in_columns(a, b),
+                    direct,
+                    "range ({a},{b}) after {steps}"
+                );
             }
         }
     }
@@ -274,7 +286,12 @@ mod tests {
 
     #[test]
     fn rect_respects_patch_row_range() {
-        let d = Distribution::Patch { x0: 0, x1: 16, y0: 4, y1: 8 };
+        let d = Distribution::Patch {
+            x0: 0,
+            x1: 16,
+            y0: 4,
+            y1: 8,
+        };
         let m = model(d, 16, 1_600);
         // All particles live in rows 4..8.
         assert!((m.count_in_rect((0, 16), (0, 4)) - 0.0).abs() < 1e-9);
@@ -285,7 +302,7 @@ mod tests {
     #[test]
     fn crossing_cut_counts_upstream_window() {
         let mut m = ColumnLoadModel::new(Distribution::Uniform, 16, 1_600, 1, 1); // stride 3
-        // Uniform: each column holds 100; 3 columns cross any cut.
+                                                                                  // Uniform: each column holds 100; 3 columns cross any cut.
         assert_eq!(m.crossing_cut(8), 300);
         assert_eq!(m.crossing_cut(0), 300); // wrap: columns 13,14,15
         m.advance(2);
@@ -324,7 +341,10 @@ mod tests {
         let grid = Grid::new(32).unwrap();
         let dist = Distribution::Geometric { r: 0.9 };
         let mut sim = Simulation::new(
-            InitConfig::new(grid, 2_000, dist).with_m(1).build().unwrap(),
+            InitConfig::new(grid, 2_000, dist)
+                .with_m(1)
+                .build()
+                .unwrap(),
         );
         let mut m = ColumnLoadModel::new(dist, 32, 2_000, 0, 1);
         let mut hist = Vec::new();
@@ -346,7 +366,10 @@ mod tests {
         let grid = Grid::new(32).unwrap();
         let dist = Distribution::Sinusoidal;
         let mut sim = Simulation::new(
-            InitConfig::new(grid, 1_500, dist).with_k(2).build().unwrap(),
+            InitConfig::new(grid, 1_500, dist)
+                .with_k(2)
+                .build()
+                .unwrap(),
         );
         let mut m = ColumnLoadModel::new(dist, 32, 1_500, 2, 1);
         sim.run(13);

@@ -52,7 +52,11 @@ impl LoadModel2d {
             let hi = (i + 1 - range.0) as u64 * n / width as u64;
             *slot = hi - lo;
         }
-        let (m_dir, m_k) = if m >= 0 { (1i8, m as i64) } else { (-1i8, -(m as i64)) };
+        let (m_dir, m_k) = if m >= 0 {
+            (1i8, m as i64)
+        } else {
+            (-1i8, -(m as i64))
+        };
         let row_from = |counts: Vec<u64>| {
             // Build a ColumnLoadModel with stride |m| in direction m_dir.
             // The stride parameterization is (2k+1)·dir, so encode |m| via
@@ -66,7 +70,11 @@ impl LoadModel2d {
             SkewAxis::X => (col_from(profile), row_from(marginal)),
             SkewAxis::Y => (col_from(marginal), row_from(profile)),
         };
-        LoadModel2d { total: n, col: colm, row: rowm }
+        LoadModel2d {
+            total: n,
+            col: colm,
+            row: rowm,
+        }
     }
 
     #[inline]
@@ -138,7 +146,9 @@ mod tests {
     fn y_drift_rotates_row_profile() {
         let dist = Distribution::Geometric { r: 0.5 };
         let mut m = LoadModel2d::new(dist, SkewAxis::Y, 8, 800, 0, 1, 3);
-        let before: Vec<f64> = (0..8).map(|j| m.count_in_rect((0, 8), (j, j + 1))).collect();
+        let before: Vec<f64> = (0..8)
+            .map(|j| m.count_in_rect((0, 8), (j, j + 1)))
+            .collect();
         m.advance(1);
         for j in 0..8 {
             let after = m.count_in_rect((0, 8), ((j + 3) % 8, (j + 3) % 8 + 1));
@@ -196,7 +206,12 @@ mod tests {
 
     #[test]
     fn patch_restricts_both_axes() {
-        let dist = Distribution::Patch { x0: 4, x1: 8, y0: 2, y1: 6 };
+        let dist = Distribution::Patch {
+            x0: 4,
+            x1: 8,
+            y0: 2,
+            y1: 6,
+        };
         let m = LoadModel2d::new(dist, SkewAxis::X, 16, 1_000, 0, 1, 0);
         assert!((m.count_in_rect((4, 8), (2, 6)) - 1_000.0).abs() < 1e-9);
         assert!(m.count_in_rect((0, 4), (0, 16)).abs() < 1e-9);

@@ -64,7 +64,11 @@ impl MachineModel {
     /// A single-socket workstation with `cores` cores.
     pub fn workstation(cores: usize) -> MachineModel {
         assert!(cores > 0);
-        MachineModel { nodes: 1, sockets_per_node: 1, cores_per_socket: cores }
+        MachineModel {
+            nodes: 1,
+            sockets_per_node: 1,
+            cores_per_socket: cores,
+        }
     }
 
     /// Total number of cores.

@@ -91,7 +91,10 @@ mod tests {
 
     #[test]
     fn jitter_is_deterministic_and_bounded() {
-        let n = NoiseModel::Jitter { amplitude: 0.5, seed: 42 };
+        let n = NoiseModel::Jitter {
+            amplitude: 0.5,
+            seed: 42,
+        };
         for core in 0..10 {
             for step in 0..50u64 {
                 let f = n.factor(core, step);
@@ -100,13 +103,19 @@ mod tests {
             }
         }
         // Different seeds decorrelate.
-        let m = NoiseModel::Jitter { amplitude: 0.5, seed: 43 };
+        let m = NoiseModel::Jitter {
+            amplitude: 0.5,
+            seed: 43,
+        };
         assert_ne!(n.factor(3, 7), m.factor(3, 7));
     }
 
     #[test]
     fn jitter_varies_across_cores_and_steps() {
-        let n = NoiseModel::Jitter { amplitude: 1.0, seed: 7 };
+        let n = NoiseModel::Jitter {
+            amplitude: 1.0,
+            seed: 7,
+        };
         let a = n.factor(0, 0);
         let b = n.factor(1, 0);
         let c = n.factor(0, 1);

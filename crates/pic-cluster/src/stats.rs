@@ -25,14 +25,28 @@ impl BalanceStats {
     pub fn from_loads(loads: &[f64]) -> BalanceStats {
         let n = loads.len();
         if n == 0 {
-            return BalanceStats { max: 0.0, min: 0.0, mean: 0.0, imbalance: 1.0, cv: 0.0, gini: 0.0 };
+            return BalanceStats {
+                max: 0.0,
+                min: 0.0,
+                mean: 0.0,
+                imbalance: 1.0,
+                cv: 0.0,
+                gini: 0.0,
+            };
         }
         let sum: f64 = loads.iter().sum();
         let mean = sum / n as f64;
         let max = loads.iter().cloned().fold(f64::MIN, f64::max);
         let min = loads.iter().cloned().fold(f64::MAX, f64::min);
         if sum <= 0.0 {
-            return BalanceStats { max, min, mean, imbalance: 1.0, cv: 0.0, gini: 0.0 };
+            return BalanceStats {
+                max,
+                min,
+                mean,
+                imbalance: 1.0,
+                cv: 0.0,
+                gini: 0.0,
+            };
         }
         let var: f64 = loads.iter().map(|&l| (l - mean) * (l - mean)).sum::<f64>() / n as f64;
         let cv = var.sqrt() / mean;
@@ -46,7 +60,14 @@ impl BalanceStats {
             .map(|(i, &x)| (i as f64 + 1.0) * x)
             .sum();
         let gini = (2.0 * weighted) / (n as f64 * sum) - (n as f64 + 1.0) / n as f64;
-        BalanceStats { max, min, mean, imbalance: max / mean, cv, gini: gini.max(0.0) }
+        BalanceStats {
+            max,
+            min,
+            mean,
+            imbalance: max / mean,
+            cv,
+            gini: gini.max(0.0),
+        }
     }
 }
 

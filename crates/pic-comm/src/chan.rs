@@ -46,7 +46,12 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         senders: AtomicUsize::new(1),
         receivers: AtomicUsize::new(1),
     });
-    (Sender { inner: Arc::clone(&inner) }, Receiver { inner })
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
 }
 
 impl<T> Sender<T> {
@@ -65,7 +70,9 @@ impl<T> Sender<T> {
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
         self.inner.senders.fetch_add(1, Ordering::AcqRel);
-        Sender { inner: Arc::clone(&self.inner) }
+        Sender {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 

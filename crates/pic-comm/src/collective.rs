@@ -311,13 +311,7 @@ pub fn reduce_scatter_sum_u64(comm: &Communicator, mine: &[u64]) -> u64 {
 
 /// Combined send+receive (deadlock-free pairwise exchange): sends `data`
 /// to `dst` and returns the message received from `src`, both with `tag`.
-pub fn sendrecv(
-    comm: &Communicator,
-    dst: usize,
-    src: usize,
-    tag: u64,
-    data: Vec<u8>,
-) -> Vec<u8> {
+pub fn sendrecv(comm: &Communicator, dst: usize, src: usize, tag: u64, data: Vec<u8>) -> Vec<u8> {
     comm.send(dst, tag, data);
     comm.recv(src, tag)
 }
@@ -330,12 +324,18 @@ pub fn sendrecv(
 /// payload received from every rank (in rank order). Zero-length payloads
 /// are delivered too (they serve as "nothing for you" markers).
 pub fn alltoallv(comm: &Communicator, outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
-    assert_eq!(outgoing.len(), comm.size(), "alltoallv needs one payload per rank");
+    assert_eq!(
+        outgoing.len(),
+        comm.size(),
+        "alltoallv needs one payload per rank"
+    );
     let base = comm.next_coll_base();
     for (dst, payload) in outgoing.into_iter().enumerate() {
         comm.send_coll(dst, base, payload);
     }
-    (0..comm.size()).map(|src| comm.recv_coll(src, base)).collect()
+    (0..comm.size())
+        .map(|src| comm.recv_coll(src, base))
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -418,7 +418,9 @@ mod tests {
 
     #[test]
     fn gatherv_collects_in_rank_order() {
-        let got = run_threads(5, |comm| gatherv(&comm, 2, vec![comm.rank() as u8; comm.rank()]));
+        let got = run_threads(5, |comm| {
+            gatherv(&comm, 2, vec![comm.rank() as u8; comm.rank()])
+        });
         for (r, g) in got.into_iter().enumerate() {
             if r == 2 {
                 let parts = g.unwrap();
@@ -443,11 +445,17 @@ mod tests {
     #[test]
     fn allreduce_scalar_ops() {
         for p in [1usize, 2, 3, 6, 9] {
-            let sums = run_threads(p, |comm| allreduce_u64(&comm, comm.rank() as u64 + 1, ReduceOp::Sum));
+            let sums = run_threads(p, |comm| {
+                allreduce_u64(&comm, comm.rank() as u64 + 1, ReduceOp::Sum)
+            });
             assert!(sums.iter().all(|&s| s == (p * (p + 1) / 2) as u64));
-            let mins = run_threads(p, |comm| allreduce_u64(&comm, comm.rank() as u64 + 5, ReduceOp::Min));
+            let mins = run_threads(p, |comm| {
+                allreduce_u64(&comm, comm.rank() as u64 + 5, ReduceOp::Min)
+            });
             assert!(mins.iter().all(|&m| m == 5));
-            let maxs = run_threads(p, |comm| allreduce_f64(&comm, comm.rank() as f64, ReduceOp::Max));
+            let maxs = run_threads(p, |comm| {
+                allreduce_f64(&comm, comm.rank() as f64, ReduceOp::Max)
+            });
             assert!(maxs.iter().all(|&m| m == (p - 1) as f64));
         }
     }
@@ -483,15 +491,21 @@ mod tests {
 
     #[test]
     fn scan_inclusive_prefixes() {
-        let got = run_threads(5, |comm| scan_u64(&comm, comm.rank() as u64 + 1, ReduceOp::Sum));
+        let got = run_threads(5, |comm| {
+            scan_u64(&comm, comm.rank() as u64 + 1, ReduceOp::Sum)
+        });
         assert_eq!(got, vec![1, 3, 6, 10, 15]);
-        let got = run_threads(4, |comm| scan_u64(&comm, 10 - comm.rank() as u64, ReduceOp::Min));
+        let got = run_threads(4, |comm| {
+            scan_u64(&comm, 10 - comm.rank() as u64, ReduceOp::Min)
+        });
         assert_eq!(got, vec![10, 9, 8, 7]);
     }
 
     #[test]
     fn exscan_offsets() {
-        let got = run_threads(4, |comm| exscan_sum_u64(&comm, (comm.rank() as u64 + 1) * 100));
+        let got = run_threads(4, |comm| {
+            exscan_sum_u64(&comm, (comm.rank() as u64 + 1) * 100)
+        });
         assert_eq!(got, vec![0, 100, 300, 600]);
     }
 
@@ -526,9 +540,8 @@ mod tests {
     #[test]
     fn alltoallv_personalized_exchange() {
         let got = run_threads(4, |comm| {
-            let outgoing: Vec<Vec<u8>> = (0..4)
-                .map(|d| vec![(10 * comm.rank() + d) as u8])
-                .collect();
+            let outgoing: Vec<Vec<u8>> =
+                (0..4).map(|d| vec![(10 * comm.rank() + d) as u8]).collect();
             alltoallv(&comm, outgoing)
         });
         for (r, incoming) in got.into_iter().enumerate() {

@@ -85,7 +85,14 @@ impl Communicator {
         members: Arc<Vec<usize>>,
         my_rank: usize,
     ) -> Communicator {
-        Communicator { ep, ctx, members, my_rank, coll_seq: Cell::new(0), split_seq: Cell::new(0) }
+        Communicator {
+            ep,
+            ctx,
+            members,
+            my_rank,
+            coll_seq: Cell::new(0),
+            split_seq: Cell::new(0),
+        }
     }
 
     /// Rank of this process within the communicator.
@@ -125,7 +132,8 @@ impl Communicator {
     }
 
     pub(crate) fn recv_coll(&self, src: usize, tag: u64) -> Vec<u8> {
-        self.ep.recv(self.members[src], self.ctx, COLLECTIVE_FLAG | tag)
+        self.ep
+            .recv(self.members[src], self.ctx, COLLECTIVE_FLAG | tag)
     }
 
     /// Allocate a fresh tag block for one collective operation. All members

@@ -78,9 +78,15 @@ impl Endpoint {
     /// like an eager-protocol MPI for the message sizes this kernel uses).
     pub fn send(&self, dst_world: usize, ctx: u64, tag: u64, data: Vec<u8>) {
         self.msgs_sent.fetch_add(1, Ordering::Relaxed);
-        self.bytes_sent.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.bytes_sent
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.senders[dst_world]
-            .send(RawMsg { ctx, src: self.world_rank, tag, data })
+            .send(RawMsg {
+                ctx,
+                src: self.world_rank,
+                tag,
+                data,
+            })
             .expect("receiver endpoint dropped while ranks still sending");
     }
 
@@ -115,7 +121,8 @@ impl Endpoint {
 
     fn note_recv(&self, m: &RawMsg) {
         self.msgs_recv.fetch_add(1, Ordering::Relaxed);
-        self.bytes_recv.fetch_add(m.data.len() as u64, Ordering::Relaxed);
+        self.bytes_recv
+            .fetch_add(m.data.len() as u64, Ordering::Relaxed);
     }
 
     /// Traffic counters so far.

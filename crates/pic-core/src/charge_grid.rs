@@ -37,8 +37,14 @@ impl ChargeGrid {
         cols: (usize, usize),
         rows: (usize, usize),
     ) -> ChargeGrid {
-        assert!(cols.0 < cols.1 && cols.1 <= grid.ncells(), "bad column range {cols:?}");
-        assert!(rows.0 < rows.1 && rows.1 <= grid.ncells(), "bad row range {rows:?}");
+        assert!(
+            cols.0 < cols.1 && cols.1 <= grid.ncells(),
+            "bad column range {cols:?}"
+        );
+        assert!(
+            rows.0 < rows.1 && rows.1 <= grid.ncells(),
+            "bad row range {rows:?}"
+        );
         let w = cols.1 - cols.0;
         let h = rows.1 - rows.0;
         let stride = w + 3;
@@ -52,7 +58,13 @@ impl ChargeGrid {
                 data.push(mesh_charge(col, consts.q));
             }
         }
-        ChargeGrid { x0: cols.0, y0: rows.0, w, h, data }
+        ChargeGrid {
+            x0: cols.0,
+            y0: rows.0,
+            w,
+            h,
+            data,
+        }
     }
 
     /// Owned cell rectangle.
@@ -87,7 +99,14 @@ impl ChargeGrid {
     /// from the stored mesh — the same arithmetic as
     /// [`crate::charge::total_force`], so results are bit-identical.
     #[inline]
-    pub fn total_force(&self, grid: &Grid, consts: &SimConstants, x: f64, y: f64, qp: f64) -> (f64, f64) {
+    pub fn total_force(
+        &self,
+        grid: &Grid,
+        consts: &SimConstants,
+        x: f64,
+        y: f64,
+        qp: f64,
+    ) -> (f64, f64) {
         let (col, row) = grid.cell_of_point(x, y);
         let rx = x - col as f64;
         let ry = y - row as f64;

@@ -141,7 +141,11 @@ impl CheckpointData {
         }
         let ncells = r.u64()? as usize;
         let grid = Grid::new(ncells).map_err(CheckpointError::Grid)?;
-        let consts = SimConstants { h: r.f64()?, dt: r.f64()?, q: r.f64()? };
+        let consts = SimConstants {
+            h: r.f64()?,
+            dt: r.f64()?,
+            q: r.f64()?,
+        };
         let step = r.u32()?;
         let next_id = r.u64()?;
         let expected_id_sum = r.u128()?;
@@ -171,7 +175,11 @@ impl CheckpointData {
                 1 => EventKind::Remove { count: r.u64()? },
                 _ => return Err(CheckpointError::Corrupt("event kind")),
             };
-            pending_events.push(Event { at_step, region, kind });
+            pending_events.push(Event {
+                at_step,
+                region,
+                kind,
+            });
         }
         if r.off != buf.len() {
             return Err(CheckpointError::Corrupt("trailing bytes"));
@@ -196,7 +204,9 @@ mod tests {
         use crate::dist::Distribution;
         use crate::init::InitConfig;
         let grid = Grid::new(16).unwrap();
-        let setup = InitConfig::new(grid, 50, Distribution::Uniform).build().unwrap();
+        let setup = InitConfig::new(grid, 50, Distribution::Uniform)
+            .build()
+            .unwrap();
         CheckpointData {
             grid,
             consts: SimConstants::CANONICAL,
@@ -205,7 +215,19 @@ mod tests {
             expected_id_sum: 1275,
             particles: setup.particles,
             pending_events: vec![
-                Event::inject(30, Region { x0: 0, x1: 4, y0: 0, y1: 4 }, 10, 1, -2, -1),
+                Event::inject(
+                    30,
+                    Region {
+                        x0: 0,
+                        x1: 4,
+                        y0: 0,
+                        y1: 4,
+                    },
+                    10,
+                    1,
+                    -2,
+                    -1,
+                ),
                 Event::remove(40, Region::whole(16), 5),
             ],
         }
@@ -223,7 +245,10 @@ mod tests {
     fn rejects_bad_magic() {
         let mut bytes = sample().encode();
         bytes[0] = b'X';
-        assert_eq!(CheckpointData::decode(&bytes), Err(CheckpointError::BadMagic));
+        assert_eq!(
+            CheckpointData::decode(&bytes),
+            Err(CheckpointError::BadMagic)
+        );
     }
 
     #[test]

@@ -29,10 +29,7 @@ pub enum Distribution {
     Sinusoidal,
     /// Linear ramp (paper §III-E3): `p(i) ∝ β − α·i/(c−1)`; `α ≤ β`
     /// controls the slope (α = 0 degenerates to uniform).
-    Linear {
-        alpha: f64,
-        beta: f64,
-    },
+    Linear { alpha: f64, beta: f64 },
     /// Uniform inside the column range `[x0, x1)` × row range `[y0, y1)`
     /// only (paper §III-E4). The relative patch size tunes how hard the
     /// balancing task is.
@@ -155,7 +152,10 @@ mod tests {
         let counts = d.column_counts(8, 10_000);
         assert_eq!(counts.iter().sum::<u64>(), 10_000);
         for w in counts.windows(2) {
-            assert!(w[0] >= w[1], "geometric counts must be non-increasing: {counts:?}");
+            assert!(
+                w[0] >= w[1],
+                "geometric counts must be non-increasing: {counts:?}"
+            );
         }
         // First column holds about half the particles (1-r = 0.5, c large enough).
         assert!((counts[0] as f64 - 5000.0).abs() < 50.0, "{counts:?}");
@@ -179,11 +179,7 @@ mod tests {
         let n = 1_000_000u64;
         let counts = d.column_counts(c, n);
         let block: Vec<f64> = (0..p)
-            .map(|b| {
-                counts[b * c / p..(b + 1) * c / p]
-                    .iter()
-                    .sum::<u64>() as f64
-            })
+            .map(|b| counts[b * c / p..(b + 1) * c / p].iter().sum::<u64>() as f64)
             .collect();
         let want = r.powi((c / p) as i32);
         for w in block.windows(2) {
@@ -207,7 +203,10 @@ mod tests {
 
     #[test]
     fn linear_ramp() {
-        let d = Distribution::Linear { alpha: 1.0, beta: 1.0 };
+        let d = Distribution::Linear {
+            alpha: 1.0,
+            beta: 1.0,
+        };
         let counts = d.column_counts(100, 50_000);
         assert_eq!(counts.iter().sum::<u64>(), 50_000);
         assert!(counts[0] > counts[50] && counts[50] > counts[98]);
@@ -216,7 +215,12 @@ mod tests {
 
     #[test]
     fn patch_restricts_columns_and_rows() {
-        let d = Distribution::Patch { x0: 10, x1: 20, y0: 5, y1: 8 };
+        let d = Distribution::Patch {
+            x0: 10,
+            x1: 20,
+            y0: 5,
+            y1: 8,
+        };
         let counts = d.column_counts(50, 1000);
         assert_eq!(counts.iter().sum::<u64>(), 1000);
         assert!(counts[..10].iter().all(|&c| c == 0));

@@ -21,7 +21,12 @@ pub struct Region {
 impl Region {
     /// Region covering the whole grid.
     pub fn whole(ncells: usize) -> Region {
-        Region { x0: 0, x1: ncells, y0: 0, y1: ncells }
+        Region {
+            x0: 0,
+            x1: ncells,
+            y0: 0,
+            y1: ncells,
+        }
     }
 
     /// Number of cells in the region.
@@ -77,11 +82,19 @@ pub struct Event {
 
 impl Event {
     pub fn inject(at_step: u32, region: Region, count: u64, k: u32, m: i32, dir: i8) -> Event {
-        Event { at_step, region, kind: EventKind::Inject { count, k, m, dir } }
+        Event {
+            at_step,
+            region,
+            kind: EventKind::Inject { count, k, m, dir },
+        }
     }
 
     pub fn remove(at_step: u32, region: Region, count: u64) -> Event {
-        Event { at_step, region, kind: EventKind::Remove { count } }
+        Event {
+            at_step,
+            region,
+            kind: EventKind::Remove { count },
+        }
     }
 }
 
@@ -91,7 +104,12 @@ mod tests {
 
     #[test]
     fn region_membership() {
-        let r = Region { x0: 2, x1: 5, y0: 1, y1: 3 };
+        let r = Region {
+            x0: 2,
+            x1: 5,
+            y0: 1,
+            y1: 3,
+        };
         assert!(r.contains_cell(2, 1));
         assert!(r.contains_cell(4, 2));
         assert!(!r.contains_cell(5, 2));
@@ -111,7 +129,12 @@ mod tests {
 
     #[test]
     fn degenerate_region_is_empty() {
-        let r = Region { x0: 5, x1: 5, y0: 0, y1: 10 };
+        let r = Region {
+            x0: 5,
+            x1: 5,
+            y0: 0,
+            y1: 10,
+        };
         assert_eq!(r.cell_count(), 0);
         assert!(!r.contains_cell(5, 3));
     }

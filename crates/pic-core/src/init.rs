@@ -79,7 +79,10 @@ pub enum InitError {
     /// The per-step displacement `2k+1` may not exceed the grid size —
     /// otherwise a particle laps the domain within one step and the
     /// "mirrored charges" deceleration argument breaks down.
-    StrideTooLarge { stride: u64, ncells: usize },
+    StrideTooLarge {
+        stride: u64,
+        ncells: usize,
+    },
     /// Empty patch/region cannot receive particles.
     EmptyRegion,
 }
@@ -153,7 +156,10 @@ impl InitConfig {
         }
         let stride = 2 * self.k as u64 + 1;
         if stride > self.grid.ncells() as u64 {
-            return Err(InitError::StrideTooLarge { stride, ncells: self.grid.ncells() });
+            return Err(InitError::StrideTooLarge {
+                stride,
+                ncells: self.grid.ncells(),
+            });
         }
         if let Distribution::Patch { x0, x1, y0, y1 } = self.dist {
             if x0 >= x1 || y0 >= y1 || x0 >= self.grid.ncells() || y0 >= self.grid.ncells() {
@@ -258,7 +264,12 @@ impl Placer {
             RowSpread::Even => None,
             RowSpread::Random { seed } => Some(SplitMix64::seed_from_u64(seed)),
         };
-        Placer { grid, consts, spread, rng }
+        Placer {
+            grid,
+            consts,
+            spread,
+            rng,
+        }
     }
 
     /// Place `count` particles in column `col`, rows `[row_lo, row_hi)`.
@@ -468,7 +479,10 @@ pub fn validate_event(grid: &Grid, event: &Event) -> Result<(), InitError> {
         }
         let stride = 2 * k as u64 + 1;
         if stride > grid.ncells() as u64 {
-            return Err(InitError::StrideTooLarge { stride, ncells: grid.ncells() });
+            return Err(InitError::StrideTooLarge {
+                stride,
+                ncells: grid.ncells(),
+            });
         }
     }
     Ok(())
@@ -535,7 +549,10 @@ mod tests {
         }
         let max = per_cell.values().max().unwrap();
         let min = per_cell.values().min().unwrap();
-        assert!(max - min <= 2, "cells should be near-even: max {max} min {min}");
+        assert!(
+            max - min <= 2,
+            "cells should be near-even: max {max} min {min}"
+        );
     }
 
     #[test]
@@ -556,18 +573,27 @@ mod tests {
     #[test]
     fn rejects_bad_parameters() {
         assert!(matches!(
-            InitConfig::new(grid(), 10, Distribution::Uniform).with_dir(0).build(),
+            InitConfig::new(grid(), 10, Distribution::Uniform)
+                .with_dir(0)
+                .build(),
             Err(InitError::BadDirection(0))
         ));
         assert!(matches!(
-            InitConfig::new(grid(), 10, Distribution::Uniform).with_k(8).build(),
+            InitConfig::new(grid(), 10, Distribution::Uniform)
+                .with_k(8)
+                .build(),
             Err(InitError::StrideTooLarge { stride: 17, .. })
         ));
         assert!(matches!(
             InitConfig::new(
                 grid(),
                 10,
-                Distribution::Patch { x0: 5, x1: 5, y0: 0, y1: 4 }
+                Distribution::Patch {
+                    x0: 5,
+                    x1: 5,
+                    y0: 0,
+                    y1: 4
+                }
             )
             .build(),
             Err(InitError::EmptyRegion)
@@ -579,7 +605,12 @@ mod tests {
         let cfg = InitConfig::new(
             grid(),
             300,
-            Distribution::Patch { x0: 2, x1: 6, y0: 8, y1: 12 },
+            Distribution::Patch {
+                x0: 2,
+                x1: 6,
+                y0: 8,
+                y1: 12,
+            },
         );
         let setup = cfg.build().unwrap();
         assert_eq!(setup.particles.len(), 300);
@@ -605,7 +636,10 @@ mod tests {
         for p in &y.particles {
             row_hist_y[grid().cell_of(p.y)] += 1;
         }
-        assert_eq!(col_hist_x, row_hist_y, "rotation must transpose the profile");
+        assert_eq!(
+            col_hist_x, row_hist_y,
+            "rotation must transpose the profile"
+        );
         // And the rotated population is near-uniform in x.
         let mut col_hist_y = vec![0u64; 16];
         for p in &y.particles {
@@ -613,7 +647,10 @@ mod tests {
         }
         let max = *col_hist_y.iter().max().unwrap();
         let min = *col_hist_y.iter().min().unwrap();
-        assert!(max - min <= 16, "columns near-uniform under Y skew: {col_hist_y:?}");
+        assert!(
+            max - min <= 16,
+            "columns near-uniform under Y skew: {col_hist_y:?}"
+        );
     }
 
     #[test]
@@ -635,7 +672,12 @@ mod tests {
         let ps = build_injection(
             grid(),
             SimConstants::CANONICAL,
-            Region { x0: 0, x1: 4, y0: 0, y1: 4 },
+            Region {
+                x0: 0,
+                x1: 4,
+                y0: 0,
+                y1: 4,
+            },
             37,
             0,
             1,
@@ -654,7 +696,12 @@ mod tests {
     fn removal_takes_lowest_ids_in_region() {
         let cfg = InitConfig::new(grid(), 64, Distribution::Uniform);
         let mut particles = cfg.build().unwrap().particles;
-        let region = Region { x0: 0, x1: 8, y0: 0, y1: 16 };
+        let region = Region {
+            x0: 0,
+            x1: 8,
+            y0: 0,
+            y1: 16,
+        };
         let inside_before: Vec<u64> = particles
             .iter()
             .filter(|p| region.contains_point(p.x, p.y))

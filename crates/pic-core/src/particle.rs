@@ -118,7 +118,9 @@ impl Particle {
         if !buf.len().is_multiple_of(Self::WIRE_SIZE) {
             return None;
         }
-        buf.chunks_exact(Self::WIRE_SIZE).map(Particle::decode).collect()
+        buf.chunks_exact(Self::WIRE_SIZE)
+            .map(Particle::decode)
+            .collect()
     }
 }
 

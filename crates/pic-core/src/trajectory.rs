@@ -27,7 +27,13 @@ pub struct TrajectoryPoint {
 pub fn state_at(grid: &Grid, consts: &SimConstants, p: &Particle, steps: u64) -> TrajectoryPoint {
     let (x, y) = expected_position(grid, p, steps);
     let (vx, vy) = expected_velocity(grid, consts, p, steps);
-    TrajectoryPoint { step: steps, x, y, vx, vy }
+    TrajectoryPoint {
+        step: steps,
+        x,
+        y,
+        vx,
+        vy,
+    }
 }
 
 /// Iterator over the analytic trajectory, starting at step 0 (the initial
@@ -41,7 +47,12 @@ pub struct Trajectory<'a> {
 
 impl<'a> Trajectory<'a> {
     pub fn new(grid: &'a Grid, consts: &'a SimConstants, particle: Particle) -> Trajectory<'a> {
-        Trajectory { grid, consts, particle, next_step: 0 }
+        Trajectory {
+            grid,
+            consts,
+            particle,
+            next_step: 0,
+        }
     }
 }
 

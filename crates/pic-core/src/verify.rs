@@ -73,7 +73,11 @@ pub fn verify_velocity(
 ) -> ParticleVerdict {
     let (evx, evy) = expected_velocity(grid, consts, p, steps);
     let error = (p.vx - evx).abs().max((p.vy - evy).abs());
-    ParticleVerdict { id: p.id, ok: error <= tol, error }
+    ParticleVerdict {
+        id: p.id,
+        ok: error <= tol,
+        error,
+    }
 }
 
 /// Outcome of verifying one particle.
@@ -93,7 +97,11 @@ pub fn verify_particle(grid: &Grid, p: &Particle, steps: u64, tol: f64) -> Parti
     let dx = grid.periodic_delta(p.x, ex).abs();
     let dy = grid.periodic_delta(p.y, ey).abs();
     let error = dx.max(dy);
-    ParticleVerdict { id: p.id, ok: error <= tol, error }
+    ParticleVerdict {
+        id: p.id,
+        ok: error <= tol,
+        error,
+    }
 }
 
 /// Aggregate verification report.

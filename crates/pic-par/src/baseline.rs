@@ -71,7 +71,12 @@ mod tests {
 
     #[test]
     fn injection_and_removal_during_parallel_run() {
-        let region = Region { x0: 8, x1: 24, y0: 8, y1: 24 };
+        let region = Region {
+            x0: 8,
+            x1: 24,
+            y0: 8,
+            y1: 24,
+        };
         let mut c = cfg(200, Distribution::Uniform, 50, 0, 1);
         c.setup = c
             .setup

@@ -29,7 +29,11 @@ pub struct DiffusionParams {
 
 impl Default for DiffusionParams {
     fn default() -> Self {
-        DiffusionParams { interval: 20, tau: 0, border_w: 1 }
+        DiffusionParams {
+            interval: 20,
+            tau: 0,
+            border_w: 1,
+        }
     }
 }
 
@@ -124,11 +128,7 @@ pub fn diffuse_xcuts_from_histogram(
 
 /// Run the diffusion-balanced implementation on this rank with the
 /// paper's experimental x-only balancing.
-pub fn run_diffusion(
-    comm: &Communicator,
-    cfg: &ParConfig,
-    params: DiffusionParams,
-) -> ParOutcome {
+pub fn run_diffusion(comm: &Communicator, cfg: &ParConfig, params: DiffusionParams) -> ParOutcome {
     run_diffusion_mode(comm, cfg, params, DiffusionMode::XOnly)
 }
 
@@ -316,7 +316,11 @@ mod tests {
     #[test]
     fn verified_run_with_balancing() {
         let c = cfg(600, Distribution::Geometric { r: 0.85 }, 60);
-        let params = DiffusionParams { interval: 5, tau: 0, border_w: 2 };
+        let params = DiffusionParams {
+            interval: 5,
+            tau: 0,
+            border_w: 2,
+        };
         let outcomes = run_threads(4, |comm| run_diffusion(&comm, &c, params));
         for o in &outcomes {
             assert!(o.verify.passed(), "{:?}", o.verify);
@@ -331,7 +335,11 @@ mod tests {
         let base = run_threads(4, |comm| crate::baseline::run_baseline(&comm, &c));
         // The skew drifts one cell per step, so the cut must be able to
         // move faster than that: border_w / interval > 1.
-        let params = DiffusionParams { interval: 1, tau: 0, border_w: 2 };
+        let params = DiffusionParams {
+            interval: 1,
+            tau: 0,
+            border_w: 2,
+        };
         let balanced = run_threads(4, |comm| run_diffusion(&comm, &c, params));
         assert!(base[0].verify.passed());
         assert!(balanced[0].verify.passed());
@@ -360,14 +368,22 @@ mod tests {
         // two-phase scheme handles it.
         use pic_core::init::SkewAxis;
         let c = ParConfig {
-            setup: InitConfig::new(Grid::new(32).unwrap(), 2000, Distribution::Geometric { r: 0.8 })
-                .with_skew_axis(SkewAxis::Y)
-                .with_m(1) // the skew drifts vertically
-                .build()
-                .unwrap(),
+            setup: InitConfig::new(
+                Grid::new(32).unwrap(),
+                2000,
+                Distribution::Geometric { r: 0.8 },
+            )
+            .with_skew_axis(SkewAxis::Y)
+            .with_m(1) // the skew drifts vertically
+            .build()
+            .unwrap(),
             steps: 40,
         };
-        let params = DiffusionParams { interval: 1, tau: 0, border_w: 2 };
+        let params = DiffusionParams {
+            interval: 1,
+            tau: 0,
+            border_w: 2,
+        };
         let base = run_threads(4, |comm| crate::baseline::run_baseline(&comm, &c));
         let xonly = run_threads(4, |comm| {
             run_diffusion_mode(&comm, &c, params, DiffusionMode::XOnly)
@@ -405,7 +421,11 @@ mod tests {
                 .unwrap(),
             steps: 30,
         };
-        let params = DiffusionParams { interval: 1, tau: 0, border_w: 2 };
+        let params = DiffusionParams {
+            interval: 1,
+            tau: 0,
+            border_w: 2,
+        };
         let out = run_threads(4, |comm| {
             run_diffusion_mode(&comm, &c, params, DiffusionMode::YOnly)
         });
@@ -415,7 +435,11 @@ mod tests {
     #[test]
     fn sinusoidal_distribution_balances_too() {
         let c = cfg(800, Distribution::Sinusoidal, 48);
-        let params = DiffusionParams { interval: 4, tau: 10, border_w: 1 };
+        let params = DiffusionParams {
+            interval: 4,
+            tau: 10,
+            border_w: 1,
+        };
         let outcomes = run_threads(6, |comm| run_diffusion(&comm, &c, params));
         for o in outcomes {
             assert!(o.verify.passed(), "{:?}", o.verify);

@@ -86,7 +86,11 @@ where
 
     // Wire payloads are moved into the transport (channel ownership
     // transfer), so they are built fresh per call by design.
-    let payloads: Vec<Vec<u8>> = bufs.outgoing.iter().map(|v| Particle::encode_all(v)).collect();
+    let payloads: Vec<Vec<u8>> = bufs
+        .outgoing
+        .iter()
+        .map(|v| Particle::encode_all(v))
+        .collect();
     let incoming = alltoallv(comm, payloads);
     let mut received = 0usize;
     for (src, buf) in incoming.into_iter().enumerate() {
@@ -136,12 +140,7 @@ pub fn rehome_particles_with(
 }
 
 /// Partition a full population down to the particles owned by `rank`.
-pub fn local_slice(
-    decomp: &Decomp2d,
-    grid: &Grid,
-    rank: usize,
-    all: &[Particle],
-) -> Vec<Particle> {
+pub fn local_slice(decomp: &Decomp2d, grid: &Grid, rank: usize, all: &[Particle]) -> Vec<Particle> {
     all.iter()
         .filter(|p| {
             let (col, row) = grid.cell_of_point(p.x, p.y);

@@ -168,7 +168,10 @@ fn charge_step(
         for cx in 0..px {
             let rank = decomp.rank_of(cx, cy);
             let (nb_out, cut_out) = if rightward {
-                (decomp.rank_of((cx + 1) % px, cy), decomp.xcuts[cx + 1] % ncells)
+                (
+                    decomp.rank_of((cx + 1) % px, cy),
+                    decomp.xcuts[cx + 1] % ncells,
+                )
             } else {
                 (decomp.rank_of((cx + px - 1) % px, cy), decomp.xcuts[cx])
             };
@@ -218,7 +221,16 @@ pub fn model_baseline(cfg: &ModelConfig) -> ModelOutcome {
     for s in 0..cfg.steps {
         compute.iter_mut().for_each(|v| *v = 0.0);
         comm.iter_mut().for_each(|v| *v = 0.0);
-        charge_step(&decomp, &load, &cfg.machine, &cfg.cost, &cfg.noise, s, &mut compute, &mut comm);
+        charge_step(
+            &decomp,
+            &load,
+            &cfg.machine,
+            &cfg.cost,
+            &cfg.noise,
+            s,
+            &mut compute,
+            &mut comm,
+        );
         bsp.step(&compute, &comm);
         load.advance(1);
     }
@@ -247,7 +259,16 @@ pub fn model_diffusion(cfg: &ModelConfig, params: DiffusionParams) -> ModelOutco
     for s in 1..=cfg.steps {
         compute.iter_mut().for_each(|v| *v = 0.0);
         comm.iter_mut().for_each(|v| *v = 0.0);
-        charge_step(&decomp, &load, &cfg.machine, &cfg.cost, &cfg.noise, s, &mut compute, &mut comm);
+        charge_step(
+            &decomp,
+            &load,
+            &cfg.machine,
+            &cfg.cost,
+            &cfg.noise,
+            s,
+            &mut compute,
+            &mut comm,
+        );
         bsp.step(&compute, &comm);
         load.advance(1);
         if s % params.interval as u64 == 0 && s < cfg.steps {
@@ -268,7 +289,13 @@ pub fn model_diffusion(cfg: &ModelConfig, params: DiffusionParams) -> ModelOutco
             // Charge the LB phase: reduction + decision + migration.
             let mut max_migration_ns = 0.0f64;
             let mut total_bytes = 0.0f64;
-            let moved_cuts = decomp.xcuts.iter().zip(&new_cuts).enumerate().take(px).skip(1);
+            let moved_cuts = decomp
+                .xcuts
+                .iter()
+                .zip(&new_cuts)
+                .enumerate()
+                .take(px)
+                .skip(1);
             for (i, (&old, &new)) in moved_cuts {
                 if old == new {
                     continue;
@@ -288,9 +315,7 @@ pub fn model_diffusion(cfg: &ModelConfig, params: DiffusionParams) -> ModelOutco
                     total_bytes += cells * cfg.cost.cell_bytes + parts * cfg.cost.particle_bytes;
                 }
             }
-            let lb_ns = cfg.cost.sync_ns(cfg.cores)
-                + cfg.cost.lb_decision_ns
-                + max_migration_ns;
+            let lb_ns = cfg.cost.sync_ns(cfg.cores) + cfg.cost.lb_decision_ns + max_migration_ns;
             bsp.lb_phase(lb_ns, total_bytes);
             decomp.set_xcuts(new_cuts);
         }
@@ -396,7 +421,11 @@ mod tests {
         let base = model_baseline(&cfg);
         let diff = model_diffusion(
             &cfg,
-            DiffusionParams { interval: 20, tau: 1000, border_w: 20 },
+            DiffusionParams {
+                interval: 20,
+                tau: 1000,
+                border_w: 20,
+            },
         );
         // LB pays its overhead but moves nothing: slightly slower or equal.
         assert!(diff.seconds >= base.seconds * 0.999);

@@ -99,7 +99,9 @@ impl RankState {
     pub fn rebuild_charges(&mut self) {
         let (cols, rows) = self.decomp.bounds(self.rank);
         self.charges = ChargeGrid::build(&self.grid, &self.consts, cols, rows);
-        debug_assert!(self.charges.verify_against_formula(&self.grid, &self.consts));
+        debug_assert!(self
+            .charges
+            .verify_against_formula(&self.grid, &self.consts));
     }
 
     pub fn expected_id_sum(&self) -> u128 {
@@ -148,8 +150,7 @@ impl RankState {
                         .collect();
                     local_ids.sort_unstable();
                     let gathered = allgatherv(comm, encode_u64s(&local_ids));
-                    let mut all: Vec<u64> =
-                        gathered.iter().flat_map(|b| decode_u64s(b)).collect();
+                    let mut all: Vec<u64> = gathered.iter().flat_map(|b| decode_u64s(b)).collect();
                     all.sort_unstable();
                     all.truncate(count as usize);
                     let doomed: std::collections::HashSet<u64> = all.iter().copied().collect();
@@ -167,7 +168,9 @@ impl RankState {
     pub fn step(&mut self, comm: &Communicator) {
         self.apply_due_events(comm);
         for p in &mut self.particles {
-            let (ax, ay) = self.charges.total_force(&self.grid, &self.consts, p.x, p.y, p.q);
+            let (ax, ay) = self
+                .charges
+                .total_force(&self.grid, &self.consts, p.x, p.y, p.q);
             advance_with_acceleration(&self.grid, &self.consts, p, ax, ay);
         }
         self.rehome(comm);
@@ -282,14 +285,26 @@ mod tests {
         let setup = InitConfig::new(grid, 200, Distribution::Uniform)
             .build()
             .unwrap()
-            .with_event(Event::remove(0, Region { x0: 0, x1: 16, y0: 0, y1: 8 }, 40));
+            .with_event(Event::remove(
+                0,
+                Region {
+                    x0: 0,
+                    x1: 16,
+                    y0: 0,
+                    y1: 8,
+                },
+                40,
+            ));
         let outcomes = run_threads(4, |comm| {
             let mut st = RankState::new(&setup, Decomp2d::uniform(16, 4), comm.rank());
             st.apply_due_events(&comm);
             (st.expected_id_sum(), st.particles.len() as u64)
         });
         let ledger0 = outcomes[0].0;
-        assert!(outcomes.iter().all(|o| o.0 == ledger0), "ledgers must agree");
+        assert!(
+            outcomes.iter().all(|o| o.0 == ledger0),
+            "ledgers must agree"
+        );
         let total: u64 = outcomes.iter().map(|o| o.1).sum();
         assert_eq!(total, 160);
         assert!(ledger0 < triangular_id_sum(200));
@@ -298,7 +313,12 @@ mod tests {
     #[test]
     fn injection_lands_on_owning_ranks_only() {
         let grid = Grid::new(16).unwrap();
-        let region = Region { x0: 0, x1: 4, y0: 0, y1: 4 };
+        let region = Region {
+            x0: 0,
+            x1: 4,
+            y0: 0,
+            y1: 4,
+        };
         let setup = InitConfig::new(grid, 50, Distribution::Uniform)
             .build()
             .unwrap()

@@ -17,10 +17,14 @@ use pic_prk::prelude::*;
 fn main() {
     let cores = 4;
     let cfg = ParConfig {
-        setup: InitConfig::new(Grid::new(64).unwrap(), 20_000, Distribution::Geometric { r: 0.9 })
-            .with_m(1)
-            .build()
-            .unwrap(),
+        setup: InitConfig::new(
+            Grid::new(64).unwrap(),
+            20_000,
+            Distribution::Geometric { r: 0.9 },
+        )
+        .with_m(1)
+        .build()
+        .unwrap(),
         steps: 200,
     };
 
@@ -42,10 +46,17 @@ fn main() {
 
     for (name, balancer) in [
         ("no balancing (over-decomposition only)", Balancer::None),
-        ("refine (most→least loaded, the paper's choice)", Balancer::paper_default()),
+        (
+            "refine (most→least loaded, the paper's choice)",
+            Balancer::paper_default(),
+        ),
         ("greedy (full Charm++-style remap)", Balancer::Greedy),
     ] {
-        let params = AmpiParams { d: 8, interval: 10, balancer };
+        let params = AmpiParams {
+            d: 8,
+            interval: 10,
+            balancer,
+        };
         let out = run_threads(cores, |comm| run_ampi(&comm, &cfg, &params));
         println!(
             "\n{name}:\n  verified: {}   max particles/core: {} (ideal {})",

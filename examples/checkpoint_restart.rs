@@ -16,7 +16,19 @@ fn main() {
         .with_m(1)
         .build()
         .unwrap()
-        .with_event(Event::inject(400, Region { x0: 0, x1: 16, y0: 0, y1: 16 }, 1_000, 0, 0, 1));
+        .with_event(Event::inject(
+            400,
+            Region {
+                x0: 0,
+                x1: 16,
+                y0: 0,
+                y1: 16,
+            },
+            1_000,
+            0,
+            0,
+            1,
+        ));
 
     // Reference: one uninterrupted 600-step run.
     let mut reference = Simulation::new(setup.clone());

@@ -17,8 +17,18 @@ fn main() {
     // Start uniform; at step 50 a burst of 30,000 particles appears in the
     // left half of the domain; at step 150 particles in the right half
     // start vanishing.
-    let burst_region = Region { x0: 0, x1: 32, y0: 0, y1: 64 };
-    let drain_region = Region { x0: 32, x1: 64, y0: 0, y1: 64 };
+    let burst_region = Region {
+        x0: 0,
+        x1: 32,
+        y0: 0,
+        y1: 64,
+    };
+    let drain_region = Region {
+        x0: 32,
+        x1: 64,
+        y0: 0,
+        y1: 64,
+    };
     let setup = InitConfig::new(grid, 10_000, Distribution::Uniform)
         .with_m(1)
         .build()
@@ -37,7 +47,11 @@ fn main() {
         base[0].max_count
     );
 
-    let params = DiffusionParams { interval: 1, tau: 100, border_w: 2 };
+    let params = DiffusionParams {
+        interval: 1,
+        tau: 100,
+        border_w: 2,
+    };
     let diff = run_threads(8, |comm| run_diffusion(&comm, &cfg, params));
     println!(
         "mpi-2d-LB  : verified={} total={} max/rank={}",

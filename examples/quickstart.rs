@@ -25,7 +25,10 @@ fn main() {
 
     sim.run(1_000);
 
-    println!("\nafter 1,000 steps (the distribution rotated {} columns):", 1_000 % 64);
+    println!(
+        "\nafter 1,000 steps (the distribution rotated {} columns):",
+        1_000 % 64
+    );
     print_histogram(&sim.column_histogram());
 
     // The kernel is self-verifying: every particle's final position is
@@ -52,6 +55,12 @@ fn print_histogram(hist: &[u64]) {
     let max = *sums.iter().max().unwrap_or(&1);
     for (b, &s) in sums.iter().enumerate() {
         let bar = "#".repeat((s * 40 / max.max(1)) as usize);
-        println!("  cols {:3}-{:3} | {:6} {}", b * bucket, (b + 1) * bucket - 1, s, bar);
+        println!(
+            "  cols {:3}-{:3} | {:6} {}",
+            b * bucket,
+            (b + 1) * bucket - 1,
+            s,
+            bar
+        );
     }
 }

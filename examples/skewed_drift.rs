@@ -15,10 +15,14 @@ use pic_prk::prelude::*;
 fn main() {
     let ranks = 8;
     let cfg = ParConfig {
-        setup: InitConfig::new(Grid::new(64).unwrap(), 20_000, Distribution::Geometric { r: 0.95 })
-            .with_m(1)
-            .build()
-            .unwrap(),
+        setup: InitConfig::new(
+            Grid::new(64).unwrap(),
+            20_000,
+            Distribution::Geometric { r: 0.95 },
+        )
+        .with_m(1)
+        .build()
+        .unwrap(),
         steps: 200,
     };
     let ideal = 20_000 / ranks as u64;
@@ -29,8 +33,15 @@ fn main() {
 
     // The skew drifts one cell per step, so the balancer must be able to
     // move cuts faster than that: border_w / interval > 1.
-    let params = DiffusionParams { interval: 1, tau: 20, border_w: 3 };
-    println!("\n== mpi-2d-LB (diffusion, interval={}, τ={}, w={}) ==", params.interval, params.tau, params.border_w);
+    let params = DiffusionParams {
+        interval: 1,
+        tau: 20,
+        border_w: 3,
+    };
+    println!(
+        "\n== mpi-2d-LB (diffusion, interval={}, τ={}, w={}) ==",
+        params.interval, params.tau, params.border_w
+    );
     let diff = run_threads(ranks, |comm| run_diffusion(&comm, &cfg, params));
     report(&diff[0].verify, diff[0].max_count, ideal);
 
@@ -42,5 +53,8 @@ fn main() {
 
 fn report(verify: &pic_prk::core::verify::VerifyReport, max_count: u64, ideal: u64) {
     println!("  verified              : {}", verify.passed());
-    println!("  max particles per rank: {max_count} (ideal {ideal}, ratio {:.2}×)", max_count as f64 / ideal as f64);
+    println!(
+        "  max particles per rank: {max_count} (ideal {ideal}, ratio {:.2}×)",
+        max_count as f64 / ideal as f64
+    );
 }

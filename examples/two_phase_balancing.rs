@@ -16,23 +16,34 @@ use pic_prk::prelude::*;
 
 fn main() {
     let ranks = 4;
-    let params = DiffusionParams { interval: 1, tau: 0, border_w: 2 };
+    let params = DiffusionParams {
+        interval: 1,
+        tau: 0,
+        border_w: 2,
+    };
     for (label, axis, m) in [
         ("column skew (the paper's orientation)", SkewAxis::X, 0),
         ("row skew (rotated 90°)", SkewAxis::Y, 1),
     ] {
         let cfg = ParConfig {
-            setup: InitConfig::new(Grid::new(64).unwrap(), 12_000, Distribution::Geometric { r: 0.85 })
-                .with_skew_axis(axis)
-                .with_m(m)
-                .build()
-                .unwrap(),
+            setup: InitConfig::new(
+                Grid::new(64).unwrap(),
+                12_000,
+                Distribution::Geometric { r: 0.85 },
+            )
+            .with_skew_axis(axis)
+            .with_m(m)
+            .build()
+            .unwrap(),
             steps: 120,
         };
         let ideal = 12_000 / ranks as u64;
         println!("== {label} ==");
         let base = run_threads(ranks, |comm| run_baseline(&comm, &cfg));
-        println!("  static         : max/rank {} (ideal {ideal})", base[0].max_count);
+        println!(
+            "  static         : max/rank {} (ideal {ideal})",
+            base[0].max_count
+        );
         for (name, mode) in [
             ("x-only LB     ", DiffusionMode::XOnly),
             ("y-only LB     ", DiffusionMode::YOnly),

@@ -39,11 +39,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -178,7 +182,13 @@ impl BenchmarkGroup<'_> {
         id: impl Display,
         f: F,
     ) -> &mut Self {
-        run_one(&self.name, &id.to_string(), self.sample_size, self.throughput, f);
+        run_one(
+            &self.name,
+            &id.to_string(),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
         self
     }
 
@@ -188,9 +198,13 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        run_one(&self.name, &id.to_string(), self.sample_size, self.throughput, |b| {
-            f(b, input)
-        });
+        run_one(
+            &self.name,
+            &id.to_string(),
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
         self
     }
 
@@ -211,7 +225,11 @@ fn run_one<F: FnMut(&mut Bencher<'_>)>(
         warmup: Duration::from_millis(150),
     };
     f(&mut bencher);
-    let full = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    let full = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
     if result_ns.is_nan() {
         println!("{full:<48} (no measurement)");
         return;
@@ -226,7 +244,10 @@ fn run_one<F: FnMut(&mut Bencher<'_>)>(
         }
         Some(Throughput::Bytes(n)) if n > 0 => {
             let gib_s = n as f64 / result_ns; // bytes/ns == GB/s
-            println!("{full:<48} {:>12.1} ns/iter  {:>10.2} GB/s", result_ns, gib_s);
+            println!(
+                "{full:<48} {:>12.1} ns/iter  {:>10.2} GB/s",
+                result_ns, gib_s
+            );
         }
         _ => println!("{full:<48} {:>12.1} ns/iter", result_ns),
     }

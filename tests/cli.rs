@@ -35,8 +35,19 @@ fn default_serial_run_passes() {
 fn all_implementations_pass() {
     for imp in ["serial", "baseline", "diffusion", "ampi"] {
         let (ok, stdout, stderr) = run(&[
-            "--impl", imp, "--ranks", "3", "--grid", "32", "--particles", "500", "--steps",
-            "40", "--m", "1", "--quiet",
+            "--impl",
+            imp,
+            "--ranks",
+            "3",
+            "--grid",
+            "32",
+            "--particles",
+            "500",
+            "--steps",
+            "40",
+            "--m",
+            "1",
+            "--quiet",
         ]);
         assert!(ok, "impl {imp}: stdout={stdout} stderr={stderr}");
         assert_eq!(stdout.trim(), "PASS", "impl {imp}");
@@ -53,7 +64,15 @@ fn distribution_specs_parse() {
         "patch:4,12,4,12",
     ] {
         let (ok, stdout, stderr) = run(&[
-            "--dist", dist, "--grid", "16", "--particles", "200", "--steps", "10", "--quiet",
+            "--dist",
+            dist,
+            "--grid",
+            "16",
+            "--particles",
+            "200",
+            "--steps",
+            "10",
+            "--quiet",
         ]);
         assert!(ok, "dist {dist}: {stderr}");
         assert_eq!(stdout.trim(), "PASS", "dist {dist}");
@@ -82,7 +101,15 @@ fn events_via_cli() {
 #[test]
 fn rotated_workload_via_cli() {
     let (ok, stdout, _) = run(&[
-        "--skew-axis", "y", "--m", "2", "--dist", "geometric:0.8", "--steps", "25", "--quiet",
+        "--skew-axis",
+        "y",
+        "--m",
+        "2",
+        "--dist",
+        "geometric:0.8",
+        "--steps",
+        "25",
+        "--quiet",
     ]);
     assert!(ok);
     assert_eq!(stdout.trim(), "PASS");
@@ -91,8 +118,21 @@ fn rotated_workload_via_cli() {
 #[test]
 fn two_phase_diffusion_via_cli() {
     let (ok, stdout, _) = run(&[
-        "--impl", "diffusion", "--mode", "2phase", "--ranks", "4", "--steps", "30",
-        "--lb-interval", "2", "--border", "2", "--m", "1", "--quiet",
+        "--impl",
+        "diffusion",
+        "--mode",
+        "2phase",
+        "--ranks",
+        "4",
+        "--steps",
+        "30",
+        "--lb-interval",
+        "2",
+        "--border",
+        "2",
+        "--m",
+        "1",
+        "--quiet",
     ]);
     assert!(ok);
     assert_eq!(stdout.trim(), "PASS");

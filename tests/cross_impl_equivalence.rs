@@ -14,13 +14,29 @@ use pic_par::runner::{ParConfig, ParOutcome};
 use pic_prk::prelude::*;
 
 fn make_cfg(steps: u32) -> ParConfig {
-    let setup = InitConfig::new(Grid::new(32).unwrap(), 600, Distribution::Geometric { r: 0.9 })
-        .with_k(1)
-        .with_m(-1)
-        .build()
-        .unwrap()
-        .with_event(Event::inject(5, Region { x0: 0, x1: 8, y0: 0, y1: 8 }, 40, 0, 1, 1))
-        .with_event(Event::remove(12, Region::whole(32), 30));
+    let setup = InitConfig::new(
+        Grid::new(32).unwrap(),
+        600,
+        Distribution::Geometric { r: 0.9 },
+    )
+    .with_k(1)
+    .with_m(-1)
+    .build()
+    .unwrap()
+    .with_event(Event::inject(
+        5,
+        Region {
+            x0: 0,
+            x1: 8,
+            y0: 0,
+            y1: 8,
+        },
+        40,
+        0,
+        1,
+        1,
+    ))
+    .with_event(Event::remove(12, Region::whole(32), 30));
     ParConfig { setup, steps }
 }
 
@@ -32,7 +48,15 @@ fn serial_final(cfg: &ParConfig) -> Vec<(u64, u64, u64, u64, u64)> {
     let mut v: Vec<_> = sim
         .particles()
         .iter()
-        .map(|p| (p.id, p.x.to_bits(), p.y.to_bits(), p.vx.to_bits(), p.vy.to_bits()))
+        .map(|p| {
+            (
+                p.id,
+                p.x.to_bits(),
+                p.y.to_bits(),
+                p.vx.to_bits(),
+                p.vy.to_bits(),
+            )
+        })
         .collect();
     v.sort_by_key(|t| t.0);
     v
@@ -42,7 +66,15 @@ fn gather_finals(outcomes: Vec<ParOutcome>) -> Vec<(u64, u64, u64, u64, u64)> {
     let mut v: Vec<_> = outcomes
         .iter()
         .flat_map(|o| o.local_particles.iter())
-        .map(|p| (p.id, p.x.to_bits(), p.y.to_bits(), p.vx.to_bits(), p.vy.to_bits()))
+        .map(|p| {
+            (
+                p.id,
+                p.x.to_bits(),
+                p.y.to_bits(),
+                p.vx.to_bits(),
+                p.vy.to_bits(),
+            )
+        })
         .collect();
     v.sort_by_key(|t| t.0);
     v
@@ -68,7 +100,15 @@ fn diffusion_bitwise_matches_serial() {
     let cfg = make_cfg(48);
     let serial = serial_final(&cfg);
     let outcomes = run_threads(4, |comm| {
-        let o = run_diffusion(&comm, &cfg, DiffusionParams { interval: 3, tau: 0, border_w: 3 });
+        let o = run_diffusion(
+            &comm,
+            &cfg,
+            DiffusionParams {
+                interval: 3,
+                tau: 0,
+                border_w: 3,
+            },
+        );
         assert!(o.verify.passed(), "{:?}", o.verify);
         o
     });
@@ -81,7 +121,15 @@ fn ampi_bitwise_matches_serial() {
     let serial = serial_final(&cfg);
     for balancer in [Balancer::paper_default(), Balancer::Greedy, Balancer::None] {
         let outcomes = run_threads(4, |comm| {
-            let o = run_ampi(&comm, &cfg, &AmpiParams { d: 4, interval: 6, balancer });
+            let o = run_ampi(
+                &comm,
+                &cfg,
+                &AmpiParams {
+                    d: 4,
+                    interval: 6,
+                    balancer,
+                },
+            );
             assert!(o.verify.passed(), "{balancer:?}: {:?}", o.verify);
             o
         });
@@ -96,12 +144,28 @@ fn two_phase_diffusion_bitwise_matches_serial() {
     // A rotated workload with vertical drift — the case the two-phase
     // scheme exists for. The physics must still match the serial engine
     // bit for bit whatever the balancer does to the decomposition.
-    let setup = InitConfig::new(Grid::new(32).unwrap(), 500, Distribution::Geometric { r: 0.85 })
-        .with_skew_axis(SkewAxis::Y)
-        .with_m(2)
-        .build()
-        .unwrap()
-        .with_event(Event::inject(8, Region { x0: 4, x1: 20, y0: 4, y1: 20 }, 50, 0, 1, 1));
+    let setup = InitConfig::new(
+        Grid::new(32).unwrap(),
+        500,
+        Distribution::Geometric { r: 0.85 },
+    )
+    .with_skew_axis(SkewAxis::Y)
+    .with_m(2)
+    .build()
+    .unwrap()
+    .with_event(Event::inject(
+        8,
+        Region {
+            x0: 4,
+            x1: 20,
+            y0: 4,
+            y1: 20,
+        },
+        50,
+        0,
+        1,
+        1,
+    ));
     let cfg = ParConfig { setup, steps: 36 };
     let serial = serial_final(&cfg);
     for mode in [DiffusionMode::YOnly, DiffusionMode::TwoPhase] {
@@ -109,7 +173,11 @@ fn two_phase_diffusion_bitwise_matches_serial() {
             let o = run_diffusion_mode(
                 &comm,
                 &cfg,
-                DiffusionParams { interval: 2, tau: 0, border_w: 3 },
+                DiffusionParams {
+                    interval: 2,
+                    tau: 0,
+                    border_w: 3,
+                },
                 mode,
             );
             assert!(o.verify.passed(), "{mode:?}: {:?}", o.verify);
@@ -133,7 +201,15 @@ fn leftward_and_fast_configs_agree() {
     assert!(base[0].verify.passed());
     assert_eq!(serial, gather_finals(base));
     let ampi = run_threads(4, |comm| {
-        run_ampi(&comm, &cfg, &AmpiParams { d: 2, interval: 5, balancer: Balancer::Greedy })
+        run_ampi(
+            &comm,
+            &cfg,
+            &AmpiParams {
+                d: 2,
+                interval: 5,
+                balancer: Balancer::Greedy,
+            },
+        )
     });
     assert!(ampi[0].verify.passed());
     assert_eq!(serial, gather_finals(ampi));

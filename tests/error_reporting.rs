@@ -41,7 +41,12 @@ fn init_errors_name_the_offending_value() {
     let empty = InitConfig::new(
         grid,
         1,
-        Distribution::Patch { x0: 3, x1: 3, y0: 0, y1: 8 },
+        Distribution::Patch {
+            x0: 3,
+            x1: 3,
+            y0: 0,
+            y1: 8,
+        },
     )
     .build()
     .unwrap_err();
@@ -63,16 +68,49 @@ fn event_validation_catches_out_of_range_regions() {
     use pic_prk::core::init::validate_event;
     let grid = Grid::new(16).unwrap();
     // Region beyond the grid.
-    let e = Event::inject(0, Region { x0: 0, x1: 32, y0: 0, y1: 8 }, 5, 0, 0, 1);
+    let e = Event::inject(
+        0,
+        Region {
+            x0: 0,
+            x1: 32,
+            y0: 0,
+            y1: 8,
+        },
+        5,
+        0,
+        0,
+        1,
+    );
     assert!(validate_event(&grid, &e).is_err());
     // Stride too large for the grid.
-    let e = Event::inject(0, Region { x0: 0, x1: 8, y0: 0, y1: 8 }, 5, 20, 0, 1);
+    let e = Event::inject(
+        0,
+        Region {
+            x0: 0,
+            x1: 8,
+            y0: 0,
+            y1: 8,
+        },
+        5,
+        20,
+        0,
+        1,
+    );
     assert!(matches!(
         validate_event(&grid, &e),
         Err(InitError::StrideTooLarge { stride: 41, .. })
     ));
     // Valid event passes.
-    let e = Event::remove(3, Region { x0: 0, x1: 16, y0: 0, y1: 16 }, 5);
+    let e = Event::remove(
+        3,
+        Region {
+            x0: 0,
+            x1: 16,
+            y0: 0,
+            y1: 16,
+        },
+        5,
+    );
     assert!(validate_event(&grid, &e).is_ok());
 }
 

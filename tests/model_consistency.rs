@@ -17,7 +17,9 @@ fn model_rank_counts_match_functional_baseline() {
     let steps = 37u32;
     let dist = Distribution::Geometric { r: 0.9 };
     let cfg = ParConfig {
-        setup: InitConfig::new(Grid::new(ncells).unwrap(), n, dist).build().unwrap(),
+        setup: InitConfig::new(Grid::new(ncells).unwrap(), n, dist)
+            .build()
+            .unwrap(),
         steps,
     };
     let ranks = 4usize;

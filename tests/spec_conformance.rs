@@ -2,8 +2,7 @@
 //! specification (§III). Each test names the paper artifact it checks.
 
 use pic_prk::core::charge::{
-    charge_denominator, mesh_charge, particle_charge, sign_for_direction, total_force,
-    SimConstants,
+    charge_denominator, mesh_charge, particle_charge, sign_for_direction, total_force, SimConstants,
 };
 use pic_prk::core::motion::advance_particle;
 use pic_prk::core::verify::expected_position;
@@ -132,7 +131,9 @@ fn eq6_final_y() {
 fn id_checksum_closed_form() {
     let grid = Grid::new(32).unwrap();
     for n in [1u64, 100, 999] {
-        let setup = InitConfig::new(grid, n, Distribution::Sinusoidal).build().unwrap();
+        let setup = InitConfig::new(grid, n, Distribution::Sinusoidal)
+            .build()
+            .unwrap();
         assert_eq!(setup.initial_id_sum(), n as u128 * (n as u128 + 1) / 2);
     }
 }
@@ -153,10 +154,13 @@ fn eq7_block_column_counts() {
     let a = n as f64 * (1.0 - r) / (c as f64 * (1.0 - r.powi(c as i32)));
     for block in 0..p {
         let measured: u64 = counts[block * c / p..(block + 1) * c / p].iter().sum();
-        let predicted =
-            c as f64 * a * (1.0 - r.powi((c / p) as i32)) / (1.0 - r) * r.powi((block * c / p) as i32);
+        let predicted = c as f64 * a * (1.0 - r.powi((c / p) as i32)) / (1.0 - r)
+            * r.powi((block * c / p) as i32);
         let rel = (measured as f64 - predicted).abs() / predicted;
-        assert!(rel < 0.01, "block {block}: measured {measured} vs eq.7 {predicted}");
+        assert!(
+            rel < 0.01,
+            "block {block}: measured {measured} vs eq.7 {predicted}"
+        );
     }
 }
 
@@ -216,7 +220,10 @@ fn even_grid_requirement() {
     advance_particle(&grid, &c, &mut p);
     assert!((p.x - 0.5).abs() < 1e-12, "crossed the seam to column 0");
     advance_particle(&grid, &c, &mut p);
-    assert!((p.x - 1.5).abs() < 1e-12, "pattern continues after the seam");
+    assert!(
+        (p.x - 1.5).abs() < 1e-12,
+        "pattern continues after the seam"
+    );
     assert!(p.vx.abs() < 1e-12, "decelerated back to rest");
 }
 

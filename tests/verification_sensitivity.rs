@@ -114,7 +114,10 @@ fn single_force_error_caught_by_trajectory_check() {
         }
     }
     let report = verify_all(&grid, &particles, 30, s.initial_id_sum(), DEFAULT_TOLERANCE);
-    assert_eq!(report.position_failures, 1, "exactly the corrupted particle fails");
+    assert_eq!(
+        report.position_failures, 1,
+        "exactly the corrupted particle fails"
+    );
     assert_eq!(report.failing_ids.len(), 1);
     assert!(!report.passed());
 }
