@@ -25,11 +25,25 @@ use pic_core::motion::advance_all;
 use pic_core::particle::Particle;
 use pic_core::verify::{verify_all, VerifyReport, DEFAULT_TOLERANCE};
 use pic_par::exchange::route_particles;
-use pic_par::runner::{ParConfig, ParOutcome};
+use pic_par::runner::{merge_failing_ids, snapshot_loads, trace_interval, ParConfig, ParOutcome};
+use pic_trace::{Phase, Tracer};
 
 /// Run the AMPI-style implementation on this core. All ranks must call it
 /// with identical `cfg` and `params`.
 pub fn run_ampi(comm: &Communicator, cfg: &ParConfig, params: &AmpiParams) -> ParOutcome {
+    run_ampi_traced(comm, cfg, params, &mut Tracer::disabled())
+}
+
+/// [`run_ampi`] with telemetry: per-step phase timing, migration counts,
+/// per-rank load snapshots at the agreed sampling interval, and a `"cuts"`
+/// record (axis `'v'`) for every VP-reassignment decision — old
+/// assignment, the per-VP counts the balancer saw, new assignment.
+pub fn run_ampi_traced(
+    comm: &Communicator,
+    cfg: &ParConfig,
+    params: &AmpiParams,
+    tracer: &mut Tracer,
+) -> ParOutcome {
     assert!(params.interval > 0, "LB interval must be positive");
     let grid = cfg.setup.grid;
     let consts = cfg.setup.consts;
@@ -59,8 +73,19 @@ pub fn run_ampi(comm: &Communicator, cfg: &ParConfig, params: &AmpiParams) -> Pa
     let mut expected_id_sum = cfg.setup.initial_id_sum();
     let mut next_id = cfg.setup.next_id;
 
+    let every = trace_interval(comm, tracer);
+    tracer.emit_run_header(
+        "ampi",
+        cores,
+        cfg.setup.particles.len() as u64,
+        cfg.steps as u64,
+    );
+    let mut sent_window = 0u64;
+    let mut global_count = cfg.setup.particles.len() as u64;
+
     for s in 1..=cfg.steps {
         let step_idx = s - 1;
+        tracer.begin_step(s as u64);
         // Events due at the start of this step.
         while next_event < events.len() && events[next_event].at_step == step_idx {
             let e: Event = events[next_event];
@@ -107,12 +132,19 @@ pub fn run_ampi(comm: &Communicator, cfg: &ParConfig, params: &AmpiParams) -> Pa
 
         // Advance each VP's particles (one pass — VP membership only
         // matters for routing and accounting).
+        tracer.phase_start(Phase::Advance);
         advance_all(&grid, &consts, &mut particles);
-        route_particles(comm, me, |p| owner_of(p, &vps, &assignment), &mut particles);
+        tracer.phase_end(Phase::Advance);
+        tracer.phase_start(Phase::Exchange);
+        let (sent, _received) =
+            route_particles(comm, me, |p| owner_of(p, &vps, &assignment), &mut particles);
+        tracer.phase_end(Phase::Exchange);
+        sent_window += sent as u64;
 
         // Runtime load balancing.
         if s % params.interval == 0 && s < cfg.steps {
-            rebalance(
+            tracer.phase_start(Phase::Balance);
+            sent_window += rebalance(
                 comm,
                 &vps,
                 &mut assignment,
@@ -120,26 +152,38 @@ pub fn run_ampi(comm: &Communicator, cfg: &ParConfig, params: &AmpiParams) -> Pa
                 &mut particles,
                 me,
                 &grid,
-            );
+                tracer,
+            ) as u64;
+            tracer.phase_end(Phase::Balance);
         }
+
+        if every > 0 && (s as u64).is_multiple_of(every) {
+            global_count = snapshot_loads(comm, tracer, particles.len() as u64, sent_window);
+            sent_window = 0;
+        }
+        tracer.end_step(global_count);
     }
 
     // Distributed verification.
+    tracer.phase_start(Phase::Verify);
     let local = verify_all(&grid, &particles, cfg.steps, 0, DEFAULT_TOLERANCE);
     let checked = allreduce_u64(comm, local.checked, ReduceOp::Sum);
     let failures = allreduce_u64(comm, local.position_failures, ReduceOp::Sum);
     let max_error = allreduce_f64(comm, local.max_error, ReduceOp::Max);
     let id_sum = allreduce_u128(comm, local.id_sum, ReduceOp::Sum);
+    let failing_ids = merge_failing_ids(comm, &local.failing_ids);
+    tracer.phase_end(Phase::Verify);
     let local_count = particles.len() as u64;
     let max_count = allreduce_u64(comm, local_count, ReduceOp::Max);
     let total_count = allreduce_u64(comm, local_count, ReduceOp::Sum);
+    tracer.set_final_particles(total_count);
     let _ = nvps;
     ParOutcome {
         verify: VerifyReport {
             checked,
             position_failures: failures,
             max_error,
-            failing_ids: local.failing_ids,
+            failing_ids,
             id_sum,
             expected_id_sum,
             tolerance: DEFAULT_TOLERANCE,
@@ -158,7 +202,9 @@ fn p_cell(grid: &pic_core::geometry::Grid, p: &Particle) -> (usize, usize) {
 }
 
 /// One LB round: allgather per-VP loads, rebalance deterministically on
-/// every core, migrate the particles of reassigned VPs.
+/// every core, migrate the particles of reassigned VPs. Returns the number
+/// of particles this core sent during the migration.
+#[allow(clippy::too_many_arguments)]
 fn rebalance(
     comm: &Communicator,
     vps: &VpGrid,
@@ -167,7 +213,8 @@ fn rebalance(
     particles: &mut Vec<Particle>,
     me: usize,
     grid: &pic_core::geometry::Grid,
-) {
+    tracer: &mut Tracer,
+) -> usize {
     let nvps = vps.vp_count();
     // Local per-VP counts.
     let mut counts = vec![0u64; nvps];
@@ -178,6 +225,7 @@ fn rebalance(
     // Sum across cores (each VP lives on exactly one core, but the vector
     // sum is the simplest way to assemble the global view).
     let gathered = allgatherv(comm, encode_u64s(&counts));
+    tracer.add(pic_trace::Counter::CollectiveBytes, counts.len() as u64 * 8);
     let mut global = vec![0u64; nvps];
     for buf in &gathered {
         for (i, v) in decode_u64s(buf).into_iter().enumerate() {
@@ -186,9 +234,12 @@ fn rebalance(
     }
     let loads: Vec<f64> = global.iter().map(|&c| c as f64).collect();
     let new_assignment = balancer.rebalance(&loads, assignment, comm.size());
+    // The VP-assignment analogue of a cut decision: old table, the per-VP
+    // counts the balancer saw, new table.
+    tracer.record_cuts('v', assignment, &global, &new_assignment);
     *assignment = new_assignment;
     // Migrate: particles whose VP moved away get routed to the new owner.
-    route_particles(
+    let (sent, _received) = route_particles(
         comm,
         me,
         |p| {
@@ -197,6 +248,7 @@ fn rebalance(
         },
         particles,
     );
+    sent
 }
 
 #[cfg(test)]
@@ -322,6 +374,57 @@ mod tests {
         let outcomes = run_threads(4, |comm| run_ampi(&comm, &c, &p));
         for o in outcomes {
             assert!(o.verify.passed(), "{:?}", o.verify);
+        }
+    }
+
+    #[test]
+    fn traced_run_emits_vp_reassignment_cuts() {
+        let c = cfg(900, Distribution::Geometric { r: 0.8 }, 20);
+        let p = params(4, 5);
+        let results = run_threads(4, |comm| {
+            let mut tracer = if comm.rank() == 0 {
+                Tracer::in_memory(5)
+            } else {
+                Tracer::disabled()
+            };
+            let out = run_ampi_traced(&comm, &c, &p, &mut tracer);
+            (out, tracer.finish())
+        });
+        for (out, _) in &results {
+            assert!(out.verify.passed(), "{:?}", out.verify);
+            assert_eq!(out.total_count, 900);
+        }
+        let report = results[0].1.as_ref().expect("rank 0 tracer enabled");
+        // LB fires at steps 5, 10, 15 (never on the final step).
+        assert_eq!(report.cuts.len(), 3);
+        for cut in &report.cuts {
+            assert_eq!(cut.axis, 'v');
+            assert_eq!(cut.old.len(), 16, "one slot per VP (d * cores)");
+            assert_eq!(cut.new.len(), 16);
+            assert_eq!(cut.counts.iter().sum::<u64>(), 900);
+            assert!(cut.new.iter().all(|&core| core < 4));
+        }
+        assert_eq!(report.summary.final_particles, 900);
+        assert!(report.summary.max_imbalance.is_finite());
+        // Skewed start under greedy VP placement must register migrations.
+        let rehomed: u64 = report.steps.iter().map(|s| s.counters[0]).sum();
+        assert!(rehomed > 0, "migration counter never moved");
+    }
+
+    #[test]
+    fn traced_run_matches_untraced() {
+        let c = cfg(400, Distribution::PAPER_SKEW, 24);
+        let p = params(2, 6);
+        let plain = run_threads(4, |comm| run_ampi(&comm, &c, &p));
+        let traced = run_threads(4, |comm| {
+            let mut tracer = Tracer::in_memory(2);
+            run_ampi_traced(&comm, &c, &p, &mut tracer)
+        });
+        for (a, b) in plain.iter().zip(&traced) {
+            assert_eq!(a.verify.id_sum, b.verify.id_sum);
+            assert_eq!(a.total_count, b.total_count);
+            assert_eq!(a.local_count, b.local_count);
+            assert!(b.verify.passed(), "{:?}", b.verify);
         }
     }
 }

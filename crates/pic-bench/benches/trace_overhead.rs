@@ -1,0 +1,62 @@
+//! Guard bench for the pic-trace zero-overhead contract: driving the
+//! serial sweep through `trace_simulation` with a disabled tracer must
+//! cost the same as calling `Simulation::run` directly. A regression here
+//! means telemetry leaked work onto the hot path (allocation, timestamping,
+//! or histogram collection behind a disabled tracer).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pic_core::dist::Distribution;
+use pic_core::engine::Simulation;
+use pic_core::geometry::Grid;
+use pic_core::init::InitConfig;
+use pic_trace::{trace_simulation, Tracer};
+
+const STEPS: u32 = 32;
+
+fn setup(n: u64) -> Simulation {
+    let cfg = InitConfig::new(Grid::new(64).unwrap(), n, Distribution::PAPER_SKEW)
+        .with_m(1)
+        .build()
+        .unwrap();
+    let mut sim = Simulation::new(cfg);
+    sim.run(4); // warm scratch buffers so both arms measure steady state
+    sim
+}
+
+fn bench_disabled_tracer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead");
+    for &n in &[1_000u64, 20_000] {
+        group.throughput(Throughput::Elements(n * STEPS as u64));
+        group.bench_with_input(BenchmarkId::new("untraced", n), &n, |b, &n| {
+            b.iter_batched(
+                || setup(n),
+                |mut sim| sim.run(STEPS),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("disabled", n), &n, |b, &n| {
+            b.iter_batched(
+                || setup(n),
+                |mut sim| trace_simulation(&mut sim, STEPS, &mut Tracer::disabled()),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        // Enabled in-memory tracing at every step, for scale: this is the
+        // ceiling of what --trace costs, not part of the no-overhead guard.
+        group.bench_with_input(BenchmarkId::new("enabled_every_1", n), &n, |b, &n| {
+            b.iter_batched(
+                || setup(n),
+                |mut sim| {
+                    let mut t = Tracer::in_memory(1);
+                    trace_simulation(&mut sim, STEPS, &mut t);
+                    t.finish()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_disabled_tracer);
+criterion_main!(benches);

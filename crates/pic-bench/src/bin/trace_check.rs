@@ -1,0 +1,55 @@
+//! Validate an ndjson trace file written by `pic --trace` — the CI smoke
+//! gate: the stream must parse line-by-line, contain exactly one run
+//! header and one summary, and the summary's imbalance aggregates must be
+//! finite (a `null` there means a NaN leaked into the load statistics).
+//!
+//! Usage: `trace_check FILE.ndjson`
+//!
+//! Exits 0 and prints a one-line digest on success; exits 1 with the
+//! reason on any violation.
+
+use pic_trace::validate_ndjson;
+use std::process::exit;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("trace_check: {msg}");
+    exit(1);
+}
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => fail("usage: trace_check FILE.ndjson"),
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let check =
+        validate_ndjson(&text).unwrap_or_else(|e| fail(&format!("{path}: invalid ndjson: {e}")));
+    if check.runs != 1 {
+        fail(&format!(
+            "{path}: expected 1 run header, found {}",
+            check.runs
+        ));
+    }
+    let summary = match &check.summary {
+        Some(s) => s,
+        None => fail(&format!("{path}: no summary record")),
+    };
+    // `as_f64` returns None for the `null` a non-finite float serializes
+    // to, so finiteness and presence are one check.
+    for field in ["max_imbalance", "mean_imbalance"] {
+        match summary.get(field).and_then(|v| v.as_f64()) {
+            Some(v) if v.is_finite() && v >= 1.0 => {}
+            Some(v) => fail(&format!("{path}: summary {field} = {v} out of range")),
+            None => fail(&format!("{path}: summary {field} missing or non-finite")),
+        }
+    }
+    let steps = summary.get("steps").and_then(|v| v.as_u64()).unwrap_or(0);
+    if check.steps == 0 {
+        fail(&format!("{path}: no step records"));
+    }
+    println!(
+        "trace_check: {path} OK — {} lines, {} step records / {steps} steps, {} cut decisions",
+        check.lines, check.steps, check.cuts
+    );
+}

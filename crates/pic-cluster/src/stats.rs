@@ -22,8 +22,24 @@ pub struct BalanceStats {
 impl BalanceStats {
     /// Compute from a load vector. Empty or all-zero vectors yield the
     /// neutral statistics (imbalance 1, cv 0, gini 0).
+    ///
+    /// NaN-tolerant: NaN entries (e.g. 0/0 timing ratios fed in by the
+    /// tracer) are excluded from every aggregate instead of poisoning
+    /// them; an all-NaN vector behaves like an empty one.
     pub fn from_loads(loads: &[f64]) -> BalanceStats {
-        let n = loads.len();
+        let mut sum = 0.0f64;
+        let mut max = f64::MIN;
+        let mut min = f64::MAX;
+        let mut n = 0usize;
+        for &l in loads {
+            if l.is_nan() {
+                continue;
+            }
+            sum += l;
+            max = max.max(l);
+            min = min.min(l);
+            n += 1;
+        }
         if n == 0 {
             return BalanceStats {
                 max: 0.0,
@@ -34,10 +50,7 @@ impl BalanceStats {
                 gini: 0.0,
             };
         }
-        let sum: f64 = loads.iter().sum();
         let mean = sum / n as f64;
-        let max = loads.iter().cloned().fold(f64::MIN, f64::max);
-        let min = loads.iter().cloned().fold(f64::MAX, f64::min);
         if sum <= 0.0 {
             return BalanceStats {
                 max,
@@ -48,12 +61,17 @@ impl BalanceStats {
                 gini: 0.0,
             };
         }
-        let var: f64 = loads.iter().map(|&l| (l - mean) * (l - mean)).sum::<f64>() / n as f64;
+        let var: f64 = loads
+            .iter()
+            .filter(|l| !l.is_nan())
+            .map(|&l| (l - mean) * (l - mean))
+            .sum::<f64>()
+            / n as f64;
         let cv = var.sqrt() / mean;
         // Gini via the sorted formula: G = (2 Σ_i i·x_i) / (n Σ x) − (n+1)/n,
         // with 1-based i over ascending x.
-        let mut sorted = loads.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut sorted: Vec<f64> = loads.iter().copied().filter(|l| !l.is_nan()).collect();
+        sorted.sort_by(f64::total_cmp);
         let weighted: f64 = sorted
             .iter()
             .enumerate()
@@ -166,6 +184,30 @@ mod tests {
         let s = BalanceStats::from_loads(&[0.0, 0.0]);
         assert_eq!(s.imbalance, 1.0);
         assert_eq!(s.gini, 0.0);
+    }
+
+    #[test]
+    fn nan_loads_do_not_panic_or_poison() {
+        // Regression: `partial_cmp().unwrap()` in the Gini sort used to
+        // panic on any NaN entry. NaN values must be excluded instead.
+        let s = BalanceStats::from_loads(&[4.0, f64::NAN, 2.0, f64::NAN]);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.mean, 3.0);
+        assert!((s.imbalance - 4.0 / 3.0).abs() < 1e-12);
+        assert!(s.cv.is_finite() && s.gini.is_finite());
+        // The non-NaN subset [4,2] must give the same stats.
+        assert_eq!(s, BalanceStats::from_loads(&[4.0, 2.0]));
+
+        // All-NaN behaves like empty: neutral statistics.
+        let s = BalanceStats::from_loads(&[f64::NAN, f64::NAN]);
+        assert_eq!(s.imbalance, 1.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.gini, 0.0);
+
+        // Infinities are not NaN and pass through arithmetic untouched.
+        let s = BalanceStats::from_loads(&[f64::INFINITY, 1.0]);
+        assert_eq!(s.max, f64::INFINITY);
     }
 
     #[test]

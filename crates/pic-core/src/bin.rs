@@ -83,6 +83,8 @@ pub struct BinnedStore {
     /// before the next sweep and disables the histogram fast path.
     dirty: bool,
     rebin_interval: u32,
+    /// Lifetime count of [`BinnedStore::rebin`] invocations (telemetry).
+    rebins: u64,
     /// Instruction-set backend for the span kernel, selected once at
     /// construction ([`SimdBackend::detect`]); every backend is
     /// bit-identical, so this is a pure throughput knob.
@@ -101,6 +103,7 @@ impl BinnedStore {
             age: 0,
             dirty: false,
             rebin_interval: rebin_interval.max(1),
+            rebins: 0,
             backend: SimdBackend::detect(),
         };
         store.rebin(grid);
@@ -178,6 +181,13 @@ impl BinnedStore {
         }
         self.age = 0;
         self.dirty = false;
+        self.rebins += 1;
+    }
+
+    /// Lifetime number of counting-sort (rebin) invocations, including the
+    /// initial sort at construction. Feeds the trace `rebins` counter.
+    pub fn rebin_count(&self) -> u64 {
+        self.rebins
     }
 
     /// Advance every particle one step: rebin if structurally dirty, sweep

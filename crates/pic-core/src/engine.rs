@@ -278,6 +278,15 @@ impl Simulation {
         self.store.len()
     }
 
+    /// Lifetime counting-sort (rebin) invocations; 0 for the non-binned
+    /// stores. Telemetry hook for the trace `rebins` counter.
+    pub fn rebin_count(&self) -> u64 {
+        match &self.store {
+            ParticleStore::Binned(b) => b.rebin_count(),
+            _ => 0,
+        }
+    }
+
     /// The checksum ledger: what the id sum of the surviving particles
     /// must equal.
     pub fn expected_id_sum(&self) -> u128 {

@@ -21,6 +21,9 @@ use crate::particle::Particle;
 /// Default absolute position tolerance, matching the PRK reference codes.
 pub const DEFAULT_TOLERANCE: f64 = 1e-5;
 
+/// Cap on `failing_ids` kept for diagnostics, locally and after merging.
+pub const MAX_FAILING_IDS: usize = 16;
+
 /// Expected final position of a particle after participating in
 /// `steps` time steps, per paper eqs. 5–6. Exact integer-cell arithmetic:
 /// the result is an exact cell center, immune to accumulation error.
@@ -137,7 +140,7 @@ impl VerifyReport {
         self.max_error = self.max_error.max(other.max_error);
         self.id_sum += other.id_sum;
         for &id in &other.failing_ids {
-            if self.failing_ids.len() < 16 {
+            if self.failing_ids.len() < MAX_FAILING_IDS {
                 self.failing_ids.push(id);
             }
         }
@@ -172,7 +175,7 @@ pub fn verify_all(
         report.max_error = report.max_error.max(v.error);
         if !v.ok {
             report.position_failures += 1;
-            if report.failing_ids.len() < 16 {
+            if report.failing_ids.len() < MAX_FAILING_IDS {
                 report.failing_ids.push(p.id);
             }
         }

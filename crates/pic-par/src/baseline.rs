@@ -8,18 +8,49 @@
 //! are compared against.
 
 use crate::decomp::Decomp2d;
-use crate::runner::{ParConfig, ParOutcome, RankState};
+use crate::runner::{snapshot_loads, trace_interval, ParConfig, ParOutcome, RankState};
 use pic_comm::comm::Communicator;
+use pic_trace::Tracer;
 
 /// Run the baseline implementation on this rank. All ranks of `comm` must
 /// call it with an identical `cfg`.
 pub fn run_baseline(comm: &Communicator, cfg: &ParConfig) -> ParOutcome {
+    run_baseline_traced(comm, cfg, &mut Tracer::disabled())
+}
+
+/// [`run_baseline`] with telemetry: per-step phase timing, rehome counts,
+/// and per-rank load snapshots at the agreed sampling interval. Every
+/// rank passes its own tracer (typically enabled on rank 0 only); the
+/// collective telemetry steps are agreed via [`trace_interval`], so all
+/// ranks stay in lockstep regardless of which one records.
+pub fn run_baseline_traced(
+    comm: &Communicator,
+    cfg: &ParConfig,
+    tracer: &mut Tracer,
+) -> ParOutcome {
     let decomp = Decomp2d::uniform(cfg.setup.grid.ncells(), comm.size());
     let mut st = RankState::new(&cfg.setup, decomp, comm.rank());
-    for _ in 0..cfg.steps {
-        st.step(comm);
+    let every = trace_interval(comm, tracer);
+    tracer.emit_run_header(
+        "baseline",
+        comm.size(),
+        cfg.setup.particles.len() as u64,
+        cfg.steps as u64,
+    );
+    let mut sent_window = 0u64;
+    let mut global_count = cfg.setup.particles.len() as u64;
+    for s in 1..=cfg.steps as u64 {
+        tracer.begin_step(s);
+        sent_window += st.step_traced(comm, tracer) as u64;
+        if every > 0 && s.is_multiple_of(every) {
+            global_count = snapshot_loads(comm, tracer, st.particles.len() as u64, sent_window);
+            sent_window = 0;
+        }
+        tracer.end_step(global_count);
     }
-    st.finish(comm)
+    let out = st.finish_traced(comm, tracer);
+    tracer.set_final_particles(out.total_count);
+    out
 }
 
 #[cfg(test)]

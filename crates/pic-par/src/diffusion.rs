@@ -11,8 +11,9 @@
 //! property the paper credits for this scheme's strong-scaling advantage.
 
 use crate::decomp::Decomp2d;
-use crate::runner::{ParConfig, ParOutcome, RankState};
+use crate::runner::{snapshot_loads, trace_interval, ParConfig, ParOutcome, RankState};
 use pic_comm::comm::Communicator;
+use pic_trace::{Counter, Phase, Tracer};
 
 /// Tuning knobs of the diffusion balancer (the paper's three interfering
 /// parameters: frequency, threshold, border width — "should be co-tuned").
@@ -139,29 +140,70 @@ pub fn run_diffusion_mode(
     params: DiffusionParams,
     mode: DiffusionMode,
 ) -> ParOutcome {
+    run_diffusion_mode_traced(comm, cfg, params, mode, &mut Tracer::disabled())
+}
+
+/// [`run_diffusion_mode`] with telemetry: per-step phase timing, a
+/// `"cuts"` record for every cut-movement decision (old cuts, the counts
+/// the decision saw, new cuts), border-cell handover and rehome counters,
+/// and per-rank load snapshots at the agreed sampling interval.
+pub fn run_diffusion_mode_traced(
+    comm: &Communicator,
+    cfg: &ParConfig,
+    params: DiffusionParams,
+    mode: DiffusionMode,
+    tracer: &mut Tracer,
+) -> ParOutcome {
     assert!(params.interval > 0, "interval must be positive");
     assert!(params.border_w > 0, "border width must be positive");
     let decomp = Decomp2d::uniform(cfg.setup.grid.ncells(), comm.size());
     let mut st = RankState::new(&cfg.setup, decomp, comm.rank());
+    let every = trace_interval(comm, tracer);
+    tracer.emit_run_header(
+        "diffusion",
+        comm.size(),
+        cfg.setup.particles.len() as u64,
+        cfg.steps as u64,
+    );
+    let mut sent_window = 0u64;
+    let mut global_count = cfg.setup.particles.len() as u64;
     for s in 1..=cfg.steps {
-        st.step(comm);
+        tracer.begin_step(s as u64);
+        sent_window += st.step_traced(comm, tracer) as u64;
         if s % params.interval == 0 && s < cfg.steps {
-            lb_step(comm, &mut st, params, mode);
+            tracer.phase_start(Phase::Balance);
+            sent_window += lb_step(comm, &mut st, params, mode, tracer) as u64;
+            tracer.phase_end(Phase::Balance);
         }
+        if every > 0 && (s as u64).is_multiple_of(every) {
+            global_count = snapshot_loads(comm, tracer, st.particles.len() as u64, sent_window);
+            sent_window = 0;
+        }
+        tracer.end_step(global_count);
     }
-    st.finish(comm)
+    let out = st.finish_traced(comm, tracer);
+    tracer.set_final_particles(out.total_count);
+    out
 }
 
 /// One load-balancing invocation: phase 1 aggregates per-processor-column
 /// counts and moves x-cuts; phase 2 (two-phase mode) does the same for
 /// rows. A single rehome at the end migrates all border residents.
-fn lb_step(comm: &Communicator, st: &mut RankState, params: DiffusionParams, mode: DiffusionMode) {
+/// Returns the number of particles this rank sent during the migration.
+fn lb_step(
+    comm: &Communicator,
+    st: &mut RankState,
+    params: DiffusionParams,
+    mode: DiffusionMode,
+    tracer: &mut Tracer,
+) -> usize {
     let mut changed = false;
     if matches!(mode, DiffusionMode::XOnly | DiffusionMode::TwoPhase) {
         // Aggregate per-processor-column counts with one vector allreduce:
         // each rank contributes its local count to its column's slot
         // (contribution staged in the rank's reused scratch buffer).
         let col_counts = st.aggregate_axis_counts(comm, true);
+        tracer.add(Counter::CollectiveBytes, col_counts.len() as u64 * 8);
         let new_cuts = diffuse_xcuts(
             &st.decomp.xcuts,
             &col_counts,
@@ -169,13 +211,19 @@ fn lb_step(comm: &Communicator, st: &mut RankState, params: DiffusionParams, mod
             params.border_w,
             st.decomp.ncells,
         );
+        tracer.record_cuts('x', &st.decomp.xcuts, &col_counts, &new_cuts);
         if new_cuts != st.decomp.xcuts {
+            tracer.add(
+                Counter::BorderCells,
+                handed_over_cells(&st.decomp.xcuts, &new_cuts, st.decomp.ncells),
+            );
             st.decomp.set_xcuts(new_cuts);
             changed = true;
         }
     }
     if matches!(mode, DiffusionMode::YOnly | DiffusionMode::TwoPhase) {
         let row_counts = st.aggregate_axis_counts(comm, false);
+        tracer.add(Counter::CollectiveBytes, row_counts.len() as u64 * 8);
         // The decision procedure is axis-agnostic: cuts + counts in, cuts
         // out.
         let new_cuts = diffuse_xcuts(
@@ -185,7 +233,12 @@ fn lb_step(comm: &Communicator, st: &mut RankState, params: DiffusionParams, mod
             params.border_w,
             st.decomp.ncells,
         );
+        tracer.record_cuts('y', &st.decomp.ycuts, &row_counts, &new_cuts);
         if new_cuts != st.decomp.ycuts {
+            tracer.add(
+                Counter::BorderCells,
+                handed_over_cells(&st.decomp.ycuts, &new_cuts, st.decomp.ncells),
+            );
             st.decomp.set_ycuts(new_cuts);
             changed = true;
         }
@@ -198,7 +251,19 @@ fn lb_step(comm: &Communicator, st: &mut RankState, params: DiffusionParams, mod
     }
     // Rehome particles under the new ownership map (border-cell residents
     // migrate to the adjacent ranks), through the rank's reused buffers.
-    st.rehome(comm);
+    let (sent, _received) = st.rehome(comm);
+    sent
+}
+
+/// Mesh cells handed over by a cut movement: Σ |new − old| per interior
+/// cut, times the `ncells` extent of the perpendicular axis. Exact and
+/// replicated on every rank, because the decision itself is.
+fn handed_over_cells(old: &[usize], new: &[usize], ncells: usize) -> u64 {
+    old.iter()
+        .zip(new)
+        .map(|(&o, &n)| o.abs_diff(n) as u64)
+        .sum::<u64>()
+        * ncells as u64
 }
 
 #[cfg(test)]

@@ -15,7 +15,8 @@ use pic_core::geometry::Grid;
 use pic_core::init::{build_injection, SimulationSetup};
 use pic_core::motion::advance_with_acceleration;
 use pic_core::particle::Particle;
-use pic_core::verify::{verify_all, VerifyReport, DEFAULT_TOLERANCE};
+use pic_core::verify::{verify_all, VerifyReport, DEFAULT_TOLERANCE, MAX_FAILING_IDS};
+use pic_trace::{Counter, Phase, Tracer};
 
 /// Configuration of a rank-parallel run.
 #[derive(Debug, Clone)]
@@ -166,15 +167,28 @@ impl RankState {
     /// One full step: events, advance (forces read from the stored mesh —
     /// bit-identical to the formulaic path), exchange.
     pub fn step(&mut self, comm: &Communicator) {
+        self.step_traced(comm, &mut Tracer::disabled());
+    }
+
+    /// [`RankState::step`] with telemetry: the advance loop is timed as
+    /// the `advance` phase, rehoming as `exchange`. Returns the number of
+    /// particles this rank sent away (feeds the `rehomed` counter, which
+    /// is globally summed at traced steps by [`snapshot_loads`]).
+    pub fn step_traced(&mut self, comm: &Communicator, tracer: &mut Tracer) -> usize {
         self.apply_due_events(comm);
+        tracer.phase_start(Phase::Advance);
         for p in &mut self.particles {
             let (ax, ay) = self
                 .charges
                 .total_force(&self.grid, &self.consts, p.x, p.y, p.q);
             advance_with_acceleration(&self.grid, &self.consts, p, ax, ay);
         }
-        self.rehome(comm);
+        tracer.phase_end(Phase::Advance);
+        tracer.phase_start(Phase::Exchange);
+        let (sent, _received) = self.rehome(comm);
+        tracer.phase_end(Phase::Exchange);
         self.step += 1;
+        sent
     }
 
     /// Route every mis-homed particle to its owner, reusing this rank's
@@ -228,7 +242,7 @@ impl RankState {
             checked,
             position_failures: failures,
             max_error,
-            failing_ids: local.failing_ids,
+            failing_ids: merge_failing_ids(comm, &local.failing_ids),
             id_sum,
             expected_id_sum: self.expected_id_sum,
             tolerance: DEFAULT_TOLERANCE,
@@ -245,7 +259,15 @@ impl RankState {
 
     /// Final outcome assembly.
     pub fn finish(&self, comm: &Communicator) -> ParOutcome {
+        self.finish_traced(comm, &mut Tracer::disabled())
+    }
+
+    /// [`RankState::finish`] with the verification collectives timed as
+    /// the `verify` phase.
+    pub fn finish_traced(&self, comm: &Communicator, tracer: &mut Tracer) -> ParOutcome {
+        tracer.phase_start(Phase::Verify);
         let verify = self.verify(comm);
+        tracer.phase_end(Phase::Verify);
         let (max_count, total_count) = self.count_stats(comm);
         ParOutcome {
             verify,
@@ -256,6 +278,51 @@ impl RankState {
             local_particles: self.particles.clone(),
         }
     }
+}
+
+/// Agree on the trace sampling interval across ranks (max of every rank's
+/// `sample_every`; 0 when no rank traces). Collectives in the telemetry
+/// path must be entered by *every* rank at the same steps even though
+/// typically only rank 0 holds an enabled tracer — runners call this once
+/// up front and gate [`snapshot_loads`] on the agreed value.
+pub fn trace_interval(comm: &Communicator, tracer: &Tracer) -> u64 {
+    allreduce_u64(comm, tracer.sample_every() as u64, ReduceOp::Max)
+}
+
+/// Collective telemetry snapshot at a traced step: the per-rank load
+/// vector (one slot per rank, vector allreduce) and the global number of
+/// particles rehomed since the previous snapshot. Feeds the tracer's load
+/// statistics, `rehomed`, and `collective_bytes` counters; returns the
+/// global particle count. Must be called by every rank at the same step.
+pub fn snapshot_loads(
+    comm: &Communicator,
+    tracer: &mut Tracer,
+    local_count: u64,
+    sent_window: u64,
+) -> u64 {
+    let mut slots = vec![0u64; comm.size()];
+    slots[comm.rank()] = local_count;
+    let counts = allreduce_vec_u64(comm, &slots, ReduceOp::Sum);
+    let moved = allreduce_u64(comm, sent_window, ReduceOp::Sum);
+    tracer.add(Counter::Rehomed, moved);
+    // This rank's contribution bytes: the slot vector plus the scalar.
+    tracer.add(Counter::CollectiveBytes, (slots.len() as u64 + 1) * 8);
+    let loads: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+    tracer.record_loads(&loads);
+    counts.iter().sum()
+}
+
+/// Globally merge per-rank failing-id diagnostics: allgather, sort, dedup,
+/// cap at [`MAX_FAILING_IDS`]. Every rank ends with the identical list no
+/// matter which rank held the failing particles — previously each rank
+/// reported only its local ids while the rest of the report was global.
+pub fn merge_failing_ids(comm: &Communicator, local: &[u64]) -> Vec<u64> {
+    let gathered = allgatherv(comm, encode_u64s(local));
+    let mut all: Vec<u64> = gathered.iter().flat_map(|b| decode_u64s(b)).collect();
+    all.sort_unstable();
+    all.dedup();
+    all.truncate(MAX_FAILING_IDS);
+    all
 }
 
 #[cfg(test)]

@@ -1,0 +1,721 @@
+//! The [`Tracer`]: step-scoped phase timers, migration counters, and
+//! per-step load snapshots, emitted as newline-delimited JSON.
+//!
+//! # Zero overhead when disabled
+//!
+//! [`Tracer::disabled()`] is a `None` behind a single pointer-sized
+//! option; every hot-path method is `#[inline]` and reduces to one null
+//! check — no clock reads, no allocation, no branching on record
+//! contents. `tests/disabled_overhead.rs` pins this with the workspace
+//! counting-allocator pattern, and `benches/trace_overhead.rs` guards the
+//! sweep loop.
+//!
+//! # Record stream
+//!
+//! An enabled tracer writes one JSON object per line:
+//!
+//! * `{"type":"run", ...}` — once, at [`Tracer::emit_run_header`].
+//! * `{"type":"step", ...}` — at every step where `step % every == 0`.
+//!   Phase times and counters cover the window since the previous step
+//!   record (per-step values when `every == 1`).
+//! * `{"type":"cuts", ...}` — one per cut-movement decision, unsampled.
+//! * `{"type":"summary", ...}` — once, from [`Tracer::finish`].
+//!
+//! Non-finite floats have no JSON representation and are emitted as
+//! `null`; the CI smoke check treats that as a failure, which is the
+//! point. See DESIGN.md ("Trace record schema") for the full field list.
+
+use pic_cluster::stats::BalanceStats;
+use std::fmt::Write as _;
+use std::io::Write;
+use std::time::Instant;
+
+/// Trace schema version, stamped into run-header and summary records.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Execution phases timed within a step. Units are nanoseconds of
+/// wall-clock time on the recording rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Local particle work: force evaluation + position update (the sweep).
+    Advance,
+    /// Particle routing between ranks (rehoming / migration traffic).
+    Exchange,
+    /// Load-balancing decision plus the migration it triggers.
+    Balance,
+    /// End-of-run verification (trajectory check + id checksum).
+    Verify,
+}
+
+/// Number of [`Phase`] variants (array-index bound).
+pub const PHASE_COUNT: usize = 4;
+
+impl Phase {
+    /// All phases, in emission order.
+    pub const ALL: [Phase; PHASE_COUNT] = [
+        Phase::Advance,
+        Phase::Exchange,
+        Phase::Balance,
+        Phase::Verify,
+    ];
+
+    /// Field-name stem; records use `"<name>_ns"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Advance => "advance",
+            Phase::Exchange => "exchange",
+            Phase::Balance => "balance",
+            Phase::Verify => "verify",
+        }
+    }
+
+    /// Index into `phase_ns` arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+/// Monotonic event counters accumulated between step records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Particles handed to another rank (global sum at traced steps).
+    Rehomed,
+    /// Border cells handed over by cut movement: Σ |new − old| × cells
+    /// per column/row, exact because cut decisions replicate on all ranks.
+    BorderCells,
+    /// Bytes pushed through collectives by the recording rank.
+    CollectiveBytes,
+    /// Counting-sort (rebin) invocations in the binned store.
+    Rebins,
+}
+
+/// Number of [`Counter`] variants (array-index bound).
+pub const COUNTER_COUNT: usize = 4;
+
+impl Counter {
+    /// All counters, in emission order.
+    pub const ALL: [Counter; COUNTER_COUNT] = [
+        Counter::Rehomed,
+        Counter::BorderCells,
+        Counter::CollectiveBytes,
+        Counter::Rebins,
+    ];
+
+    /// JSON field name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Rehomed => "rehomed",
+            Counter::BorderCells => "border_cells",
+            Counter::CollectiveBytes => "collective_bytes",
+            Counter::Rebins => "rebins",
+        }
+    }
+
+    /// Index into `counters` arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+/// One emitted step record (the in-memory twin of a `"step"` line).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepRecord {
+    pub step: u64,
+    /// Global particle count after the step.
+    pub particles: u64,
+    /// Per-phase nanoseconds since the previous step record ([`Phase::ALL`] order).
+    pub phase_ns: [u64; PHASE_COUNT],
+    /// Counter deltas since the previous step record ([`Counter::ALL`] order).
+    pub counters: [u64; COUNTER_COUNT],
+    /// The raw load vector behind `stats` (empty if none was recorded).
+    pub loads: Vec<f64>,
+    /// Balance statistics of `loads`.
+    pub stats: Option<BalanceStats>,
+}
+
+/// One cut-movement decision (the in-memory twin of a `"cuts"` line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutRecord {
+    pub step: u64,
+    /// `'x'` or `'y'`.
+    pub axis: char,
+    /// Cut positions before the decision.
+    pub old: Vec<usize>,
+    /// The per-slab counts the decision saw.
+    pub counts: Vec<u64>,
+    /// Cut positions after the decision.
+    pub new: Vec<usize>,
+}
+
+/// End-of-run totals (the in-memory twin of the `"summary"` line).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Steps traced (every step between header and finish).
+    pub steps: u64,
+    /// Step records actually emitted (`steps / every`, roughly).
+    pub records: u64,
+    /// Whole-run per-phase nanoseconds.
+    pub phase_ns: [u64; PHASE_COUNT],
+    /// Whole-run counter totals.
+    pub counters: [u64; COUNTER_COUNT],
+    /// Max `max/mean` imbalance over emitted records (1.0 if none).
+    pub max_imbalance: f64,
+    /// Mean `max/mean` imbalance over emitted records (1.0 if none).
+    pub mean_imbalance: f64,
+    /// Max Gini coefficient over emitted records.
+    pub max_gini: f64,
+    /// Global particle count at the last `end_step`.
+    pub final_particles: u64,
+}
+
+/// Everything an enabled tracer captured, returned by [`Tracer::finish`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    pub summary: TraceSummary,
+    pub steps: Vec<StepRecord>,
+    pub cuts: Vec<CutRecord>,
+    /// The full ndjson stream, byte-identical to what the writer received.
+    pub ndjson: String,
+}
+
+struct Inner {
+    every: u32,
+    writer: Option<Box<dyn Write + Send>>,
+    ndjson: String,
+    steps: Vec<StepRecord>,
+    cuts: Vec<CutRecord>,
+    // Current-window scratch, reset whenever a step record is emitted.
+    cur_step: u64,
+    pend_phase_ns: [u64; PHASE_COUNT],
+    pend_counters: [u64; COUNTER_COUNT],
+    cur_loads: Vec<f64>,
+    cur_stats: Option<BalanceStats>,
+    phase_open: [Option<Instant>; PHASE_COUNT],
+    // Whole-run aggregates.
+    total_steps: u64,
+    total_phase_ns: [u64; PHASE_COUNT],
+    total_counters: [u64; COUNTER_COUNT],
+    imb_sum: f64,
+    imb_max: f64,
+    gini_max: f64,
+    n_stats: u64,
+    last_particles: u64,
+}
+
+/// Step-scoped telemetry recorder; see the [module docs](self) for the
+/// record stream it produces and the zero-overhead contract.
+pub struct Tracer {
+    inner: Option<Box<Inner>>,
+}
+
+impl Tracer {
+    /// The no-op tracer every hot path takes by default. All methods on a
+    /// disabled tracer reduce to a null check: no clocks, no allocation.
+    #[inline]
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// An enabled tracer that keeps records in memory only (tests, bench
+    /// reports). `every` is the step-record sampling interval (clamped ≥ 1).
+    pub fn in_memory(every: u32) -> Tracer {
+        Tracer::build(None, every)
+    }
+
+    /// An enabled tracer that additionally streams ndjson lines to `w`.
+    pub fn to_writer(w: Box<dyn Write + Send>, every: u32) -> Tracer {
+        Tracer::build(Some(w), every)
+    }
+
+    /// Convenience: [`Tracer::to_writer`] over a buffered file.
+    pub fn to_file(path: &str, every: u32) -> std::io::Result<Tracer> {
+        let f = std::fs::File::create(path)?;
+        Ok(Tracer::to_writer(
+            Box::new(std::io::BufWriter::new(f)),
+            every,
+        ))
+    }
+
+    fn build(writer: Option<Box<dyn Write + Send>>, every: u32) -> Tracer {
+        Tracer {
+            inner: Some(Box::new(Inner {
+                every: every.max(1),
+                writer,
+                ndjson: String::new(),
+                steps: Vec::new(),
+                cuts: Vec::new(),
+                cur_step: 0,
+                pend_phase_ns: [0; PHASE_COUNT],
+                pend_counters: [0; COUNTER_COUNT],
+                cur_loads: Vec::new(),
+                cur_stats: None,
+                phase_open: [None; PHASE_COUNT],
+                total_steps: 0,
+                total_phase_ns: [0; PHASE_COUNT],
+                total_counters: [0; COUNTER_COUNT],
+                imb_sum: 0.0,
+                imb_max: 1.0,
+                gini_max: 0.0,
+                n_stats: 0,
+                last_particles: 0,
+            })),
+        }
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Step-record sampling interval; 0 when disabled. Parallel runners
+    /// reduce this across ranks so every rank joins the load-gather
+    /// collectives at the same steps.
+    #[inline]
+    pub fn sample_every(&self) -> u32 {
+        match &self.inner {
+            Some(i) => i.every,
+            None => 0,
+        }
+    }
+
+    /// Would `end_step` emit a record for `step`? Callers gate the work of
+    /// assembling a load snapshot on this.
+    #[inline]
+    pub fn wants_step(&self, step: u64) -> bool {
+        match &self.inner {
+            Some(i) => step.is_multiple_of(i.every as u64),
+            None => false,
+        }
+    }
+
+    /// Emit the one-line run header.
+    pub fn emit_run_header(&mut self, impl_name: &str, ranks: usize, particles: u64, steps: u64) {
+        if let Some(i) = &mut self.inner {
+            let mut line = String::with_capacity(128);
+            let _ = write!(
+                line,
+                "{{\"type\":\"run\",\"schema\":{SCHEMA_VERSION},\"impl\":{},\
+                 \"ranks\":{ranks},\"particles\":{particles},\"steps\":{steps},\
+                 \"every\":{}}}",
+                json_str(impl_name),
+                i.every
+            );
+            i.emit(&line);
+        }
+    }
+
+    /// Open step `step` (1-based, matching the engine's step index).
+    #[inline]
+    pub fn begin_step(&mut self, step: u64) {
+        if let Some(i) = &mut self.inner {
+            i.cur_step = step;
+            i.cur_loads.clear();
+            i.cur_stats = None;
+            i.phase_open = [None; PHASE_COUNT];
+        }
+    }
+
+    /// Start timing `p`. Unbalanced or nested starts of the same phase
+    /// restart its clock.
+    #[inline]
+    pub fn phase_start(&mut self, p: Phase) {
+        if let Some(i) = &mut self.inner {
+            i.phase_open[p.idx()] = Some(Instant::now());
+        }
+    }
+
+    /// Stop timing `p`, accumulating into the current window and run
+    /// totals. A `phase_end` without a matching start is a no-op.
+    #[inline]
+    pub fn phase_end(&mut self, p: Phase) {
+        if let Some(i) = &mut self.inner {
+            if let Some(t0) = i.phase_open[p.idx()].take() {
+                let ns = t0.elapsed().as_nanos() as u64;
+                i.pend_phase_ns[p.idx()] += ns;
+                i.total_phase_ns[p.idx()] += ns;
+            }
+        }
+    }
+
+    /// Add `n` to counter `c`.
+    #[inline]
+    pub fn add(&mut self, c: Counter, n: u64) {
+        if let Some(i) = &mut self.inner {
+            i.pend_counters[c.idx()] += n;
+            i.total_counters[c.idx()] += n;
+        }
+    }
+
+    /// Record the load vector for the current step; reduces it into
+    /// [`BalanceStats`] for the step record. Call only at steps where
+    /// [`Tracer::wants_step`] is true (snapshots at other steps are
+    /// overwritten unseen).
+    pub fn record_loads(&mut self, loads: &[f64]) {
+        if let Some(i) = &mut self.inner {
+            i.cur_loads.clear();
+            i.cur_loads.extend_from_slice(loads);
+            i.cur_stats = Some(BalanceStats::from_loads(loads));
+        }
+    }
+
+    /// Record one cut-movement decision; emits a `"cuts"` line
+    /// immediately (decisions are rare and never sampled away).
+    pub fn record_cuts(&mut self, axis: char, old: &[usize], counts: &[u64], new: &[usize]) {
+        if let Some(i) = &mut self.inner {
+            let rec = CutRecord {
+                step: i.cur_step,
+                axis,
+                old: old.to_vec(),
+                counts: counts.to_vec(),
+                new: new.to_vec(),
+            };
+            let mut line = String::with_capacity(96);
+            let _ = write!(
+                line,
+                "{{\"type\":\"cuts\",\"step\":{},\"axis\":\"{}\"",
+                rec.step, axis
+            );
+            line.push_str(",\"old\":");
+            push_usize_arr(&mut line, &rec.old);
+            line.push_str(",\"counts\":");
+            push_u64_arr(&mut line, &rec.counts);
+            line.push_str(",\"new\":");
+            push_usize_arr(&mut line, &rec.new);
+            line.push('}');
+            i.emit(&line);
+            i.cuts.push(rec);
+        }
+    }
+
+    /// Close the current step. Emits a step record when `step % every ==
+    /// 0`; the record's phase times and counters cover the window since
+    /// the previous record.
+    #[inline]
+    pub fn end_step(&mut self, particles: u64) {
+        if let Some(i) = &mut self.inner {
+            i.total_steps += 1;
+            i.last_particles = particles;
+            if i.cur_step.is_multiple_of(i.every as u64) {
+                i.emit_step_record(particles);
+            }
+        }
+    }
+
+    /// Pin the summary's `final_particles` with an exact global count
+    /// (e.g. from the outcome's final collectives); otherwise the value
+    /// from the last `end_step` is used, which between snapshots may lag
+    /// behind injections/removals.
+    pub fn set_final_particles(&mut self, n: u64) {
+        if let Some(i) = &mut self.inner {
+            i.last_particles = n;
+        }
+    }
+
+    /// Emit the summary line, flush the writer, and hand back everything
+    /// recorded. `None` for a disabled tracer.
+    pub fn finish(self) -> Option<TraceReport> {
+        let mut i = self.inner?;
+        let summary = TraceSummary {
+            steps: i.total_steps,
+            records: i.steps.len() as u64,
+            phase_ns: i.total_phase_ns,
+            counters: i.total_counters,
+            max_imbalance: i.imb_max,
+            mean_imbalance: if i.n_stats == 0 {
+                1.0
+            } else {
+                i.imb_sum / i.n_stats as f64
+            },
+            max_gini: i.gini_max,
+            final_particles: i.last_particles,
+        };
+        let mut line = String::with_capacity(256);
+        let _ = write!(
+            line,
+            "{{\"type\":\"summary\",\"schema\":{SCHEMA_VERSION},\"steps\":{},\"records\":{}",
+            summary.steps, summary.records
+        );
+        for (idx, p) in Phase::ALL.iter().enumerate() {
+            let _ = write!(line, ",\"{}_ns\":{}", p.name(), summary.phase_ns[idx]);
+        }
+        for (idx, c) in Counter::ALL.iter().enumerate() {
+            let _ = write!(line, ",\"{}\":{}", c.name(), summary.counters[idx]);
+        }
+        line.push_str(",\"max_imbalance\":");
+        push_f64(&mut line, summary.max_imbalance);
+        line.push_str(",\"mean_imbalance\":");
+        push_f64(&mut line, summary.mean_imbalance);
+        line.push_str(",\"max_gini\":");
+        push_f64(&mut line, summary.max_gini);
+        let _ = write!(line, ",\"final_particles\":{}}}", summary.final_particles);
+        i.emit(&line);
+        if let Some(w) = &mut i.writer {
+            let _ = w.flush();
+        }
+        Some(TraceReport {
+            summary,
+            steps: std::mem::take(&mut i.steps),
+            cuts: std::mem::take(&mut i.cuts),
+            ndjson: std::mem::take(&mut i.ndjson),
+        })
+    }
+}
+
+impl Inner {
+    fn emit(&mut self, line: &str) {
+        self.ndjson.push_str(line);
+        self.ndjson.push('\n');
+        if let Some(w) = &mut self.writer {
+            let _ = writeln!(w, "{line}");
+        }
+    }
+
+    fn emit_step_record(&mut self, particles: u64) {
+        let rec = StepRecord {
+            step: self.cur_step,
+            particles,
+            phase_ns: std::mem::take(&mut self.pend_phase_ns),
+            counters: std::mem::take(&mut self.pend_counters),
+            loads: std::mem::take(&mut self.cur_loads),
+            stats: self.cur_stats.take(),
+        };
+        if let Some(st) = &rec.stats {
+            self.n_stats += 1;
+            self.imb_sum += st.imbalance;
+            self.imb_max = self.imb_max.max(st.imbalance);
+            self.gini_max = self.gini_max.max(st.gini);
+        }
+        let mut line = String::with_capacity(256);
+        let _ = write!(
+            line,
+            "{{\"type\":\"step\",\"step\":{},\"particles\":{}",
+            rec.step, rec.particles
+        );
+        for (idx, p) in Phase::ALL.iter().enumerate() {
+            let _ = write!(line, ",\"{}_ns\":{}", p.name(), rec.phase_ns[idx]);
+        }
+        for (idx, c) in Counter::ALL.iter().enumerate() {
+            let _ = write!(line, ",\"{}\":{}", c.name(), rec.counters[idx]);
+        }
+        if let Some(st) = &rec.stats {
+            line.push_str(",\"loads\":[");
+            for (idx, l) in rec.loads.iter().enumerate() {
+                if idx > 0 {
+                    line.push(',');
+                }
+                push_f64(&mut line, *l);
+            }
+            line.push(']');
+            line.push_str(",\"load_max\":");
+            push_f64(&mut line, st.max);
+            line.push_str(",\"load_min\":");
+            push_f64(&mut line, st.min);
+            line.push_str(",\"load_mean\":");
+            push_f64(&mut line, st.mean);
+            line.push_str(",\"imbalance\":");
+            push_f64(&mut line, st.imbalance);
+            line.push_str(",\"cv\":");
+            push_f64(&mut line, st.cv);
+            line.push_str(",\"gini\":");
+            push_f64(&mut line, st.gini);
+        }
+        line.push('}');
+        self.emit(&line);
+        self.steps.push(rec);
+    }
+}
+
+/// Render `v` as a JSON number; non-finite values become `null` (JSON has
+/// no NaN/inf, and downstream finiteness checks must see the hole).
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_u64_arr(out: &mut String, vals: &[u64]) {
+    out.push('[');
+    for (i, v) in vals.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+}
+
+fn push_usize_arr(out: &mut String, vals: &[usize]) {
+    out.push('[');
+    for (i, v) in vals.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+}
+
+/// Render a JSON string literal with the escapes the grammar requires.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{validate_ndjson, Json};
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let mut t = Tracer::disabled();
+        assert!(!t.enabled());
+        assert_eq!(t.sample_every(), 0);
+        assert!(!t.wants_step(1));
+        t.begin_step(1);
+        t.phase_start(Phase::Advance);
+        t.phase_end(Phase::Advance);
+        t.add(Counter::Rehomed, 5);
+        t.record_loads(&[1.0, 2.0]);
+        t.record_cuts('x', &[0, 4], &[10, 2], &[0, 3]);
+        t.end_step(100);
+        assert!(t.finish().is_none());
+    }
+
+    #[test]
+    fn emits_valid_ndjson_stream() {
+        let mut t = Tracer::in_memory(1);
+        t.emit_run_header("test", 4, 1000, 2);
+        for s in 1..=2u64 {
+            t.begin_step(s);
+            t.phase_start(Phase::Advance);
+            t.phase_end(Phase::Advance);
+            t.add(Counter::Rehomed, 3);
+            t.record_loads(&[4.0, 2.0, 1.0, 1.0]);
+            t.end_step(1000);
+        }
+        t.record_cuts('x', &[0, 8, 16], &[30, 10], &[0, 6, 16]);
+        let report = t.finish().unwrap();
+
+        let check = validate_ndjson(&report.ndjson).unwrap();
+        assert_eq!((check.runs, check.steps, check.cuts), (1, 2, 1));
+        let summary = check.summary.expect("summary record");
+        assert_eq!(summary.get("steps").unwrap().as_u64(), Some(2));
+        assert_eq!(summary.get("rehomed").unwrap().as_u64(), Some(6));
+        // loads [4,2,1,1]: mean 2, imbalance 2.0 every step.
+        assert_eq!(summary.get("max_imbalance").unwrap().as_f64(), Some(2.0));
+        assert_eq!(summary.get("mean_imbalance").unwrap().as_f64(), Some(2.0));
+        assert_eq!(report.summary.final_particles, 1000);
+        assert_eq!(report.steps.len(), 2);
+        assert_eq!(report.steps[0].stats.unwrap().imbalance, 2.0);
+        assert_eq!(report.cuts[0].new, vec![0, 6, 16]);
+
+        // Step lines carry the raw load vector for independent recompute.
+        let first_step = report
+            .ndjson
+            .lines()
+            .find(|l| l.contains("\"type\":\"step\""))
+            .unwrap();
+        let v = Json::parse(first_step).unwrap();
+        let loads: Vec<f64> = v
+            .get("loads")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_f64().unwrap())
+            .collect();
+        assert_eq!(loads, vec![4.0, 2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn sampling_interval_batches_windows() {
+        let mut t = Tracer::in_memory(5);
+        assert_eq!(t.sample_every(), 5);
+        for s in 1..=10u64 {
+            assert_eq!(t.wants_step(s), s % 5 == 0);
+            t.begin_step(s);
+            t.add(Counter::Rebins, 1);
+            t.end_step(50);
+        }
+        let report = t.finish().unwrap();
+        assert_eq!(report.steps.len(), 2);
+        // Each record covers the 5-step window since the previous one.
+        assert_eq!(report.steps[0].counters[Counter::Rebins.idx()], 5);
+        assert_eq!(report.steps[1].counters[Counter::Rebins.idx()], 5);
+        assert_eq!(report.summary.counters[Counter::Rebins.idx()], 10);
+        assert_eq!(report.summary.steps, 10);
+        assert_eq!(report.summary.records, 2);
+    }
+
+    #[test]
+    fn non_finite_floats_emit_null() {
+        let mut t = Tracer::in_memory(1);
+        t.begin_step(1);
+        t.record_loads(&[f64::NAN, f64::INFINITY]);
+        t.end_step(0);
+        let report = t.finish().unwrap();
+        let line = report
+            .ndjson
+            .lines()
+            .find(|l| l.contains("\"type\":\"step\""))
+            .unwrap();
+        let v = Json::parse(line).expect("null-for-NaN keeps the line valid JSON");
+        assert!(v.get("loads").unwrap().as_array().unwrap()[0].is_null());
+    }
+
+    #[test]
+    fn run_header_escapes_strings() {
+        let mut t = Tracer::in_memory(1);
+        t.emit_run_header("im\"pl\n", 1, 0, 0);
+        let report = t.finish().unwrap();
+        let v = Json::parse(report.ndjson.lines().next().unwrap()).unwrap();
+        assert_eq!(v.get("impl").unwrap().as_str(), Some("im\"pl\n"));
+        assert_eq!(v.get("schema").unwrap().as_u64(), Some(SCHEMA_VERSION));
+    }
+
+    #[test]
+    fn writer_receives_the_same_bytes() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct Sink(Arc<Mutex<Vec<u8>>>);
+        impl Write for Sink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let sink = Sink(Arc::new(Mutex::new(Vec::new())));
+        let mut t = Tracer::to_writer(Box::new(sink.clone()), 1);
+        t.emit_run_header("w", 1, 10, 1);
+        t.begin_step(1);
+        t.end_step(10);
+        let report = t.finish().unwrap();
+        let written = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(written, report.ndjson);
+    }
+}

@@ -24,4 +24,12 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 
+echo "==> traced diffusion smoke run (--trace + trace_check)"
+trace_file="$(mktemp /tmp/pic-trace-smoke.XXXXXX.ndjson)"
+./target/release/pic --impl diffusion --ranks 4 --grid 32 --particles 2000 \
+    --steps 40 --m 1 --dist geometric:0.9 --lb-interval 5 \
+    --trace "$trace_file" --trace-every 2 --quiet
+cargo run --release -q -p pic-bench --bin trace_check -- "$trace_file"
+rm -f "$trace_file"
+
 echo "verify: OK"

@@ -13,16 +13,26 @@
 
 use pic_prk::ampi::balancer::Balancer;
 use pic_prk::ampi::model::AmpiParams;
-use pic_prk::ampi::runtime::run_ampi;
+use pic_prk::ampi::runtime::run_ampi_traced;
 use pic_prk::comm::world::run_threads;
 use pic_prk::core::init::SkewAxis;
-use pic_prk::par::baseline::run_baseline;
-use pic_prk::par::diffusion::{run_diffusion_mode, DiffusionMode, DiffusionParams};
+use pic_prk::par::baseline::run_baseline_traced;
+use pic_prk::par::diffusion::{run_diffusion_mode_traced, DiffusionMode, DiffusionParams};
 use pic_prk::par::runner::{ParConfig, ParOutcome};
 use pic_prk::prelude::*;
+use pic_prk::trace::{trace_simulation, Phase, Tracer};
+use std::io::Write;
 use std::process::exit;
+use std::sync::Mutex;
 
-const HELP: &str = "\
+/// Help text. Defaults that mirror library defaults are injected from the
+/// source constants so the text can never drift out of date again (it
+/// previously advertised `--lb-interval` 10 vs the library's 20, `--border`
+/// 2 vs 1, and `--rebin` 1 vs 16).
+fn help() -> String {
+    let diff = DiffusionParams::default();
+    format!(
+        "\
 pic — the PIC Parallel Research Kernel (IPDPS 2016 reproduction)
 
 USAGE: pic [OPTIONS]
@@ -52,7 +62,7 @@ Single-process engine (--impl serial):
   --chunk N           chunk size for --sweep soa-chunked / soa-binned
                       (default: adaptive, max(4096, n / (threads * 4)))
   --rebin R           counting-sort interval for --sweep soa-binned
-                      (steps between re-sorts, default 1)
+                      (steps between re-sorts, default {rebin})
   --threads T         cap the sweep worker pool at T threads (default:
                       all cores; PIC_THREADS overrides the pool size)
                       soa-binned auto-selects the widest SIMD backend the
@@ -60,20 +70,39 @@ Single-process engine (--impl serial):
                       kernel (results are bit-identical either way)
 
 Diffusion balancer (--impl diffusion):
-  --lb-interval F     steps between LB invocations (default 10)
-  --tau T             count-difference threshold (default 0)
-  --border W          border width in cells (default 2)
+  --lb-interval F     steps between LB invocations (default {diff_interval})
+  --tau T             count-difference threshold (default {diff_tau})
+  --border W          border width in cells (default {diff_border})
   --mode M            x | y | 2phase (default x)
 
 AMPI runtime (--impl ampi):
   --d D               over-decomposition degree (default 4)
-  --lb-interval F     steps between LB invocations (default 10)
+  --lb-interval F     steps between LB invocations (default {ampi_interval})
   --balancer B        refine | greedy | none (default refine)
+
+Telemetry:
+  --trace FILE        write ndjson load-balance telemetry to FILE
+                      (per-step phase times, counters, per-rank loads,
+                      cut decisions, end-of-run summary)
+  --trace-every N     sample a step record every N steps (default 1;
+                      cut decisions and the summary are never sampled away)
 
 Output:
   --quiet             only print PASS/FAIL
   --help              this text
-";
+",
+        rebin = pic_prk::core::bin::DEFAULT_REBIN,
+        diff_interval = diff.interval,
+        diff_tau = diff.tau,
+        diff_border = diff.border_w,
+        ampi_interval = AMPI_LB_INTERVAL_DEFAULT,
+    )
+}
+
+/// CLI default for the AMPI `--lb-interval`. The library's
+/// `AmpiParams::paper_default()` uses the paper's full-scale `F = 160`,
+/// which is useless at CLI-scale step counts, so the driver keeps its own.
+const AMPI_LB_INTERVAL_DEFAULT: u32 = 10;
 
 struct Args(Vec<String>);
 
@@ -169,7 +198,7 @@ fn bail<T>(msg: &str) -> T {
 fn main() {
     let args = Args(std::env::args().skip(1).collect());
     if args.flag("--help") || args.flag("-h") {
-        print!("{HELP}");
+        print!("{}", help());
         return;
     }
     let quiet = args.flag("--quiet");
@@ -205,7 +234,27 @@ fn main() {
 
     let implementation = args.value("--impl").unwrap_or("serial").to_string();
     let ranks: usize = args.parse("--ranks", 4);
-    let interval: u32 = args.parse("--lb-interval", 10);
+
+    // Telemetry: the file is opened up front (so a bad path fails before
+    // the run), then handed to exactly one tracer — rank 0's in the
+    // parallel implementations.
+    let trace_every: u32 = args.parse("--trace-every", 1);
+    let trace_writer: Mutex<Option<Box<dyn Write + Send>>> =
+        Mutex::new(args.value("--trace").map(|path| {
+            let f = std::fs::File::create(path)
+                .unwrap_or_else(|e| bail(&format!("cannot create trace file {path}: {e}")));
+            Box::new(std::io::BufWriter::new(f)) as Box<dyn Write + Send>
+        }));
+    let rank0_tracer = |rank: usize| -> Tracer {
+        if rank == 0 {
+            match trace_writer.lock().unwrap().take() {
+                Some(w) => Tracer::to_writer(w, trace_every),
+                None => Tracer::disabled(),
+            }
+        } else {
+            Tracer::disabled()
+        }
+    };
 
     if !quiet {
         println!(
@@ -237,8 +286,13 @@ fn main() {
             if let Some(chunk) = chunk {
                 sim = sim.with_chunk_size(chunk);
             }
-            sim.run(steps);
+            let mut tracer = rank0_tracer(0);
+            trace_simulation(&mut sim, steps, &mut tracer);
+            tracer.phase_start(Phase::Verify);
             let report = sim.verify();
+            tracer.phase_end(Phase::Verify);
+            tracer.set_final_particles(sim.particle_count() as u64);
+            tracer.finish();
             summarize_serial(&report, sim.particle_count(), quiet);
             if !report.passed() {
                 exit(1);
@@ -247,13 +301,21 @@ fn main() {
         }
         "baseline" => {
             let cfg = ParConfig { setup, steps };
-            Some(run_threads(ranks, |comm| run_baseline(&comm, &cfg)).swap_remove(0))
+            Some(
+                run_threads(ranks, |comm| {
+                    let mut tracer = rank0_tracer(comm.rank());
+                    let out = run_baseline_traced(&comm, &cfg, &mut tracer);
+                    tracer.finish();
+                    out
+                })
+                .swap_remove(0),
+            )
         }
         "diffusion" => {
             let params = DiffusionParams {
-                interval,
-                tau: args.parse("--tau", 0),
-                border_w: args.parse("--border", 2),
+                interval: args.parse("--lb-interval", DiffusionParams::default().interval),
+                tau: args.parse("--tau", DiffusionParams::default().tau),
+                border_w: args.parse("--border", DiffusionParams::default().border_w),
             };
             let mode = match args.value("--mode").unwrap_or("x") {
                 "x" => DiffusionMode::XOnly,
@@ -263,8 +325,13 @@ fn main() {
             };
             let cfg = ParConfig { setup, steps };
             Some(
-                run_threads(ranks, |comm| run_diffusion_mode(&comm, &cfg, params, mode))
-                    .swap_remove(0),
+                run_threads(ranks, |comm| {
+                    let mut tracer = rank0_tracer(comm.rank());
+                    let out = run_diffusion_mode_traced(&comm, &cfg, params, mode, &mut tracer);
+                    tracer.finish();
+                    out
+                })
+                .swap_remove(0),
             )
         }
         "ampi" => {
@@ -276,11 +343,19 @@ fn main() {
             };
             let params = AmpiParams {
                 d: args.parse("--d", 4),
-                interval,
+                interval: args.parse("--lb-interval", AMPI_LB_INTERVAL_DEFAULT),
                 balancer,
             };
             let cfg = ParConfig { setup, steps };
-            Some(run_threads(ranks, |comm| run_ampi(&comm, &cfg, &params)).swap_remove(0))
+            Some(
+                run_threads(ranks, |comm| {
+                    let mut tracer = rank0_tracer(comm.rank());
+                    let out = run_ampi_traced(&comm, &cfg, &params, &mut tracer);
+                    tracer.finish();
+                    out
+                })
+                .swap_remove(0),
+            )
         }
         other => bail(&format!("unknown implementation: {other}")),
     };

@@ -11,6 +11,8 @@
 //!   diffusion-based application-specific load balancing (`mpi-2d-LB`).
 //! * [`ampi`] — Adaptive-MPI-style virtualization: over-decomposition into
 //!   VPs with runtime-orchestrated load balancing.
+//! * [`trace`] — load-balance telemetry: phase timers, migration counters,
+//!   per-rank load snapshots, ndjson emission (`--trace`).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -20,5 +22,6 @@ pub use pic_cluster as cluster;
 pub use pic_comm as comm;
 pub use pic_core as core;
 pub use pic_par as par;
+pub use pic_trace as trace;
 
 pub use pic_core::prelude;

@@ -150,3 +150,93 @@ fn bad_arguments_fail_cleanly() {
     assert!(!ok);
     assert!(stderr.contains("odd"));
 }
+
+#[test]
+fn help_defaults_match_library_defaults() {
+    use pic_prk::par::diffusion::DiffusionParams;
+    let (ok, stdout, _) = run(&["--help"]);
+    assert!(ok);
+    let d = DiffusionParams::default();
+    // The balancer defaults in the help text are generated from the
+    // library constants; spot-check they render with the real values.
+    assert!(
+        stdout.contains(&format!(
+            "steps between LB invocations (default {})",
+            d.interval
+        )),
+        "diffusion lb-interval default drifted: {stdout}"
+    );
+    assert!(
+        stdout.contains(&format!("border width in cells (default {})", d.border_w)),
+        "border default drifted"
+    );
+    assert!(
+        stdout.contains(&format!(
+            "steps between re-sorts, default {}",
+            pic_prk::core::bin::DEFAULT_REBIN
+        )),
+        "rebin default drifted"
+    );
+    assert!(stdout.contains("--trace FILE"));
+    assert!(stdout.contains("--trace-every N"));
+}
+
+#[test]
+fn trace_flag_writes_valid_ndjson() {
+    let dir = std::env::temp_dir().join(format!("pic-cli-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for (imp, extra) in [
+        ("serial", &[][..]),
+        ("baseline", &["--ranks", "3"][..]),
+        ("diffusion", &["--ranks", "3", "--lb-interval", "4"][..]),
+        ("ampi", &["--ranks", "3", "--lb-interval", "4"][..]),
+    ] {
+        let path = dir.join(format!("{imp}.ndjson"));
+        let path = path.to_str().unwrap();
+        let mut args = vec![
+            "--impl",
+            imp,
+            "--grid",
+            "32",
+            "--particles",
+            "400",
+            "--steps",
+            "20",
+            "--m",
+            "1",
+            "--dist",
+            "geometric:0.9",
+            "--trace",
+            path,
+            "--trace-every",
+            "2",
+            "--quiet",
+        ];
+        args.extend_from_slice(extra);
+        let (ok, stdout, stderr) = run(&args);
+        assert!(ok, "impl {imp}: {stdout} {stderr}");
+        assert_eq!(stdout.trim(), "PASS", "impl {imp}");
+        let text = std::fs::read_to_string(path).unwrap();
+        let check = pic_prk::trace::validate_ndjson(&text)
+            .unwrap_or_else(|e| panic!("impl {imp}: invalid ndjson: {e}"));
+        assert_eq!(check.runs, 1, "impl {imp}");
+        assert_eq!(check.steps, 10, "impl {imp}: every=2 over 20 steps");
+        let summary = check
+            .summary
+            .as_ref()
+            .unwrap_or_else(|| panic!("impl {imp}: no summary"));
+        let imb = summary
+            .get("max_imbalance")
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("impl {imp}: max_imbalance missing/non-finite"));
+        assert!(imb.is_finite() && imb >= 1.0, "impl {imp}: imbalance {imb}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_trace_path_fails_cleanly() {
+    let (ok, _, stderr) = run(&["--trace", "/nonexistent-dir-xyz/t.ndjson", "--steps", "1"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot create trace file"), "{stderr}");
+}
