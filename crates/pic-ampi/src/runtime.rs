@@ -79,6 +79,7 @@ pub fn run_ampi_traced(
         cores,
         cfg.setup.particles.len() as u64,
         cfg.steps as u64,
+        "none",
     );
     let mut sent_window = 0u64;
     let mut global_count = cfg.setup.particles.len() as u64;

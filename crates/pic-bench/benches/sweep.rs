@@ -6,7 +6,7 @@
 //! harness here is for interactive `cargo bench sweep` comparisons.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pic_core::bin::BinnedStore;
+use pic_core::bin::{BinnedStore, KernelTier};
 use pic_core::charge::SimConstants;
 use pic_core::dist::Distribution;
 use pic_core::geometry::Grid;
@@ -63,6 +63,17 @@ fn bench_sweep_modes(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("soa-binned", n), &n, |b, _| {
             b.iter_batched(
                 || BinnedStore::new(&particles, &grid, 1),
+                |mut st| st.advance_all(&grid, &consts, DEFAULT_CHUNK),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("soa-binned-fast", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut st = BinnedStore::new(&particles, &grid, 1);
+                    st.set_kernel_tier(KernelTier::Fast);
+                    st
+                },
                 |mut st| st.advance_all(&grid, &consts, DEFAULT_CHUNK),
                 criterion::BatchSize::LargeInput,
             )

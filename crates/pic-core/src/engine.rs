@@ -22,7 +22,7 @@
 //! populations in identical order** — asserted by this module's tests and
 //! the cross-layout property tests.
 
-use crate::bin::{BinnedStore, DEFAULT_REBIN};
+use crate::bin::{BinnedStore, KernelTier, DEFAULT_REBIN};
 use crate::charge::SimConstants;
 use crate::events::{Event, EventKind};
 use crate::geometry::Grid;
@@ -55,15 +55,63 @@ pub enum SweepMode {
     /// and swept with the parity-specialized kernel; the per-column load
     /// histogram becomes an O(columns) read while the binning is fresh.
     SoaBinned,
+    /// [`SweepMode::SoaBinned`] with the fast-math kernel tier
+    /// ([`KernelTier::Fast`]: FMA, reciprocal-sqrt, reassociated corner
+    /// accumulation, widest available vectors) and persistent
+    /// particle-thread binding. Results are *not* bit-identical to the
+    /// exact tiers; they are gated by the analytic tolerance instead
+    /// ([`Simulation::verify_analytic`], DESIGN.md §12).
+    SoaBinnedFast,
 }
 
 impl SweepMode {
+    /// Every sweep mode, in CLI/help order.
+    pub const ALL: [SweepMode; 6] = [
+        SweepMode::Serial,
+        SweepMode::Parallel,
+        SweepMode::Soa,
+        SweepMode::SoaChunked,
+        SweepMode::SoaBinned,
+        SweepMode::SoaBinnedFast,
+    ];
+
     /// Whether this mode stores particles in SoA layout.
     pub fn is_soa(self) -> bool {
         matches!(
             self,
-            SweepMode::Soa | SweepMode::SoaChunked | SweepMode::SoaBinned
+            SweepMode::Soa
+                | SweepMode::SoaChunked
+                | SweepMode::SoaBinned
+                | SweepMode::SoaBinnedFast
         )
+    }
+
+    /// Whether this mode runs the fast-math kernel tier (not bit-identical
+    /// to the exact modes; verified analytically instead).
+    pub fn is_fast(self) -> bool {
+        matches!(self, SweepMode::SoaBinnedFast)
+    }
+
+    /// The name this mode goes by on the `pic --sweep` command line. The
+    /// single source for CLI parsing, help text, and the bench harness —
+    /// kept here so they can never drift apart.
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            SweepMode::Serial => "serial",
+            SweepMode::Parallel => "parallel",
+            SweepMode::Soa => "soa",
+            SweepMode::SoaChunked => "soa-chunked",
+            SweepMode::SoaBinned => "soa-binned",
+            SweepMode::SoaBinnedFast => "soa-binned-fast",
+        }
+    }
+
+    /// Inverse of [`SweepMode::cli_name`].
+    pub fn from_cli_name(name: &str) -> Option<SweepMode> {
+        SweepMode::ALL
+            .iter()
+            .copied()
+            .find(|m| m.cli_name() == name)
     }
 }
 
@@ -79,6 +127,27 @@ enum ParticleStore {
 }
 
 impl ParticleStore {
+    /// Build the store layout a sweep mode requires (the constructor and
+    /// checkpoint-restore share this, so the mode→layout/tier mapping has
+    /// one home).
+    fn for_mode(particles: Vec<Particle>, grid: &Grid, mode: SweepMode) -> ParticleStore {
+        match mode {
+            SweepMode::Serial | SweepMode::Parallel => ParticleStore::Aos(particles),
+            SweepMode::Soa | SweepMode::SoaChunked => {
+                ParticleStore::Soa(ParticleBatch::from_particles(&particles))
+            }
+            SweepMode::SoaBinned => {
+                ParticleStore::Binned(BinnedStore::new(&particles, grid, DEFAULT_REBIN))
+            }
+            SweepMode::SoaBinnedFast => {
+                let mut b = BinnedStore::new(&particles, grid, DEFAULT_REBIN);
+                b.set_kernel_tier(KernelTier::Fast);
+                b.set_thread_binding(true);
+                ParticleStore::Binned(b)
+            }
+        }
+    }
+
     fn len(&self) -> usize {
         match self {
             ParticleStore::Aos(v) => v.len(),
@@ -142,17 +211,7 @@ impl Simulation {
         let expected_id_sum = setup.initial_id_sum();
         let mut events = setup.events;
         events.sort_by_key(|e| e.at_step);
-        let store = match mode {
-            SweepMode::Serial | SweepMode::Parallel => ParticleStore::Aos(setup.particles),
-            SweepMode::Soa | SweepMode::SoaChunked => {
-                ParticleStore::Soa(ParticleBatch::from_particles(&setup.particles))
-            }
-            SweepMode::SoaBinned => ParticleStore::Binned(BinnedStore::new(
-                &setup.particles,
-                &setup.grid,
-                DEFAULT_REBIN,
-            )),
-        };
+        let store = ParticleStore::for_mode(setup.particles, &setup.grid, mode);
         Simulation {
             grid: setup.grid,
             consts: setup.consts,
@@ -225,6 +284,27 @@ impl Simulation {
         match &self.store {
             ParticleStore::Binned(b) => Some(b.simd_backend()),
             _ => None,
+        }
+    }
+
+    /// The kernel tier the binned sweep runs ([`KernelTier::Fast`] for
+    /// [`SweepMode::SoaBinnedFast`], [`KernelTier::Exact`] for
+    /// [`SweepMode::SoaBinned`]; `None` for the non-binned modes).
+    pub fn kernel_tier(&self) -> Option<KernelTier> {
+        match &self.store {
+            ParticleStore::Binned(b) => Some(b.kernel_tier()),
+            _ => None,
+        }
+    }
+
+    /// Short kernel descriptor for telemetry and driver output:
+    /// `"<backend>/<tier>"` for the binned modes (e.g. `"avx512/fast"`,
+    /// `"scalar/exact"`), `"none"` for modes outside the explicit SIMD
+    /// layer. This is the trace run-header `simd` field.
+    pub fn kernel_desc(&self) -> String {
+        match (self.simd_backend(), self.kernel_tier()) {
+            (Some(b), Some(t)) => format!("{}/{}", b.name(), t.name()),
+            _ => "none".to_string(),
         }
     }
 
@@ -349,7 +429,7 @@ impl Simulation {
                 });
                 b.advance_all_chunked(&self.grid, &self.consts, chunk)
             }
-            (ParticleStore::Binned(b), SweepMode::SoaBinned) => {
+            (ParticleStore::Binned(b), SweepMode::SoaBinned | SweepMode::SoaBinnedFast) => {
                 let chunk = self.chunk_size.unwrap_or_else(|| {
                     pool::adaptive_chunk(b.len(), pool::global().active_threads())
                 });
@@ -370,12 +450,38 @@ impl Simulation {
     }
 
     /// Verify the current population against eqs. 5–6 and the checksum.
+    /// The exact modes check against [`DEFAULT_TOLERANCE`]; the fast tier
+    /// ([`SweepMode::SoaBinnedFast`]) checks against the *analytic* bound
+    /// ([`Simulation::verify_analytic`]) — which is clamped to never
+    /// exceed the default tolerance, so the fast gate is always at least
+    /// as strict.
     pub fn verify(&self) -> VerifyReport {
-        self.verify_with_tolerance(DEFAULT_TOLERANCE)
+        if self.mode.is_fast() {
+            self.verify_analytic()
+        } else {
+            self.verify_with_tolerance(DEFAULT_TOLERANCE)
+        }
     }
 
     pub fn verify_with_tolerance(&self, tol: f64) -> VerifyReport {
         let particles = self.store.to_particles();
+        verify_all(&self.grid, &particles, self.step, self.expected_id_sum, tol)
+    }
+
+    /// Verify against the fast-tier analytic drift bound
+    /// ([`crate::verify::analytic_tolerance`], DESIGN.md §12): per-step
+    /// relative error [`crate::verify::FAST_KERNEL_REL_ERR`] accumulated
+    /// quadratically over the run, scaled by the fastest particle stride,
+    /// clamped to `[1e-10, DEFAULT_TOLERANCE]`. Usable in any mode (the
+    /// exact tiers pass it trivially — their error is at the 1e-13 floor).
+    pub fn verify_analytic(&self) -> VerifyReport {
+        let particles = self.store.to_particles();
+        let max_stride = particles
+            .iter()
+            .map(|p| (2 * p.k as u64 + 1).max(p.m.unsigned_abs() as u64))
+            .max()
+            .unwrap_or(1);
+        let tol = crate::verify::analytic_tolerance(self.step as u64, max_stride);
         verify_all(&self.grid, &particles, self.step, self.expected_id_sum, tol)
     }
 
@@ -516,15 +622,7 @@ impl Simulation {
     /// Resume from a checkpoint; the continuation is bit-exact with an
     /// uninterrupted run.
     pub fn restore(cp: crate::checkpoint::CheckpointData, mode: SweepMode) -> Simulation {
-        let store = match mode {
-            SweepMode::Serial | SweepMode::Parallel => ParticleStore::Aos(cp.particles),
-            SweepMode::Soa | SweepMode::SoaChunked => {
-                ParticleStore::Soa(ParticleBatch::from_particles(&cp.particles))
-            }
-            SweepMode::SoaBinned => {
-                ParticleStore::Binned(BinnedStore::new(&cp.particles, &cp.grid, DEFAULT_REBIN))
-            }
-        };
+        let store = ParticleStore::for_mode(cp.particles, &cp.grid, mode);
         Simulation {
             grid: cp.grid,
             consts: cp.consts,
@@ -608,6 +706,54 @@ mod tests {
             assert_eq!(reference.expected_id_sum(), sim.expected_id_sum());
             assert!(sim.verify().passed());
         }
+    }
+
+    #[test]
+    fn fast_mode_with_events_passes_analytic_gate() {
+        let region = Region {
+            x0: 0,
+            x1: 8,
+            y0: 0,
+            y1: 8,
+        };
+        let s = setup(400, Distribution::Geometric { r: 0.9 })
+            .with_event(Event::inject(30, region, 10, 0, 1, 1))
+            .with_event(Event::remove(25, Region::whole(32), 25));
+        let mut sim = Simulation::with_mode(s, SweepMode::SoaBinnedFast).with_rebin_interval(3);
+        assert_eq!(sim.kernel_tier(), Some(crate::bin::KernelTier::Fast));
+        assert!(sim.mode().is_fast() && sim.mode().is_soa());
+        sim.run(40);
+        let report = sim.verify(); // routes to the analytic gate
+        assert!(report.passed(), "{report:?}");
+        assert_eq!(report.id_sum, report.expected_id_sum);
+        // The analytic gate is at least as strict as the default gate.
+        assert!(sim.verify_analytic().passed());
+    }
+
+    #[test]
+    fn fast_mode_checkpoint_restores_fast_tier() {
+        let s = setup(150, Distribution::Sinusoidal);
+        let mut fast = Simulation::with_mode(s, SweepMode::SoaBinnedFast);
+        fast.run(10);
+        let cp = fast.checkpoint().encode();
+        let cp = crate::checkpoint::CheckpointData::decode(&cp).unwrap();
+        let resumed = Simulation::restore(cp, SweepMode::SoaBinnedFast);
+        assert_eq!(resumed.kernel_tier(), Some(crate::bin::KernelTier::Fast));
+        let mut resumed = resumed;
+        resumed.run(10);
+        assert!(resumed.verify().passed());
+    }
+
+    #[test]
+    fn cli_names_round_trip_for_every_mode() {
+        for mode in SweepMode::ALL {
+            assert_eq!(SweepMode::from_cli_name(mode.cli_name()), Some(mode));
+        }
+        assert_eq!(
+            SweepMode::from_cli_name("soa-binned-fast"),
+            Some(SweepMode::SoaBinnedFast)
+        );
+        assert_eq!(SweepMode::from_cli_name("nope"), None);
     }
 
     #[test]

@@ -31,11 +31,14 @@ pub fn run_baseline_traced(
     let decomp = Decomp2d::uniform(cfg.setup.grid.ncells(), comm.size());
     let mut st = RankState::new(&cfg.setup, decomp, comm.rank());
     let every = trace_interval(comm, tracer);
+    // The rank sweep is the AoS reference kernel, outside the explicit
+    // SIMD layer — the header records that rather than omitting the field.
     tracer.emit_run_header(
         "baseline",
         comm.size(),
         cfg.setup.particles.len() as u64,
         cfg.steps as u64,
+        "none",
     );
     let mut sent_window = 0u64;
     let mut global_count = cfg.setup.particles.len() as u64;

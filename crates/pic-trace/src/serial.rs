@@ -15,7 +15,18 @@ use pic_core::engine::Simulation;
 /// is `sim.run(steps)` plus one counter read per step — no clocks, no
 /// allocation on the sweep path (pinned by `tests/disabled_overhead.rs`).
 pub fn trace_simulation(sim: &mut Simulation, steps: u32, tracer: &mut Tracer) {
-    tracer.emit_run_header("serial", 1, sim.particle_count() as u64, steps as u64);
+    if tracer.enabled() {
+        // kernel_desc() allocates its String; skip it entirely on the
+        // disabled path (emit_run_header would discard it anyway), keeping
+        // the zero-allocation contract pinned by tests/disabled_overhead.rs.
+        tracer.emit_run_header(
+            "serial",
+            1,
+            sim.particle_count() as u64,
+            steps as u64,
+            &sim.kernel_desc(),
+        );
+    }
     let mut hist: Vec<u64> = Vec::new();
     let mut loads: Vec<f64> = Vec::new();
     let mut rebins_seen = sim.rebin_count();
@@ -88,6 +99,30 @@ mod tests {
             .unwrap();
         // DEFAULT_REBIN = 16: two interval rebins over 32 steps.
         assert_eq!(report.summary.counters[idx], 2);
+    }
+
+    #[test]
+    fn run_header_records_kernel_descriptor() {
+        use crate::json::Json;
+        // AoS serial mode: no explicit SIMD layer.
+        let mut s = sim(SweepMode::Serial);
+        let mut tracer = Tracer::in_memory(1);
+        trace_simulation(&mut s, 1, &mut tracer);
+        let report = tracer.finish().unwrap();
+        let run = Json::parse(report.ndjson.lines().next().unwrap()).unwrap();
+        assert_eq!(run.get("simd").unwrap().as_str(), Some("none"));
+
+        // Fast binned mode: "<backend>/fast", and the traced run still
+        // passes its analytic verification gate.
+        let mut s = sim(SweepMode::SoaBinnedFast);
+        let mut tracer = Tracer::in_memory(1);
+        trace_simulation(&mut s, 20, &mut tracer);
+        assert!(s.verify().passed());
+        let report = tracer.finish().unwrap();
+        let run = Json::parse(report.ndjson.lines().next().unwrap()).unwrap();
+        let desc = run.get("simd").unwrap().as_str().unwrap().to_string();
+        assert!(desc.ends_with("/fast"), "descriptor was {desc}");
+        assert_eq!(desc, s.kernel_desc());
     }
 
     #[test]

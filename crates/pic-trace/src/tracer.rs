@@ -290,17 +290,29 @@ impl Tracer {
         }
     }
 
-    /// Emit the one-line run header.
-    pub fn emit_run_header(&mut self, impl_name: &str, ranks: usize, particles: u64, steps: u64) {
+    /// Emit the one-line run header. `simd` is the kernel descriptor
+    /// (`Simulation::kernel_desc`-style `"<backend>/<tier>"`, or
+    /// `"none"`), recorded so a trace always states which force kernel —
+    /// and in particular which precision contract, exact or fast —
+    /// produced it.
+    pub fn emit_run_header(
+        &mut self,
+        impl_name: &str,
+        ranks: usize,
+        particles: u64,
+        steps: u64,
+        simd: &str,
+    ) {
         if let Some(i) = &mut self.inner {
             let mut line = String::with_capacity(128);
             let _ = write!(
                 line,
                 "{{\"type\":\"run\",\"schema\":{SCHEMA_VERSION},\"impl\":{},\
                  \"ranks\":{ranks},\"particles\":{particles},\"steps\":{steps},\
-                 \"every\":{}}}",
+                 \"every\":{},\"simd\":{}}}",
                 json_str(impl_name),
-                i.every
+                i.every,
+                json_str(simd)
             );
             i.emit(&line);
         }
@@ -604,7 +616,7 @@ mod tests {
     #[test]
     fn emits_valid_ndjson_stream() {
         let mut t = Tracer::in_memory(1);
-        t.emit_run_header("test", 4, 1000, 2);
+        t.emit_run_header("test", 4, 1000, 2, "avx2/exact");
         for s in 1..=2u64 {
             t.begin_step(s);
             t.phase_start(Phase::Advance);
@@ -686,10 +698,11 @@ mod tests {
     #[test]
     fn run_header_escapes_strings() {
         let mut t = Tracer::in_memory(1);
-        t.emit_run_header("im\"pl\n", 1, 0, 0);
+        t.emit_run_header("im\"pl\n", 1, 0, 0, "sca\"lar");
         let report = t.finish().unwrap();
         let v = Json::parse(report.ndjson.lines().next().unwrap()).unwrap();
         assert_eq!(v.get("impl").unwrap().as_str(), Some("im\"pl\n"));
+        assert_eq!(v.get("simd").unwrap().as_str(), Some("sca\"lar"));
         assert_eq!(v.get("schema").unwrap().as_u64(), Some(SCHEMA_VERSION));
     }
 
@@ -711,7 +724,7 @@ mod tests {
 
         let sink = Sink(Arc::new(Mutex::new(Vec::new())));
         let mut t = Tracer::to_writer(Box::new(sink.clone()), 1);
-        t.emit_run_header("w", 1, 10, 1);
+        t.emit_run_header("w", 1, 10, 1, "none");
         t.begin_step(1);
         t.end_step(10);
         let report = t.finish().unwrap();

@@ -9,17 +9,23 @@
 #                                    pre-sizes the pool via PIC_THREADS)
 #   scripts/bench.sh --modes soa-serial,soa-binned
 #                                    restrict to a subset of sweep modes
-#                                    (default: all five; sensitivity scans
+#                                    (default: all six; sensitivity scans
 #                                    run only when their mode is selected)
+#   scripts/bench.sh --fast-report results/sweep_fast.md
+#                                    also write the markdown exact-vs-fast
+#                                    comparison (soa-binned vs
+#                                    soa-binned-fast; needs both modes in
+#                                    the run)
 #
-# The binned sweep auto-selects the widest SIMD backend the host supports
-# (reported in the artifact's "simd_backend" field and per record); the
-# run includes forced-scalar contrast rows. PIC_NO_SIMD=1 forces the
-# scalar kernel for the whole run.
+# The binned sweeps auto-select the widest SIMD backend the host supports
+# (reported in the artifact's "simd_backend"/"simd_lanes"/"fma" fields and
+# per record); the run includes forced-scalar contrast rows for both the
+# exact and the fast binned tier. PIC_NO_SIMD=1 forces the scalar kernel
+# for the whole run.
 #
 # All flags are forwarded to the bench_sweep binary. Interpretation notes
-# live in results/sweep_baseline.md, results/sweep_scaling.md, and
-# results/sweep_simd.md.
+# live in results/sweep_baseline.md, results/sweep_scaling.md,
+# results/sweep_simd.md, and results/sweep_fast.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -21,6 +21,11 @@ cargo fmt --check
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> cargo check --all-targets"
+# Stable-toolchain compile gate over every target (the AVX-512 kernel
+# instantiations included) even when the test steps above were filtered.
+cargo check --all-targets
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 
@@ -31,5 +36,16 @@ trace_file="$(mktemp /tmp/pic-trace-smoke.XXXXXX.ndjson)"
     --trace "$trace_file" --trace-every 2 --quiet
 cargo run --release -q -p pic-bench --bin trace_check -- "$trace_file"
 rm -f "$trace_file"
+
+echo "==> fast-tier analytic gate (--sweep soa-binned-fast must PASS)"
+# The fast kernel relaxes bit-identity; its correctness gate is the
+# analytic trajectory bound (DESIGN.md §12), which verify() applies in
+# this mode. A tolerance breach makes the run FAIL and exit non-zero.
+./target/release/pic --sweep soa-binned-fast --grid 64 --particles 20000 \
+    --steps 60 --k 1 --m 1 --rebin 3 --dist geometric:0.95 --quiet \
+    | grep -qx PASS
+PIC_NO_SIMD=1 ./target/release/pic --sweep soa-binned-fast --grid 64 \
+    --particles 20000 --steps 60 --k 1 --m 1 --rebin 3 \
+    --dist geometric:0.95 --quiet | grep -qx PASS
 
 echo "verify: OK"

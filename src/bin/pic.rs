@@ -31,6 +31,11 @@ use std::sync::Mutex;
 /// 2 vs 1, and `--rebin` 1 vs 16).
 fn help() -> String {
     let diff = DiffusionParams::default();
+    let sweep_modes = SweepMode::ALL
+        .iter()
+        .map(|m| m.cli_name())
+        .collect::<Vec<_>>()
+        .join(" | ");
     format!(
         "\
 pic — the PIC Parallel Research Kernel (IPDPS 2016 reproduction)
@@ -56,18 +61,22 @@ Implementation:
   --ranks P           thread-ranks for the parallel implementations (default 4)
 
 Single-process engine (--impl serial):
-  --sweep MODE        serial | parallel | soa | soa-chunked | soa-binned :
+  --sweep MODE        {sweep_modes} :
                       particle sweep strategy and memory layout (default
-                      serial; all modes are bit-identical)
+                      serial; every mode except soa-binned-fast is
+                      bit-identical — soa-binned-fast trades bit-identity
+                      for speed and is verified against the analytic
+                      trajectory bound instead)
   --chunk N           chunk size for --sweep soa-chunked / soa-binned
                       (default: adaptive, max(4096, n / (threads * 4)))
-  --rebin R           counting-sort interval for --sweep soa-binned
+  --rebin R           counting-sort interval for --sweep soa-binned[-fast]
                       (steps between re-sorts, default {rebin})
   --threads T         cap the sweep worker pool at T threads (default:
                       all cores; PIC_THREADS overrides the pool size)
-                      soa-binned auto-selects the widest SIMD backend the
-                      host supports; set PIC_NO_SIMD=1 to force the scalar
-                      kernel (results are bit-identical either way)
+                      the binned sweeps auto-select the widest SIMD backend
+                      the host supports; set PIC_NO_SIMD=1 to force the
+                      scalar kernel on every tier (the fast tier then runs
+                      the exact scalar kernel, bit-identical to soa-binned)
 
 Diffusion balancer (--impl diffusion):
   --lb-interval F     steps between LB invocations (default {diff_interval})
@@ -265,14 +274,9 @@ fn main() {
 
     let outcome: Option<ParOutcome> = match implementation.as_str() {
         "serial" => {
-            let sweep = match args.value("--sweep").unwrap_or("serial") {
-                "serial" => SweepMode::Serial,
-                "parallel" => SweepMode::Parallel,
-                "soa" => SweepMode::Soa,
-                "soa-chunked" => SweepMode::SoaChunked,
-                "soa-binned" => SweepMode::SoaBinned,
-                other => bail(&format!("bad sweep mode: {other}")),
-            };
+            let sweep_name = args.value("--sweep").unwrap_or("serial");
+            let sweep = SweepMode::from_cli_name(sweep_name)
+                .unwrap_or_else(|| bail(&format!("bad sweep mode: {sweep_name}")));
             let chunk: Option<usize> = args.value("--chunk").map(|v| match v.parse() {
                 Ok(c) => c,
                 Err(_) => bail("bad --chunk"),
@@ -285,6 +289,13 @@ fn main() {
             let mut sim = Simulation::with_mode(setup, sweep).with_rebin_interval(rebin);
             if let Some(chunk) = chunk {
                 sim = sim.with_chunk_size(chunk);
+            }
+            if !quiet {
+                println!(
+                    "sweep mode            : {} (kernel {})",
+                    sweep.cli_name(),
+                    sim.kernel_desc()
+                );
             }
             let mut tracer = rank0_tracer(0);
             trace_simulation(&mut sim, steps, &mut tracer);
