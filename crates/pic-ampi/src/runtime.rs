@@ -24,8 +24,10 @@ use pic_core::init::build_injection;
 use pic_core::motion::advance_all;
 use pic_core::particle::Particle;
 use pic_core::verify::{verify_all, VerifyReport, DEFAULT_TOLERANCE};
-use pic_par::exchange::route_particles;
-use pic_par::runner::{merge_failing_ids, snapshot_loads, trace_interval, ParConfig, ParOutcome};
+use pic_par::exchange::{route_binned_with, route_particles_with, ExchangeBuffers};
+use pic_par::runner::{
+    merge_failing_ids, snapshot_loads, trace_interval, ParConfig, ParOutcome, RankStore,
+};
 use pic_trace::{Phase, Tracer};
 
 /// Run the AMPI-style implementation on this core. All ranks must call it
@@ -59,13 +61,18 @@ pub fn run_ampi_traced(
     };
 
     // Local population: particles whose VP is initially assigned to me.
-    let mut particles: Vec<Particle> = cfg
+    // VP ownership is not column-contiguous, so the binned path bins the
+    // whole grid (forces come from the mesh-charge formula — the whole
+    // mesh is replicated knowledge, eq. 3).
+    let locals: Vec<Particle> = cfg
         .setup
         .particles
         .iter()
         .filter(|p| owner_of(p, &vps, &assignment) == me)
         .copied()
         .collect();
+    let mut store = RankStore::build(locals, &grid, cfg.kernel, (0, grid.ncells()));
+    let mut bufs = ExchangeBuffers::new();
 
     let mut events = cfg.setup.events.clone();
     events.sort_by_key(|e| e.at_step);
@@ -79,7 +86,7 @@ pub fn run_ampi_traced(
         cores,
         cfg.setup.particles.len() as u64,
         cfg.steps as u64,
-        "none",
+        &store.kernel_desc(),
     );
     let mut sent_window = 0u64;
     let mut global_count = cfg.setup.particles.len() as u64;
@@ -107,16 +114,12 @@ pub fn run_ampi_traced(
                     for p in &newcomers {
                         expected_id_sum += p.id as u128;
                         if owner_of(p, &vps, &assignment) == me {
-                            particles.push(*p);
+                            store.push(*p);
                         }
                     }
                 }
                 EventKind::Remove { count } => {
-                    let mut local_ids: Vec<u64> = particles
-                        .iter()
-                        .filter(|p| e.region.contains_point(p.x, p.y))
-                        .map(|p| p.id)
-                        .collect();
+                    let mut local_ids = store.ids_in_region(&e.region);
                     local_ids.sort_unstable();
                     let gathered = allgatherv(comm, encode_u64s(&local_ids));
                     let mut all: Vec<u64> = gathered.iter().flat_map(|b| decode_u64s(b)).collect();
@@ -126,7 +129,7 @@ pub fn run_ampi_traced(
                     for &id in &all {
                         expected_id_sum -= id as u128;
                     }
-                    particles.retain(|p| !doomed.contains(&p.id));
+                    store.remove_ids(&doomed);
                 }
             }
         }
@@ -134,11 +137,19 @@ pub fn run_ampi_traced(
         // Advance each VP's particles (one pass — VP membership only
         // matters for routing and accounting).
         tracer.phase_start(Phase::Advance);
-        advance_all(&grid, &consts, &mut particles);
+        match &mut store {
+            RankStore::Aos(particles) => advance_all(&grid, &consts, particles),
+            RankStore::Binned(b) => b.sweep_local(&grid, &consts, None),
+        }
         tracer.phase_end(Phase::Advance);
         tracer.phase_start(Phase::Exchange);
         let (sent, _received) =
-            route_particles(comm, me, |p| owner_of(p, &vps, &assignment), &mut particles);
+            route_store(comm, me, &grid, &vps, &assignment, &mut store, &mut bufs);
+        if let RankStore::Binned(b) = &mut store {
+            if b.rebin_due() {
+                b.rebin(&grid);
+            }
+        }
         tracer.phase_end(Phase::Exchange);
         sent_window += sent as u64;
 
@@ -150,7 +161,8 @@ pub fn run_ampi_traced(
                 &vps,
                 &mut assignment,
                 params.balancer,
-                &mut particles,
+                &mut store,
+                &mut bufs,
                 me,
                 &grid,
                 tracer,
@@ -159,13 +171,14 @@ pub fn run_ampi_traced(
         }
 
         if every > 0 && (s as u64).is_multiple_of(every) {
-            global_count = snapshot_loads(comm, tracer, particles.len() as u64, sent_window);
+            global_count = snapshot_loads(comm, tracer, store.len() as u64, sent_window);
             sent_window = 0;
         }
         tracer.end_step(global_count);
     }
 
     // Distributed verification.
+    let particles = store.to_particles();
     tracer.phase_start(Phase::Verify);
     let local = verify_all(&grid, &particles, cfg.steps, 0, DEFAULT_TOLERANCE);
     let checked = allreduce_u64(comm, local.checked, ReduceOp::Sum);
@@ -193,7 +206,41 @@ pub fn run_ampi_traced(
         max_count,
         total_count,
         steps: cfg.steps,
+        kernel: store.kernel_desc(),
         local_particles: particles,
+    }
+}
+
+/// Route mis-assigned particles to the core owning their VP, through
+/// whichever store the run uses (the binned path drains leavers in place).
+fn route_store(
+    comm: &Communicator,
+    me: usize,
+    grid: &pic_core::geometry::Grid,
+    vps: &VpGrid,
+    assignment: &[usize],
+    store: &mut RankStore,
+    bufs: &mut ExchangeBuffers,
+) -> (usize, usize) {
+    match store {
+        RankStore::Aos(particles) => route_particles_with(
+            comm,
+            me,
+            |p| {
+                let (c, r) = grid.cell_of_point(p.x, p.y);
+                assignment[vps.vp_of_cell(c, r)]
+            },
+            particles,
+            bufs,
+        ),
+        RankStore::Binned(b) => route_binned_with(
+            comm,
+            me,
+            |c, r| assignment[vps.vp_of_cell(c, r)],
+            b,
+            grid,
+            bufs,
+        ),
     }
 }
 
@@ -211,17 +258,30 @@ fn rebalance(
     vps: &VpGrid,
     assignment: &mut Vec<usize>,
     balancer: Balancer,
-    particles: &mut Vec<Particle>,
+    store: &mut RankStore,
+    bufs: &mut ExchangeBuffers,
     me: usize,
     grid: &pic_core::geometry::Grid,
     tracer: &mut Tracer,
 ) -> usize {
     let nvps = vps.vp_count();
-    // Local per-VP counts.
+    // Local per-VP counts (VPs are 2D tiles, so this is a position scan,
+    // not a column-histogram read).
     let mut counts = vec![0u64; nvps];
-    for p in particles.iter() {
-        let (c, r) = p_cell(grid, p);
-        counts[vps.vp_of_cell(c, r)] += 1;
+    match store {
+        RankStore::Aos(v) => {
+            for p in v.iter() {
+                let (c, r) = p_cell(grid, p);
+                counts[vps.vp_of_cell(c, r)] += 1;
+            }
+        }
+        RankStore::Binned(b) => {
+            let batch = b.batch();
+            for i in 0..batch.len() {
+                let (c, r) = grid.cell_of_point(batch.x[i], batch.y[i]);
+                counts[vps.vp_of_cell(c, r)] += 1;
+            }
+        }
     }
     // Sum across cores (each VP lives on exactly one core, but the vector
     // sum is the simplest way to assemble the global view).
@@ -240,15 +300,7 @@ fn rebalance(
     tracer.record_cuts('v', assignment, &global, &new_assignment);
     *assignment = new_assignment;
     // Migrate: particles whose VP moved away get routed to the new owner.
-    let (sent, _received) = route_particles(
-        comm,
-        me,
-        |p| {
-            let (c, r) = p_cell(grid, p);
-            assignment[vps.vp_of_cell(c, r)]
-        },
-        particles,
-    );
+    let (sent, _received) = route_store(comm, me, grid, vps, assignment, store, bufs);
     sent
 }
 
@@ -263,13 +315,13 @@ mod tests {
     use pic_core::verify::triangular_id_sum;
 
     fn cfg(n: u64, dist: Distribution, steps: u32) -> ParConfig {
-        ParConfig {
-            setup: InitConfig::new(Grid::new(32).unwrap(), n, dist)
+        ParConfig::new(
+            InitConfig::new(Grid::new(32).unwrap(), n, dist)
                 .with_m(1)
                 .build()
                 .unwrap(),
             steps,
-        }
+        )
     }
 
     fn params(d: usize, interval: u32) -> AmpiParams {
@@ -363,14 +415,14 @@ mod tests {
 
     #[test]
     fn fast_particles_under_virtualization() {
-        let c = ParConfig {
-            setup: InitConfig::new(Grid::new(32).unwrap(), 200, Distribution::Uniform)
+        let c = ParConfig::new(
+            InitConfig::new(Grid::new(32).unwrap(), 200, Distribution::Uniform)
                 .with_k(3)
                 .with_m(-2)
                 .build()
                 .unwrap(),
-            steps: 30,
-        };
+            30,
+        );
         let p = params(4, 4);
         let outcomes = run_threads(4, |comm| run_ampi(&comm, &c, &p));
         for o in outcomes {

@@ -85,13 +85,13 @@ fn bench_modeled_single_points(c: &mut Criterion) {
 fn bench_functional_runs(c: &mut Criterion) {
     // Threaded functional runs at miniature scale: the benches measure
     // substrate overhead and catch regressions in the exchange paths.
-    let cfg = ParConfig {
-        setup: InitConfig::new(Grid::new(64).unwrap(), 4_000, Distribution::PAPER_SKEW)
+    let cfg = ParConfig::new(
+        InitConfig::new(Grid::new(64).unwrap(), 4_000, Distribution::PAPER_SKEW)
             .with_m(1)
             .build()
             .unwrap(),
-        steps: 32,
-    };
+        32,
+    );
     let mut group = c.benchmark_group("functional");
     group.sample_size(10);
     group.bench_function("baseline/4ranks", |b| {

@@ -24,8 +24,8 @@ fn main() {
         ("x-skew", SkewAxis::X, 0i32),
         ("y-skew (rotated)", SkewAxis::Y, 1),
     ] {
-        let cfg = ParConfig {
-            setup: InitConfig::new(
+        let cfg = ParConfig::new(
+            InitConfig::new(
                 Grid::new(32).unwrap(),
                 4_000,
                 Distribution::Geometric { r: 0.8 },
@@ -34,8 +34,8 @@ fn main() {
             .with_m(m)
             .build()
             .unwrap(),
-            steps: 48,
-        };
+            48,
+        );
         let ideal = 4_000 / ranks as u64;
         let base = run_threads(ranks, |comm| run_baseline(&comm, &cfg));
         println!(

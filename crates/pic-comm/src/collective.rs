@@ -324,18 +324,35 @@ pub fn sendrecv(comm: &Communicator, dst: usize, src: usize, tag: u64, data: Vec
 /// payload received from every rank (in rank order). Zero-length payloads
 /// are delivered too (they serve as "nothing for you" markers).
 pub fn alltoallv(comm: &Communicator, outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+    let mut outgoing = outgoing;
+    let mut incoming = Vec::new();
+    alltoallv_take_into(comm, &mut outgoing, &mut incoming);
+    incoming
+}
+
+/// [`alltoallv`] with caller-owned scratch on both sides: each payload is
+/// *taken* out of `outgoing` (`std::mem::take`, so the outer vector and
+/// its slots survive for reuse) and arrivals land in `incoming`
+/// (cleared, capacity retained). The payload buffers themselves still
+/// move into the transport — channel ownership transfer, like an MPI
+/// send buffer — but receivers can recycle the buffers they get, so a
+/// steady-state exchange *circulates* capacity instead of allocating it.
+pub fn alltoallv_take_into(
+    comm: &Communicator,
+    outgoing: &mut [Vec<u8>],
+    incoming: &mut Vec<Vec<u8>>,
+) {
     assert_eq!(
         outgoing.len(),
         comm.size(),
         "alltoallv needs one payload per rank"
     );
     let base = comm.next_coll_base();
-    for (dst, payload) in outgoing.into_iter().enumerate() {
-        comm.send_coll(dst, base, payload);
+    for (dst, payload) in outgoing.iter_mut().enumerate() {
+        comm.send_coll(dst, base, std::mem::take(payload));
     }
-    (0..comm.size())
-        .map(|src| comm.recv_coll(src, base))
-        .collect()
+    incoming.clear();
+    incoming.extend((0..comm.size()).map(|src| comm.recv_coll(src, base)));
 }
 
 // ---------------------------------------------------------------------------

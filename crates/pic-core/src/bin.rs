@@ -42,12 +42,14 @@
 //! (ascending-id) order is restored on export by [`BinnedStore::to_particles`].
 
 use crate::charge::{coulomb, mesh_charge, SimConstants};
+use crate::charge_grid::ChargeGrid;
 use crate::events::Region;
 use crate::geometry::Grid;
 use crate::particle::Particle;
 use crate::pool::{self, SyncMutPtr};
 use crate::simd::{self, SimdBackend};
 use crate::soa::ParticleBatch;
+use std::collections::HashSet;
 
 /// Default rebin interval, chosen from the measured amortization curve
 /// (`BENCH_sweep.json`, rebin sensitivity rows): the counting sort plus
@@ -96,8 +98,16 @@ pub struct BinnedStore {
     /// Gather target, swapped with `batch` on each non-identity rebin;
     /// retains capacity so steady-state rebins allocate nothing.
     scratch: ParticleBatch,
-    /// `ncells + 1` prefix sums: bin `c` is `offsets[c]..offsets[c+1]`.
+    /// `ncols + 1` prefix sums: bin `b` (column `col_lo + b`) is
+    /// `offsets[b]..offsets[b+1]`. Indices past `offsets[ncols]` are the
+    /// *tail*: exchange arrivals appended by [`BinnedStore::push_tail`]
+    /// that have not been folded into bin order yet.
     offsets: Vec<usize>,
+    /// First grid column this store bins (0 for a whole-grid store; the
+    /// rank's subgrid origin for a distributed store).
+    col_lo: usize,
+    /// Number of binned columns (`col_hi − col_lo`).
+    ncols: usize,
     /// Counting-sort destination per source index (reused across rebins).
     perm: Vec<usize>,
     /// Counting-sort write cursors (reused across rebins).
@@ -133,12 +143,34 @@ pub struct BinnedStore {
 impl BinnedStore {
     /// Bin `particles` on `grid`. `rebin_interval` is clamped to ≥ 1.
     pub fn new(particles: &[Particle], grid: &Grid, rebin_interval: u32) -> BinnedStore {
+        BinnedStore::new_subdomain(particles, grid, rebin_interval, 0, grid.ncells())
+    }
+
+    /// Bin `particles` over the column range `[col_lo, col_hi)` only — the
+    /// per-rank store of the distributed implementations. Every particle
+    /// must lie inside the range whenever a rebin runs (the rank step
+    /// drains leavers before rebinning, so this holds by construction).
+    pub fn new_subdomain(
+        particles: &[Particle],
+        grid: &Grid,
+        rebin_interval: u32,
+        col_lo: usize,
+        col_hi: usize,
+    ) -> BinnedStore {
+        assert!(
+            col_lo < col_hi && col_hi <= grid.ncells(),
+            "bad column range {col_lo}..{col_hi} on a {}-column grid",
+            grid.ncells()
+        );
+        let ncols = col_hi - col_lo;
         let mut store = BinnedStore {
             batch: ParticleBatch::from_particles(particles),
             scratch: ParticleBatch::new(),
-            offsets: vec![0; grid.ncells() + 1],
+            offsets: vec![0; ncols + 1],
+            col_lo,
+            ncols,
             perm: Vec::new(),
-            cursor: vec![0; grid.ncells()],
+            cursor: vec![0; ncols],
             age: 0,
             dirty: false,
             rebin_interval: rebin_interval.max(1),
@@ -151,6 +183,26 @@ impl BinnedStore {
         };
         store.rebin(grid);
         store
+    }
+
+    /// The binned column range `[col_lo, col_hi)`.
+    pub fn columns(&self) -> (usize, usize) {
+        (self.col_lo, self.col_lo + self.ncols)
+    }
+
+    /// Re-anchor the store to a new column range (a load-balancer cut
+    /// move) and rebin immediately. All particles must already lie inside
+    /// the new range — callers drain leavers under the new decomposition
+    /// first.
+    pub fn set_columns(&mut self, grid: &Grid, col_lo: usize, col_hi: usize) {
+        assert!(
+            col_lo < col_hi && col_hi <= grid.ncells(),
+            "bad column range {col_lo}..{col_hi} on a {}-column grid",
+            grid.ncells()
+        );
+        self.col_lo = col_lo;
+        self.ncols = col_hi - col_lo;
+        self.rebin(grid);
     }
 
     /// The instruction-set backend the sweep kernel runs on.
@@ -222,22 +274,29 @@ impl BinnedStore {
     /// storage — after warm-up this allocates nothing.
     pub fn rebin(&mut self, grid: &Grid) {
         let n = self.batch.len();
-        let ncells = grid.ncells();
+        let ncols = self.ncols;
         self.offsets.clear();
-        self.offsets.resize(ncells + 1, 0);
+        self.offsets.resize(ncols + 1, 0);
         for &x in &self.batch.x {
-            self.offsets[grid.cell_of(x) + 1] += 1;
+            let c = grid.cell_of(x);
+            debug_assert!(
+                (self.col_lo..self.col_lo + ncols).contains(&c),
+                "rebin with un-homed particle: column {c} outside {}..{}",
+                self.col_lo,
+                self.col_lo + ncols
+            );
+            self.offsets[c - self.col_lo + 1] += 1;
         }
-        for c in 0..ncells {
+        for c in 0..ncols {
             self.offsets[c + 1] += self.offsets[c];
         }
         self.cursor.clear();
-        self.cursor.extend_from_slice(&self.offsets[..ncells]);
+        self.cursor.extend_from_slice(&self.offsets[..ncols]);
         self.perm.clear();
         self.perm.resize(n, 0);
         let mut identity = true;
         for (i, &x) in self.batch.x.iter().enumerate() {
-            let c = grid.cell_of(x);
+            let c = grid.cell_of(x) - self.col_lo;
             let dst = self.cursor[c];
             self.cursor[c] += 1;
             self.perm[i] = dst;
@@ -262,7 +321,9 @@ impl BinnedStore {
     /// particle counts at bin granularity. Capacity-retaining (steady
     /// state allocates nothing once warm).
     fn compute_owner_spans(&mut self, slots: usize) {
-        let n = self.batch.len();
+        // Spans cover the binned region only; tail arrivals are swept
+        // serially by their owner step and merge at the next rebin.
+        let n = self.offsets[self.ncols];
         self.owner_spans.clear();
         let mut prev = 0usize;
         for s in 1..=slots {
@@ -295,7 +356,10 @@ impl BinnedStore {
         if self.dirty {
             self.rebin(grid);
         }
-        let n = self.batch.len();
+        // Pool dispatch covers the binned region; tail arrivals (absent in
+        // the serial engine, where every push marks the store dirty) are
+        // swept per-particle afterwards.
+        let n = self.offsets[self.ncols];
         let bound = self.bind && n > 0;
         let slots = if bound {
             let slots = pool::global().active_threads();
@@ -311,6 +375,7 @@ impl BinnedStore {
         let parity = self.age & 1;
         let backend = self.backend;
         let tier = self.tier;
+        let col_lo = self.col_lo;
         let offsets = &self.offsets[..];
         let xp = SyncMutPtr::new(self.batch.x.as_mut_ptr());
         let yp = SyncMutPtr::new(self.batch.y.as_mut_ptr());
@@ -329,7 +394,7 @@ impl BinnedStore {
                 }
                 let span_end = end.min(offsets[b + 1]);
                 let len = span_end - i;
-                let bin_parity = (b as u32 & 1) ^ parity;
+                let bin_parity = ((col_lo + b) as u32 & 1) ^ parity;
                 let q_left = if bin_parity == 0 { consts.q } else { -consts.q };
                 let (x, y, vx, vy) = unsafe {
                     (
@@ -390,10 +455,112 @@ impl BinnedStore {
         } else {
             pool::global().run_chunked(n, chunk_size, &sweep_range);
         }
+        self.sweep_tail(grid, consts, None);
         self.age += 1;
         if self.age >= self.rebin_interval {
             self.rebin(grid);
         }
+    }
+
+    /// One serial sweep on the *calling* thread — the distributed rank
+    /// path, where each rank is already its own parallel unit and pool
+    /// dispatch would contend across rank threads. Rebins first if
+    /// structurally dirty, runs the tier kernel over every bin span plus
+    /// the per-particle tail, and does **not** rebin at the end: the rank
+    /// step rebins after the exchange ([`BinnedStore::rebin_due`]) so the
+    /// counting sort only ever sees homed particles.
+    ///
+    /// With `charges`, per-bin corner charges are read from the rank's
+    /// ghost-ringed [`ChargeGrid`] window instead of the parity formula.
+    /// The two sources are bitwise-identical (the grid stores exactly
+    /// `mesh_charge(col, q)`, and the age-parity flip is an exact
+    /// negation), so this is a data-path choice, not a numeric one.
+    pub fn sweep_local(
+        &mut self,
+        grid: &Grid,
+        consts: &SimConstants,
+        charges: Option<&ChargeGrid>,
+    ) {
+        if self.dirty {
+            self.rebin(grid);
+        }
+        let parity = self.age & 1;
+        let row0 = charges.map(|cg| cg.bounds().1 .0);
+        let binned = self.offsets[self.ncols];
+        for b in 0..self.ncols {
+            let (i, span_end) = (self.offsets[b], self.offsets[b + 1]);
+            if i == span_end {
+                continue;
+            }
+            let col = self.col_lo + b;
+            let base = match charges {
+                Some(cg) => cg.charge_at(col, row0.unwrap()),
+                None => mesh_charge(col, consts.q),
+            };
+            let q_left = if parity == 1 { -base } else { base };
+            if self.tier == KernelTier::Fast && span_end < binned {
+                // Pull the next span's columns towards the cache while
+                // this one computes (spans are contiguous in index).
+                simd::prefetch_read(self.batch.x[span_end..].as_ptr());
+                simd::prefetch_read(self.batch.y[span_end..].as_ptr());
+                simd::prefetch_read(self.batch.q[span_end..].as_ptr());
+            }
+            let x = &mut self.batch.x[i..span_end];
+            let y = &mut self.batch.y[i..span_end];
+            let vx = &mut self.batch.vx[i..span_end];
+            let vy = &mut self.batch.vy[i..span_end];
+            let q = &self.batch.q[i..span_end];
+            match self.tier {
+                KernelTier::Exact => {
+                    simd::advance_bin_span_simd(self.backend, grid, consts, q_left, x, y, vx, vy, q)
+                }
+                KernelTier::Fast => {
+                    simd::advance_bin_span_fast(self.backend, grid, consts, q_left, x, y, vx, vy, q)
+                }
+            }
+        }
+        self.sweep_tail(grid, consts, charges);
+        self.age += 1;
+    }
+
+    /// Advance the tail region (exchange arrivals past `offsets[ncols]`)
+    /// one step, per particle, through the exact scalar span kernel with
+    /// the particle's *live* column charge — no parity flip, because the
+    /// column is read fresh rather than remembered from a rebin. Tail
+    /// particles are homed on arrival, so with `charges` the lookup stays
+    /// inside the ghost-ringed window.
+    fn sweep_tail(&mut self, grid: &Grid, consts: &SimConstants, charges: Option<&ChargeGrid>) {
+        let n = self.batch.len();
+        let start = self.offsets[self.ncols];
+        for i in start..n {
+            let (col, row) = grid.cell_of_point(self.batch.x[i], self.batch.y[i]);
+            let q_left = match charges {
+                Some(cg) => cg.charge_at(col, row),
+                None => mesh_charge(col, consts.q),
+            };
+            advance_bin_span(
+                grid,
+                consts,
+                q_left,
+                &mut self.batch.x[i..i + 1],
+                &mut self.batch.y[i..i + 1],
+                &mut self.batch.vx[i..i + 1],
+                &mut self.batch.vy[i..i + 1],
+                &self.batch.q[i..i + 1],
+            );
+        }
+    }
+
+    /// Whether the amortized rebin is due (interval elapsed or structural
+    /// edits pending). The rank step calls this *after* the exchange so
+    /// the counting sort only ever sees homed particles.
+    pub fn rebin_due(&self) -> bool {
+        self.dirty || self.age >= self.rebin_interval
+    }
+
+    /// Number of exchange arrivals not yet folded into bin order.
+    pub fn tail_len(&self) -> usize {
+        self.batch.len() - self.offsets[self.ncols].min(self.batch.len())
     }
 
     /// Fill `h` with the per-column particle counts. When the binning is
@@ -404,8 +571,8 @@ impl BinnedStore {
         h.clear();
         h.resize(grid.ncells(), 0);
         if self.histogram_is_fresh() {
-            for (hc, w) in h.iter_mut().zip(self.offsets.windows(2)) {
-                *hc = (w[1] - w[0]) as u64;
+            for (i, w) in self.offsets.windows(2).enumerate() {
+                h[self.col_lo + i] = (w[1] - w[0]) as u64;
             }
         } else {
             for &x in &self.batch.x {
@@ -418,7 +585,7 @@ impl BinnedStore {
     /// O(columns) fast path (true whenever the store was rebinned after
     /// the last sweep/edit — always the case in steady state with R = 1).
     pub fn histogram_is_fresh(&self) -> bool {
-        self.age == 0 && !self.dirty
+        self.age == 0 && !self.dirty && self.offsets[self.ncols] == self.batch.len()
     }
 
     /// Append a particle (goes to the tail, outside bin order → marks the
@@ -435,11 +602,100 @@ impl BinnedStore {
         self.dirty = true;
     }
 
+    /// Append an exchange arrival **without** disturbing bin order: the
+    /// particle joins the tail region (`offsets[ncols]..len`), is swept
+    /// per-particle until the next rebin, and does not force an early
+    /// counting sort — this is what keeps the rebin amortized under
+    /// steady migration traffic. The particle must be homed (inside this
+    /// store's column range) so the eventual rebin stays in range.
+    pub fn push_tail(&mut self, p: Particle) {
+        self.batch.push(p);
+    }
+
+    /// Drain every particle whose *current* cell fails `keep(col, row)`
+    /// into `out`, preserving bin order (stable in-place compaction of
+    /// all eleven arrays with an offsets fix-up) — the exchange path, run
+    /// every step without an AoS round-trip. Returns the drain count.
+    pub fn drain_leavers_into(
+        &mut self,
+        grid: &Grid,
+        mut keep: impl FnMut(usize, usize) -> bool,
+        mut out: impl FnMut(Particle),
+    ) -> usize {
+        let n = self.batch.len();
+        let mut w = 0usize;
+        let mut r = 0usize;
+        if self.dirty {
+            // Structural edits queued a rebin: offsets are stale, so the
+            // whole batch compacts as one unbinned region and the next
+            // sweep's rebin rebuilds the prefix sums.
+            while r < n {
+                let (c, row) = grid.cell_of_point(self.batch.x[r], self.batch.y[r]);
+                if keep(c, row) {
+                    if w != r {
+                        self.batch.copy_element(r, w);
+                    }
+                    w += 1;
+                } else {
+                    out(self.batch.get(r));
+                }
+                r += 1;
+            }
+        } else {
+            for b in 0..self.ncols {
+                // `offsets[b+1]` still holds the *old* end of bin `b`:
+                // the fix-up below only rewrites entries already walked.
+                let end = self.offsets[b + 1];
+                while r < end {
+                    let (c, row) = grid.cell_of_point(self.batch.x[r], self.batch.y[r]);
+                    if keep(c, row) {
+                        if w != r {
+                            self.batch.copy_element(r, w);
+                        }
+                        w += 1;
+                    } else {
+                        out(self.batch.get(r));
+                    }
+                    r += 1;
+                }
+                self.offsets[b + 1] = w;
+            }
+            // Tail arrivals compact too; they stay outside the offsets.
+            while r < n {
+                let (c, row) = grid.cell_of_point(self.batch.x[r], self.batch.y[r]);
+                if keep(c, row) {
+                    if w != r {
+                        self.batch.copy_element(r, w);
+                    }
+                    w += 1;
+                } else {
+                    out(self.batch.get(r));
+                }
+                r += 1;
+            }
+        }
+        self.batch.truncate(w);
+        let removed = n - w;
+        if removed > 0 {
+            // Span ends moved: recompute the bin→worker assignment lazily.
+            self.owner_slots = 0;
+        }
+        removed
+    }
+
     /// Apply a removal event: up to `count` particles inside `region`,
     /// lowest ids first — identical selection rule to the other stores.
     pub fn remove_in_region(&mut self, region: &Region, count: u64) -> Vec<Particle> {
         self.dirty = true;
         self.batch.remove_in_region(region, count)
+    }
+
+    /// Remove every particle whose id is in `doomed` (the distributed
+    /// removal event, where the global lowest-id selection is computed
+    /// across ranks first). Order-preserving; marks the store dirty.
+    pub fn remove_ids(&mut self, doomed: &HashSet<u64>) -> Vec<Particle> {
+        self.dirty = true;
+        self.batch.remove_ids(doomed)
     }
 
     /// Materialize the population in **canonical order** (ascending id —
@@ -847,6 +1103,136 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Reference rank loop: two subdomain stores exchanging via
+    /// drain/push_tail, compared bitwise against the unbinned sweep.
+    fn run_split_stores(
+        charges: bool,
+        rebin: u32,
+        steps: u32,
+        n: u64,
+        dist: Distribution,
+    ) -> (Vec<Particle>, Vec<Particle>) {
+        let (grid, ps) = population(n, dist);
+        let consts = SimConstants::CANONICAL;
+        let ncells = grid.ncells();
+        let mid = ncells / 2;
+        let cg_left = ChargeGrid::build(&grid, &consts, (0, mid), (0, ncells));
+        let cg_right = ChargeGrid::build(&grid, &consts, (mid, ncells), (0, ncells));
+        let mut reference = ParticleBatch::from_particles(&ps);
+        let split = |lo: usize, hi: usize| -> Vec<Particle> {
+            ps.iter()
+                .copied()
+                .filter(|p| (lo..hi).contains(&grid.cell_of(p.x)))
+                .collect()
+        };
+        let mut left = BinnedStore::new_subdomain(&split(0, mid), &grid, rebin, 0, mid);
+        let mut right = BinnedStore::new_subdomain(&split(mid, ncells), &grid, rebin, mid, ncells);
+        for _ in 0..steps {
+            reference.advance_all(&grid, &consts);
+            left.sweep_local(&grid, &consts, charges.then_some(&cg_left));
+            right.sweep_local(&grid, &consts, charges.then_some(&cg_right));
+            let (mut to_right, mut to_left) = (Vec::new(), Vec::new());
+            left.drain_leavers_into(&grid, |c, _| c < mid, |p| to_right.push(p));
+            right.drain_leavers_into(&grid, |c, _| c >= mid, |p| to_left.push(p));
+            to_right.into_iter().for_each(|p| right.push_tail(p));
+            to_left.into_iter().for_each(|p| left.push_tail(p));
+            if left.rebin_due() {
+                left.rebin(&grid);
+            }
+            if right.rebin_due() {
+                right.rebin(&grid);
+            }
+        }
+        let mut got = [left.to_particles(), right.to_particles()].concat();
+        got.sort_unstable_by_key(|p| p.id);
+        let mut want = reference.to_particles();
+        want.sort_unstable_by_key(|p| p.id);
+        (want, got)
+    }
+
+    #[test]
+    fn subdomain_stores_with_drain_match_unbinned_sweep() {
+        for rebin in [1u32, 3, 16] {
+            let (want, got) =
+                run_split_stores(false, rebin, 40, 600, Distribution::Geometric { r: 0.9 });
+            assert_eq!(want, got, "rebin={rebin} diverged");
+        }
+    }
+
+    #[test]
+    fn subdomain_charge_grid_source_is_bit_identical() {
+        // The ghost-ringed ChargeGrid stores exactly `mesh_charge(col, q)`,
+        // so reading per-bin corner charges from it must not change a bit.
+        for rebin in [1u32, 3] {
+            let (want, got) = run_split_stores(true, rebin, 40, 500, Distribution::PAPER_SKEW);
+            assert_eq!(want, got, "rebin={rebin}: charge-grid source diverged");
+        }
+    }
+
+    #[test]
+    fn drain_keeps_bins_consistent_and_histogram_fast_path() {
+        let (grid, ps) = population(800, Distribution::Geometric { r: 0.85 });
+        let mut store = BinnedStore::new(&ps, &grid, 1);
+        // Freshly rebinned: drain everything right of the midline.
+        let mid = grid.ncells() / 2;
+        let mut gone = Vec::new();
+        let removed = store.drain_leavers_into(&grid, |c, _| c < mid, |p| gone.push(p));
+        assert_eq!(removed, gone.len());
+        assert_eq!(store.len() + removed, 800);
+        // Offsets were fixed up in place: still fresh, histogram matches a
+        // scan and the survivors stay column-sorted.
+        assert!(store.histogram_is_fresh());
+        let mut fast = Vec::new();
+        store.column_histogram_into(&grid, &mut fast);
+        let mut scan = vec![0u64; grid.ncells()];
+        for &x in &store.batch().x {
+            scan[grid.cell_of(x)] += 1;
+        }
+        assert_eq!(fast, scan);
+        assert!(scan[mid..].iter().all(|&c| c == 0));
+        let cols: Vec<usize> = store.batch().x.iter().map(|&x| grid.cell_of(x)).collect();
+        assert!(cols.windows(2).all(|w| w[0] <= w[1]), "order broken");
+        let gone_sum: u128 = gone.iter().map(|p| p.id as u128).sum();
+        assert_eq!(store.id_sum() + gone_sum, triangular_id_sum(800));
+    }
+
+    #[test]
+    fn push_tail_defers_rebin_and_set_columns_reanchors() {
+        let (grid, ps) = population(300, Distribution::Uniform);
+        let consts = SimConstants::CANONICAL;
+        let ncells = grid.ncells();
+        let mid = ncells / 2;
+        let left_ps: Vec<Particle> = ps
+            .iter()
+            .copied()
+            .filter(|p| grid.cell_of(p.x) < mid)
+            .collect();
+        let mut store = BinnedStore::new_subdomain(&left_ps, &grid, 16, 0, mid);
+        assert_eq!(store.columns(), (0, mid));
+        store.sweep_local(&grid, &consts, None);
+        let before = store.rebin_count();
+        // A tail arrival must not force an early counting sort…
+        let arrival = ps
+            .iter()
+            .copied()
+            .find(|p| grid.cell_of(p.x) < mid)
+            .map(|mut p| {
+                p.id = 10_000;
+                p
+            })
+            .unwrap();
+        store.push_tail(arrival);
+        assert_eq!(store.tail_len(), 1);
+        store.sweep_local(&grid, &consts, None);
+        assert_eq!(store.rebin_count(), before, "tail push forced a rebin");
+        // …and a cut move re-anchors the column range (everything is
+        // inside [0, mid), so widening the range is always legal).
+        store.set_columns(&grid, 0, ncells);
+        assert_eq!(store.columns(), (0, ncells));
+        assert_eq!(store.tail_len(), 0, "set_columns folds the tail");
+        assert!(store.histogram_is_fresh());
     }
 
     #[test]

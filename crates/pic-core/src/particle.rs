@@ -111,6 +111,22 @@ impl Particle {
         out
     }
 
+    /// Decode a buffer of concatenated records, handing each particle to
+    /// `f` without materializing an intermediate `Vec` — the steady-state
+    /// arrival path. Returns the record count, or `None` if the buffer
+    /// length is not a multiple of the record size.
+    pub fn decode_each(buf: &[u8], mut f: impl FnMut(Particle)) -> Option<usize> {
+        if !buf.len().is_multiple_of(Self::WIRE_SIZE) {
+            return None;
+        }
+        let mut n = 0usize;
+        for chunk in buf.chunks_exact(Self::WIRE_SIZE) {
+            f(Particle::decode(chunk)?);
+            n += 1;
+        }
+        Some(n)
+    }
+
     /// Decode a buffer of concatenated particle records.
     /// Returns `None` if the buffer length is not a multiple of the record
     /// size or any record is malformed.

@@ -245,6 +245,22 @@ impl ParticleBatch {
         self.remove_ids(&doomed)
     }
 
+    /// Copy element `src` over element `dst` across all eleven arrays —
+    /// the stable-compaction step of the binned drain.
+    pub(crate) fn copy_element(&mut self, src: usize, dst: usize) {
+        self.id[dst] = self.id[src];
+        self.x[dst] = self.x[src];
+        self.y[dst] = self.y[src];
+        self.vx[dst] = self.vx[src];
+        self.vy[dst] = self.vy[src];
+        self.q[dst] = self.q[src];
+        self.x0[dst] = self.x0[src];
+        self.y0[dst] = self.y0[src];
+        self.k[dst] = self.k[src];
+        self.m[dst] = self.m[src];
+        self.born_at[dst] = self.born_at[src];
+    }
+
     /// Shorten the batch to `len` particles.
     pub fn truncate(&mut self, len: usize) {
         self.id.truncate(len);

@@ -29,16 +29,14 @@ pub fn run_baseline_traced(
     tracer: &mut Tracer,
 ) -> ParOutcome {
     let decomp = Decomp2d::uniform(cfg.setup.grid.ncells(), comm.size());
-    let mut st = RankState::new(&cfg.setup, decomp, comm.rank());
+    let mut st = RankState::with_kernel(&cfg.setup, decomp, comm.rank(), cfg.kernel);
     let every = trace_interval(comm, tracer);
-    // The rank sweep is the AoS reference kernel, outside the explicit
-    // SIMD layer — the header records that rather than omitting the field.
     tracer.emit_run_header(
         "baseline",
         comm.size(),
         cfg.setup.particles.len() as u64,
         cfg.steps as u64,
-        "none",
+        &st.kernel_desc(),
     );
     let mut sent_window = 0u64;
     let mut global_count = cfg.setup.particles.len() as u64;
@@ -46,7 +44,7 @@ pub fn run_baseline_traced(
         tracer.begin_step(s);
         sent_window += st.step_traced(comm, tracer) as u64;
         if every > 0 && s.is_multiple_of(every) {
-            global_count = snapshot_loads(comm, tracer, st.particles.len() as u64, sent_window);
+            global_count = snapshot_loads(comm, tracer, st.local_count() as u64, sent_window);
             sent_window = 0;
         }
         tracer.end_step(global_count);
@@ -67,14 +65,14 @@ mod tests {
     use pic_core::verify::triangular_id_sum;
 
     fn cfg(n: u64, dist: Distribution, steps: u32, k: u32, m: i32) -> ParConfig {
-        ParConfig {
-            setup: InitConfig::new(Grid::new(32).unwrap(), n, dist)
+        ParConfig::new(
+            InitConfig::new(Grid::new(32).unwrap(), n, dist)
                 .with_k(k)
                 .with_m(m)
                 .build()
                 .unwrap(),
             steps,
-        }
+        )
     }
 
     #[test]

@@ -157,14 +157,14 @@ pub fn run_diffusion_mode_traced(
     assert!(params.interval > 0, "interval must be positive");
     assert!(params.border_w > 0, "border width must be positive");
     let decomp = Decomp2d::uniform(cfg.setup.grid.ncells(), comm.size());
-    let mut st = RankState::new(&cfg.setup, decomp, comm.rank());
+    let mut st = RankState::with_kernel(&cfg.setup, decomp, comm.rank(), cfg.kernel);
     let every = trace_interval(comm, tracer);
     tracer.emit_run_header(
         "diffusion",
         comm.size(),
         cfg.setup.particles.len() as u64,
         cfg.steps as u64,
-        "none",
+        &st.kernel_desc(),
     );
     let mut sent_window = 0u64;
     let mut global_count = cfg.setup.particles.len() as u64;
@@ -177,7 +177,7 @@ pub fn run_diffusion_mode_traced(
             tracer.phase_end(Phase::Balance);
         }
         if every > 0 && (s as u64).is_multiple_of(every) {
-            global_count = snapshot_loads(comm, tracer, st.particles.len() as u64, sent_window);
+            global_count = snapshot_loads(comm, tracer, st.local_count() as u64, sent_window);
             sent_window = 0;
         }
         tracer.end_step(global_count);
@@ -200,11 +200,16 @@ fn lb_step(
 ) -> usize {
     let mut changed = false;
     if matches!(mode, DiffusionMode::XOnly | DiffusionMode::TwoPhase) {
-        // Aggregate per-processor-column counts with one vector allreduce:
-        // each rank contributes its local count to its column's slot
-        // (contribution staged in the rank's reused scratch buffer).
-        let col_counts = st.aggregate_axis_counts(comm, true);
-        tracer.add(Counter::CollectiveBytes, col_counts.len() as u64 * 8);
+        // Aggregate the global per-cell-column histogram with one vector
+        // allreduce — each rank's contribution comes straight from its own
+        // store (O(columns) prefix-sum differences when the binned store is
+        // fresh) — then fold it onto processor columns. Same totals as the
+        // per-rank-count reduction, so cut decisions are unchanged.
+        let mut hist_scratch = Vec::new();
+        let hist = st.aggregate_column_histogram(comm, &mut hist_scratch);
+        tracer.add(Counter::CollectiveBytes, hist.len() as u64 * 8);
+        let mut col_counts = Vec::new();
+        per_column_counts_into(&hist, &st.decomp.xcuts, &mut col_counts);
         let new_cuts = diffuse_xcuts(
             &st.decomp.xcuts,
             &col_counts,
@@ -253,6 +258,9 @@ fn lb_step(
     // Rehome particles under the new ownership map (border-cell residents
     // migrate to the adjacent ranks), through the rank's reused buffers.
     let (sent, _received) = st.rehome(comm);
+    // Every surviving particle is now inside the new bounds, so a binned
+    // store can re-anchor its column range to the moved cuts.
+    st.rebind_store();
     sent
 }
 
@@ -277,13 +285,13 @@ mod tests {
     use pic_core::verify::triangular_id_sum;
 
     fn cfg(n: u64, dist: Distribution, steps: u32) -> ParConfig {
-        ParConfig {
-            setup: InitConfig::new(Grid::new(32).unwrap(), n, dist)
+        ParConfig::new(
+            InitConfig::new(Grid::new(32).unwrap(), n, dist)
                 .with_m(1)
                 .build()
                 .unwrap(),
             steps,
-        }
+        )
     }
 
     #[test]
@@ -471,8 +479,8 @@ mod tests {
         // balancer that only works in the other direction; the full
         // two-phase scheme handles it.
         use pic_core::init::SkewAxis;
-        let c = ParConfig {
-            setup: InitConfig::new(
+        let c = ParConfig::new(
+            InitConfig::new(
                 Grid::new(32).unwrap(),
                 2000,
                 Distribution::Geometric { r: 0.8 },
@@ -481,8 +489,8 @@ mod tests {
             .with_m(1) // the skew drifts vertically
             .build()
             .unwrap(),
-            steps: 40,
-        };
+            40,
+        );
         let params = DiffusionParams {
             interval: 1,
             tau: 0,
@@ -517,14 +525,14 @@ mod tests {
     #[test]
     fn y_only_mode_balances_row_skew() {
         use pic_core::init::SkewAxis;
-        let c = ParConfig {
-            setup: InitConfig::new(Grid::new(32).unwrap(), 1500, Distribution::Sinusoidal)
+        let c = ParConfig::new(
+            InitConfig::new(Grid::new(32).unwrap(), 1500, Distribution::Sinusoidal)
                 .with_skew_axis(SkewAxis::Y)
                 .with_m(-1)
                 .build()
                 .unwrap(),
-            steps: 30,
-        };
+            30,
+        );
         let params = DiffusionParams {
             interval: 1,
             tau: 0,

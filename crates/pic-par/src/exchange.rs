@@ -9,28 +9,74 @@
 //! owner-directed personalized all-to-all.
 
 use crate::decomp::Decomp2d;
-use pic_comm::collective::alltoallv;
+use pic_comm::collective::alltoallv_take_into;
 use pic_comm::comm::Communicator;
+use pic_core::bin::BinnedStore;
 use pic_core::geometry::Grid;
 use pic_core::particle::Particle;
 
-/// Reusable scratch for [`route_particles_with`]: the per-destination
-/// staging buckets and the kept-particle buffer. Holding one of these in
-/// per-rank state makes the steady-state exchange loop allocation-free on
-/// the staging side — buckets are `clear()`ed, not dropped, so their
-/// capacity survives across steps. (The wire payloads handed to
-/// [`alltoallv`] still allocate: the threaded-MPI substrate transfers
-/// message ownership through channels, exactly like an MPI send buffer
-/// handed to the transport.)
+/// Upper bound on recycled wire buffers held between steps (bounds the
+/// capacity the free-list can pin on wildly asymmetric traffic).
+const MAX_SPARE_BUFS: usize = 64;
+
+/// Reusable scratch for the exchange path: per-destination staging
+/// buckets, the kept-particle buffer, and the wire-side scratch. Holding
+/// one of these in per-rank state makes the steady-state exchange loop
+/// allocation-free on the staging side — buckets are `clear()`ed, not
+/// dropped, and encode buffers are *recycled*: every payload handed to
+/// the transport surrenders its ownership (channel transfer, like an MPI
+/// send buffer), but the buffers received from other ranks donate their
+/// capacity back to the free-list after decoding, so steady symmetric
+/// traffic circulates buffers instead of allocating them.
 #[derive(Debug, Default)]
 pub struct ExchangeBuffers {
     outgoing: Vec<Vec<Particle>>,
     kept: Vec<Particle>,
+    /// Per-destination wire payloads; slots are emptied by the take-based
+    /// all-to-all and refilled from `spare` next step.
+    wire: Vec<Vec<u8>>,
+    /// Arrival payloads (outer vector reused across steps).
+    inbox: Vec<Vec<u8>>,
+    /// Recycled byte buffers feeding the next encode pass.
+    spare: Vec<Vec<u8>>,
 }
 
 impl ExchangeBuffers {
     pub fn new() -> ExchangeBuffers {
         ExchangeBuffers::default()
+    }
+
+    /// Encode the staged `outgoing` buckets into per-destination wire
+    /// payloads, drawing capacity from the recycled free-list.
+    fn encode_wire(&mut self, nranks: usize) {
+        self.wire.resize_with(nranks, Vec::new);
+        for (dst, bucket) in self.outgoing.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let buf = &mut self.wire[dst];
+            debug_assert!(buf.is_empty(), "wire slot {dst} not drained");
+            if buf.capacity() == 0 {
+                if let Some(mut recycled) = self.spare.pop() {
+                    recycled.clear();
+                    *buf = recycled;
+                }
+            }
+            buf.reserve(bucket.len() * Particle::WIRE_SIZE);
+            for p in bucket {
+                p.encode(buf);
+            }
+        }
+    }
+
+    /// Return decoded arrival buffers to the free-list (capacity only;
+    /// contents are dead).
+    fn recycle_inbox(&mut self) {
+        for buf in self.inbox.drain(..) {
+            if buf.capacity() > 0 && self.spare.len() < MAX_SPARE_BUFS {
+                self.spare.push(buf);
+            }
+        }
     }
 }
 
@@ -84,24 +130,84 @@ where
     }
     std::mem::swap(particles, &mut bufs.kept);
 
-    // Wire payloads are moved into the transport (channel ownership
-    // transfer), so they are built fresh per call by design.
-    let payloads: Vec<Vec<u8>> = bufs
-        .outgoing
-        .iter()
-        .map(|v| Particle::encode_all(v))
-        .collect();
-    let incoming = alltoallv(comm, payloads);
+    bufs.encode_wire(comm.size());
+    alltoallv_take_into(comm, &mut bufs.wire, &mut bufs.inbox);
     let mut received = 0usize;
-    for (src, buf) in incoming.into_iter().enumerate() {
+    for (src, buf) in bufs.inbox.iter().enumerate() {
         if src == my_rank || buf.is_empty() {
             continue;
         }
-        let arrivals = Particle::decode_all(&buf).expect("corrupt particle payload");
-        received += arrivals.len();
-        particles.extend(arrivals);
+        received +=
+            Particle::decode_each(buf, |p| particles.push(p)).expect("corrupt particle payload");
     }
+    bufs.recycle_inbox();
     (sent, received)
+}
+
+/// The binned-path exchange: drain every mis-homed particle straight out
+/// of the rank's [`BinnedStore`] (stable in-place compaction — no AoS
+/// round-trip), route it to `owner(col, row)`, and append arrivals to the
+/// store's tail region, leaving the amortized rebin schedule untouched.
+/// Returns `(sent, received)` particle counts.
+pub fn route_binned_with<F>(
+    comm: &Communicator,
+    my_rank: usize,
+    owner: F,
+    store: &mut BinnedStore,
+    grid: &Grid,
+    bufs: &mut ExchangeBuffers,
+) -> (usize, usize)
+where
+    F: Fn(usize, usize) -> usize,
+{
+    debug_assert_eq!(comm.rank(), my_rank);
+    bufs.outgoing.resize_with(comm.size(), Vec::new);
+    bufs.outgoing.iter_mut().for_each(Vec::clear);
+    let outgoing = &mut bufs.outgoing;
+    let nranks = comm.size();
+    let sent = store.drain_leavers_into(
+        grid,
+        |c, r| owner(c, r) == my_rank,
+        |p| {
+            let (c, r) = grid.cell_of_point(p.x, p.y);
+            let dst = owner(c, r);
+            debug_assert!(dst < nranks && dst != my_rank, "bad destination {dst}");
+            outgoing[dst].push(p);
+        },
+    );
+    bufs.encode_wire(nranks);
+    alltoallv_take_into(comm, &mut bufs.wire, &mut bufs.inbox);
+    let mut received = 0usize;
+    for (src, buf) in bufs.inbox.iter().enumerate() {
+        if src == my_rank || buf.is_empty() {
+            continue;
+        }
+        received +=
+            Particle::decode_each(buf, |p| store.push_tail(p)).expect("corrupt particle payload");
+    }
+    bufs.recycle_inbox();
+    (sent, received)
+}
+
+/// [`route_binned_with`] under the Cartesian decomposition — the binned
+/// analogue of [`rehome_particles_with`].
+pub fn rehome_binned_with(
+    comm: &Communicator,
+    decomp: &Decomp2d,
+    grid: &Grid,
+    my_rank: usize,
+    store: &mut BinnedStore,
+    bufs: &mut ExchangeBuffers,
+) -> (usize, usize) {
+    debug_assert_eq!(comm.size(), decomp.ranks());
+    route_binned_with(
+        comm,
+        my_rank,
+        |c, r| decomp.owner_of_cell(c, r),
+        store,
+        grid,
+        bufs,
+    )
 }
 
 /// Route every particle not owned by `my_rank` under the Cartesian
@@ -235,6 +341,45 @@ mod tests {
             warm.len()
         });
         assert_eq!(totals.iter().sum::<usize>(), 240);
+    }
+
+    #[test]
+    fn binned_route_rehomes_and_matches_serial_sweep() {
+        use pic_core::charge::SimConstants;
+        use pic_core::soa::ParticleBatch;
+        let (grid, all) = setup(400);
+        let decomp = Decomp2d::columns(16, 4);
+        let consts = SimConstants::CANONICAL;
+        let steps = 12;
+        let mut reference = ParticleBatch::from_particles(&all);
+        for _ in 0..steps {
+            reference.advance_all(&grid, &consts);
+        }
+        let mut want = reference.to_particles();
+        want.sort_unstable_by_key(|p| p.id);
+        let per_rank = run_threads(4, |comm| {
+            let rank = comm.rank();
+            let mine = local_slice(&decomp, &grid, rank, &all);
+            let ((x0, x1), _) = decomp.bounds(rank);
+            let mut store = BinnedStore::new_subdomain(&mine, &grid, 3, x0, x1);
+            let mut bufs = ExchangeBuffers::new();
+            for _ in 0..steps {
+                store.sweep_local(&grid, &consts, None);
+                rehome_binned_with(&comm, &decomp, &grid, rank, &mut store, &mut bufs);
+                if store.rebin_due() {
+                    store.rebin(&grid);
+                }
+            }
+            let local = store.to_particles();
+            for p in &local {
+                let (c, r) = grid.cell_of_point(p.x, p.y);
+                assert_eq!(decomp.owner_of_cell(c, r), rank, "mis-homed survivor");
+            }
+            local
+        });
+        let mut got: Vec<Particle> = per_rank.into_iter().flatten().collect();
+        got.sort_unstable_by_key(|p| p.id);
+        assert_eq!(want, got, "binned rank loop diverged from serial sweep");
     }
 
     #[test]

@@ -2,27 +2,123 @@
 //! event application, and distributed verification.
 
 use crate::decomp::Decomp2d;
-use crate::exchange::{local_slice, rehome_particles_with, ExchangeBuffers};
+use crate::exchange::{local_slice, rehome_binned_with, rehome_particles_with, ExchangeBuffers};
 use pic_comm::collective::{
     allgatherv, allreduce_f64, allreduce_u128, allreduce_u64, allreduce_vec_u64, decode_u64s,
     encode_u64s,
 };
 use pic_comm::comm::{Communicator, ReduceOp};
+use pic_core::bin::{BinnedStore, KernelTier, DEFAULT_REBIN};
 use pic_core::charge::SimConstants;
 use pic_core::charge_grid::ChargeGrid;
+use pic_core::engine::SweepMode;
 use pic_core::events::{Event, EventKind};
 use pic_core::geometry::Grid;
 use pic_core::init::{build_injection, SimulationSetup};
 use pic_core::motion::advance_with_acceleration;
 use pic_core::particle::Particle;
+use pic_core::simd::SimdBackend;
 use pic_core::verify::{verify_all, VerifyReport, DEFAULT_TOLERANCE, MAX_FAILING_IDS};
 use pic_trace::{Counter, Phase, Tracer};
+
+/// Which particle container the rank hot loop advances through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RankPath {
+    /// The original scalar AoS loop — kept selectable as the reference for
+    /// the cross-implementation equivalence contract and bench contrast.
+    Aos,
+    /// The SoA cell-binned SIMD path (the serial engine's kernel stack,
+    /// subdomain-aware). Exact tier is bit-identical to [`RankPath::Aos`].
+    #[default]
+    Binned,
+}
+
+/// Rank-loop kernel selection, threaded from the CLI's `--sweep`/`--rebin`
+/// into every distributed implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankKernel {
+    pub path: RankPath,
+    /// Force-kernel tier for the binned path (ignored by AoS).
+    pub tier: KernelTier,
+    /// Instruction-set override; `None` = runtime detection.
+    pub backend: Option<SimdBackend>,
+    /// Sweeps between counting sorts (binned path).
+    pub rebin_interval: u32,
+}
+
+impl Default for RankKernel {
+    fn default() -> RankKernel {
+        RankKernel {
+            path: RankPath::Binned,
+            tier: KernelTier::Exact,
+            backend: None,
+            rebin_interval: DEFAULT_REBIN,
+        }
+    }
+}
+
+impl RankKernel {
+    /// The reference AoS rank loop.
+    pub fn aos() -> RankKernel {
+        RankKernel {
+            path: RankPath::Aos,
+            ..RankKernel::default()
+        }
+    }
+
+    /// The binned path at a given tier.
+    pub fn binned(tier: KernelTier) -> RankKernel {
+        RankKernel {
+            tier,
+            ..RankKernel::default()
+        }
+    }
+
+    /// Map the CLI sweep mode onto a rank kernel: the binned modes select
+    /// the binned path at their tier; every unbinned serial mode selects
+    /// the AoS rank loop (bit-identical to all of them).
+    pub fn from_sweep(mode: SweepMode) -> RankKernel {
+        match mode {
+            SweepMode::SoaBinned => RankKernel::binned(KernelTier::Exact),
+            SweepMode::SoaBinnedFast => RankKernel::binned(KernelTier::Fast),
+            _ => RankKernel::aos(),
+        }
+    }
+
+    pub fn with_rebin_interval(mut self, rebin: u32) -> RankKernel {
+        self.rebin_interval = rebin.max(1);
+        self
+    }
+
+    pub fn with_backend(mut self, backend: SimdBackend) -> RankKernel {
+        self.backend = Some(backend);
+        self
+    }
+}
 
 /// Configuration of a rank-parallel run.
 #[derive(Debug, Clone)]
 pub struct ParConfig {
     pub setup: SimulationSetup,
     pub steps: u32,
+    /// Hot-loop kernel every rank runs (default: binned, exact tier —
+    /// bit-identical to the AoS loop it replaced).
+    pub kernel: RankKernel,
+}
+
+impl ParConfig {
+    pub fn new(setup: SimulationSetup, steps: u32) -> ParConfig {
+        ParConfig {
+            setup,
+            steps,
+            kernel: RankKernel::default(),
+        }
+    }
+
+    pub fn with_kernel(mut self, kernel: RankKernel) -> ParConfig {
+        self.kernel = kernel;
+        self
+    }
 }
 
 /// Result reported by every rank (identical across ranks for the global
@@ -40,9 +136,118 @@ pub struct ParOutcome {
     pub total_count: u64,
     /// Steps executed.
     pub steps: u32,
+    /// Kernel descriptor of the rank hot loop (`"<backend>/<tier>"` for
+    /// the binned path, `"none"` for the AoS reference loop — the same
+    /// convention the serial engine emits).
+    pub kernel: String,
     /// This rank's final particles (for cross-implementation equivalence
     /// checks; cheap at test scales, and callers can drop it).
     pub local_particles: Vec<Particle>,
+}
+
+/// The rank's particle container (see [`RankPath`]).
+pub enum RankStore {
+    Aos(Vec<Particle>),
+    Binned(Box<BinnedStore>),
+}
+
+impl RankStore {
+    /// Build a store over `particles` per the kernel selection. The binned
+    /// store bins the columns `cols.0..cols.1` (a rank subdomain, or the
+    /// whole grid for ownership maps that are not column-contiguous).
+    pub fn build(
+        particles: Vec<Particle>,
+        grid: &Grid,
+        kernel: RankKernel,
+        cols: (usize, usize),
+    ) -> RankStore {
+        match kernel.path {
+            RankPath::Aos => RankStore::Aos(particles),
+            RankPath::Binned => {
+                let mut b = BinnedStore::new_subdomain(
+                    &particles,
+                    grid,
+                    kernel.rebin_interval,
+                    cols.0,
+                    cols.1,
+                );
+                if let Some(backend) = kernel.backend {
+                    b.set_simd_backend(backend);
+                }
+                b.set_kernel_tier(kernel.tier);
+                RankStore::Binned(Box::new(b))
+            }
+        }
+    }
+
+    /// Number of particles currently held.
+    pub fn len(&self) -> usize {
+        match self {
+            RankStore::Aos(v) => v.len(),
+            RankStore::Binned(b) => b.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialize the particles (allocates; verification path).
+    pub fn to_particles(&self) -> Vec<Particle> {
+        match self {
+            RankStore::Aos(v) => v.clone(),
+            RankStore::Binned(b) => b.to_particles(),
+        }
+    }
+
+    /// Append a particle that is already homed on this rank (binned: tail
+    /// append, folded in at the next amortized rebin).
+    pub fn push(&mut self, p: Particle) {
+        match self {
+            RankStore::Aos(v) => v.push(p),
+            RankStore::Binned(b) => b.push_tail(p),
+        }
+    }
+
+    /// Kernel descriptor of the hot loop this store drives:
+    /// `"<backend>/<tier>"` for the binned path, `"none"` for the AoS loop
+    /// (the serial engine's convention for unbinned stores).
+    pub fn kernel_desc(&self) -> String {
+        match self {
+            RankStore::Aos(_) => "none".to_string(),
+            RankStore::Binned(b) => {
+                format!("{}/{}", b.simd_backend().name(), b.kernel_tier().name())
+            }
+        }
+    }
+
+    /// Ids of held particles inside `region`, for collective removal.
+    pub fn ids_in_region(&self, region: &pic_core::events::Region) -> Vec<u64> {
+        match self {
+            RankStore::Aos(v) => v
+                .iter()
+                .filter(|p| region.contains_point(p.x, p.y))
+                .map(|p| p.id)
+                .collect(),
+            RankStore::Binned(b) => {
+                let batch = b.batch();
+                (0..batch.len())
+                    .filter(|&i| region.contains_point(batch.x[i], batch.y[i]))
+                    .map(|i| batch.id[i])
+                    .collect()
+            }
+        }
+    }
+
+    /// Remove every particle whose id is in `doomed`.
+    pub fn remove_ids(&mut self, doomed: &std::collections::HashSet<u64>) {
+        match self {
+            RankStore::Aos(v) => v.retain(|p| !doomed.contains(&p.id)),
+            RankStore::Binned(b) => {
+                b.remove_ids(doomed);
+            }
+        }
+    }
 }
 
 /// Per-rank simulation state.
@@ -51,7 +256,9 @@ pub struct RankState {
     pub consts: SimConstants,
     pub decomp: Decomp2d,
     pub rank: usize,
-    pub particles: Vec<Particle>,
+    /// Local particles: the AoS vector of the reference loop, or the
+    /// subdomain-aware binned store of the vectorized path.
+    pub store: RankStore,
     /// Materialized mesh-charge subgrid with ghost ring (paper §IV-A:
     /// fringe mesh points are replicated). Forces are read from it, and it
     /// is rebuilt whenever the balancer changes this rank's subdomain.
@@ -71,19 +278,31 @@ pub struct RankState {
 }
 
 impl RankState {
-    /// Build rank-local state from the (deterministically shared) setup.
+    /// Build rank-local state from the (deterministically shared) setup,
+    /// with the default (binned, exact-tier) rank kernel.
     pub fn new(setup: &SimulationSetup, decomp: Decomp2d, rank: usize) -> RankState {
+        RankState::with_kernel(setup, decomp, rank, RankKernel::default())
+    }
+
+    /// [`RankState::new`] with an explicit rank kernel.
+    pub fn with_kernel(
+        setup: &SimulationSetup,
+        decomp: Decomp2d,
+        rank: usize,
+        kernel: RankKernel,
+    ) -> RankState {
         let particles = local_slice(&decomp, &setup.grid, rank, &setup.particles);
         let mut events = setup.events.clone();
         events.sort_by_key(|e| e.at_step);
         let (cols, rows) = decomp.bounds(rank);
         let charges = ChargeGrid::build(&setup.grid, &setup.consts, cols, rows);
+        let store = RankStore::build(particles, &setup.grid, kernel, cols);
         RankState {
             grid: setup.grid,
             consts: setup.consts,
             decomp,
             rank,
-            particles,
+            store,
             charges,
             step: 0,
             events,
@@ -92,6 +311,51 @@ impl RankState {
             next_id: setup.next_id,
             bufs: ExchangeBuffers::new(),
             lb_scratch: Vec::new(),
+        }
+    }
+
+    /// Number of particles currently homed on this rank.
+    pub fn local_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// This rank's particles, materialized. Allocates; verification path.
+    pub fn local_particles(&self) -> Vec<Particle> {
+        self.store.to_particles()
+    }
+
+    /// Kernel descriptor of the hot loop (see [`RankStore::kernel_desc`]).
+    pub fn kernel_desc(&self) -> String {
+        self.store.kernel_desc()
+    }
+
+    /// Fill `h` with this rank's per-column particle counts (global column
+    /// indexing, zero outside the subdomain) — O(columns) when the binned
+    /// histogram is fresh, O(n) otherwise. Summed across ranks this is the
+    /// balancer's input histogram.
+    pub fn column_histogram_into(&self, h: &mut Vec<u64>) {
+        match &self.store {
+            RankStore::Aos(v) => {
+                h.clear();
+                h.resize(self.grid.ncells(), 0);
+                for p in v {
+                    h[self.grid.cell_of(p.x)] += 1;
+                }
+            }
+            RankStore::Binned(b) => b.column_histogram_into(&self.grid, h),
+        }
+    }
+
+    /// Re-anchor the binned store's column range after a decomposition
+    /// change. Leavers must already have been drained under the *new*
+    /// decomposition (the balancer rehomes first); a no-op when the range
+    /// is unchanged or the store is AoS.
+    pub fn rebind_store(&mut self) {
+        if let RankStore::Binned(b) = &mut self.store {
+            let ((x0, x1), _) = self.decomp.bounds(self.rank);
+            if b.columns() != (x0, x1) {
+                b.set_columns(&self.grid, x0, x1);
+            }
         }
     }
 
@@ -136,19 +400,16 @@ impl RankState {
                         self.expected_id_sum += p.id as u128;
                         let (c, r) = self.grid.cell_of_point(p.x, p.y);
                         if self.decomp.owner_of_cell(c, r) == self.rank {
-                            self.particles.push(*p);
+                            // Homed by the owner filter, so the binned
+                            // tail append keeps the rebin amortized.
+                            self.store.push(*p);
                         }
                     }
                 }
                 EventKind::Remove { count } => {
                     // Gather candidate ids (in-region residents) globally,
                     // pick the lowest `count`, remove the local ones.
-                    let mut local_ids: Vec<u64> = self
-                        .particles
-                        .iter()
-                        .filter(|p| e.region.contains_point(p.x, p.y))
-                        .map(|p| p.id)
-                        .collect();
+                    let mut local_ids = self.store.ids_in_region(&e.region);
                     local_ids.sort_unstable();
                     let gathered = allgatherv(comm, encode_u64s(&local_ids));
                     let mut all: Vec<u64> = gathered.iter().flat_map(|b| decode_u64s(b)).collect();
@@ -158,7 +419,7 @@ impl RankState {
                     for &id in &all {
                         self.expected_id_sum -= id as u128;
                     }
-                    self.particles.retain(|p| !doomed.contains(&p.id));
+                    self.store.remove_ids(&doomed);
                 }
             }
         }
@@ -176,32 +437,64 @@ impl RankState {
     /// is globally summed at traced steps by [`snapshot_loads`]).
     pub fn step_traced(&mut self, comm: &Communicator, tracer: &mut Tracer) -> usize {
         self.apply_due_events(comm);
+        let rebins_before = match &self.store {
+            RankStore::Binned(b) => b.rebin_count(),
+            RankStore::Aos(_) => 0,
+        };
         tracer.phase_start(Phase::Advance);
-        for p in &mut self.particles {
-            let (ax, ay) = self
-                .charges
-                .total_force(&self.grid, &self.consts, p.x, p.y, p.q);
-            advance_with_acceleration(&self.grid, &self.consts, p, ax, ay);
+        match &mut self.store {
+            RankStore::Aos(particles) => {
+                for p in particles.iter_mut() {
+                    let (ax, ay) =
+                        self.charges
+                            .total_force(&self.grid, &self.consts, p.x, p.y, p.q);
+                    advance_with_acceleration(&self.grid, &self.consts, p, ax, ay);
+                }
+            }
+            // The serial engine's kernel stack, serial on this rank's own
+            // thread (each rank is already a parallel unit), forces read
+            // from the ghost-ringed charge subgrid.
+            RankStore::Binned(b) => b.sweep_local(&self.grid, &self.consts, Some(&self.charges)),
         }
         tracer.phase_end(Phase::Advance);
         tracer.phase_start(Phase::Exchange);
         let (sent, _received) = self.rehome(comm);
+        // The amortized rebin runs *after* the exchange so the counting
+        // sort only ever sees homed particles (arrivals fold in from the
+        // tail; column range is exactly the subdomain).
+        if let RankStore::Binned(b) = &mut self.store {
+            if b.rebin_due() {
+                b.rebin(&self.grid);
+            }
+            tracer.add(Counter::Rebins, b.rebin_count() - rebins_before);
+        }
         tracer.phase_end(Phase::Exchange);
         self.step += 1;
         sent
     }
 
     /// Route every mis-homed particle to its owner, reusing this rank's
-    /// staging buffers (steady-state: no staging allocation).
+    /// staging buffers (steady-state: no staging allocation). The binned
+    /// store drains leavers in place — no AoS round-trip.
     pub fn rehome(&mut self, comm: &Communicator) -> (usize, usize) {
-        rehome_particles_with(
-            comm,
-            &self.decomp,
-            &self.grid,
-            self.rank,
-            &mut self.particles,
-            &mut self.bufs,
-        )
+        match &mut self.store {
+            RankStore::Aos(particles) => rehome_particles_with(
+                comm,
+                &self.decomp,
+                &self.grid,
+                self.rank,
+                particles,
+                &mut self.bufs,
+            ),
+            RankStore::Binned(store) => rehome_binned_with(
+                comm,
+                &self.decomp,
+                &self.grid,
+                self.rank,
+                store,
+                &mut self.bufs,
+            ),
+        }
     }
 
     /// Collectively aggregate per-processor-column (`along_x`) or per-row
@@ -220,8 +513,19 @@ impl RankState {
         };
         self.lb_scratch.clear();
         self.lb_scratch.resize(slots, 0);
-        self.lb_scratch[idx] = self.particles.len() as u64;
+        self.lb_scratch[idx] = self.local_count() as u64;
         allreduce_vec_u64(comm, &self.lb_scratch, ReduceOp::Sum)
+    }
+
+    /// Collectively aggregate the global per-cell-column histogram from
+    /// every rank's own store — O(columns) local work on a fresh binned
+    /// store. [`crate::diffusion::per_column_counts_into`] folds the
+    /// result onto processor columns, giving bit-identical cut decisions
+    /// to [`RankState::aggregate_axis_counts`] (both count homed
+    /// particles per column). Reuses `h` as local scratch.
+    pub fn aggregate_column_histogram(&self, comm: &Communicator, h: &mut Vec<u64>) -> Vec<u64> {
+        self.column_histogram_into(h);
+        allreduce_vec_u64(comm, h, ReduceOp::Sum)
     }
 
     /// Distributed verification: local analytic check, global reduction of
@@ -229,7 +533,7 @@ impl RankState {
     pub fn verify(&self, comm: &Communicator) -> VerifyReport {
         let local = verify_all(
             &self.grid,
-            &self.particles,
+            &self.local_particles(),
             self.step,
             0, // expected sum handled globally below
             DEFAULT_TOLERANCE,
@@ -251,7 +555,7 @@ impl RankState {
 
     /// Collective imbalance probe: (max per-rank count, total count).
     pub fn count_stats(&self, comm: &Communicator) -> (u64, u64) {
-        let local = self.particles.len() as u64;
+        let local = self.local_count() as u64;
         let max = allreduce_u64(comm, local, ReduceOp::Max);
         let total = allreduce_u64(comm, local, ReduceOp::Sum);
         (max, total)
@@ -271,11 +575,12 @@ impl RankState {
         let (max_count, total_count) = self.count_stats(comm);
         ParOutcome {
             verify,
-            local_count: self.particles.len(),
+            local_count: self.local_count(),
             max_count,
             total_count,
             steps: self.step,
-            local_particles: self.particles.clone(),
+            kernel: self.kernel_desc(),
+            local_particles: self.local_particles(),
         }
     }
 }
@@ -341,7 +646,7 @@ mod tests {
             .unwrap();
         let decomp = Decomp2d::uniform(16, 4);
         let counts: usize = (0..4)
-            .map(|r| RankState::new(&setup, decomp.clone(), r).particles.len())
+            .map(|r| RankState::new(&setup, decomp.clone(), r).local_count())
             .sum();
         assert_eq!(counts, 500);
     }
@@ -365,7 +670,7 @@ mod tests {
         let outcomes = run_threads(4, |comm| {
             let mut st = RankState::new(&setup, Decomp2d::uniform(16, 4), comm.rank());
             st.apply_due_events(&comm);
-            (st.expected_id_sum(), st.particles.len() as u64)
+            (st.expected_id_sum(), st.local_count() as u64)
         });
         let ledger0 = outcomes[0].0;
         assert!(
@@ -393,7 +698,7 @@ mod tests {
         let outcomes = run_threads(4, |comm| {
             let mut st = RankState::new(&setup, Decomp2d::uniform(16, 4), comm.rank());
             st.apply_due_events(&comm);
-            (st.expected_id_sum(), st.particles.len() as u64)
+            (st.expected_id_sum(), st.local_count() as u64)
         });
         let total: u64 = outcomes.iter().map(|o| o.1).sum();
         assert_eq!(total, 80);

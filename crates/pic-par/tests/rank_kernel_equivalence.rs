@@ -1,0 +1,182 @@
+//! Rank-path equivalence (DESIGN.md §13): the binned SIMD rank loop is a
+//! drop-in replacement for the AoS reference loop.
+//!
+//! - **Exact tier**: bit-identical final state — same surviving ids, same
+//!   position/velocity bit patterns — across distributions, rank counts,
+//!   rebin intervals, SIMD backends, and both distributed implementations
+//!   in this crate (static baseline and diffusion LB). Particles never
+//!   interact, so binning may reorder the sweep but must not change one
+//!   bit of any particle's trajectory.
+//! - **Fast tier**: positional drift against the AoS loop stays within
+//!   the derived analytic bound (`verify::analytic_tolerance`), the same
+//!   gate the serial engine applies to its fast sweep.
+//!
+//! The whole file also passes with `PIC_NO_SIMD=1` (CI runs it both
+//! ways): forcing scalar must change nothing for the exact tier.
+
+use pic_comm::world::run_threads;
+use pic_core::dist::Distribution;
+use pic_core::engine::SweepMode;
+use pic_core::events::{Event, Region};
+use pic_core::geometry::Grid;
+use pic_core::init::{InitConfig, SimulationSetup};
+use pic_core::simd::SimdBackend;
+use pic_core::verify::analytic_tolerance;
+use pic_par::baseline::run_baseline;
+use pic_par::diffusion::{run_diffusion, DiffusionParams};
+use pic_par::runner::{ParConfig, ParOutcome, RankKernel};
+use proptest::prelude::*;
+
+const STEPS: u32 = 30;
+const N: u64 = 600;
+
+/// A setup that exercises every rank-loop phase: drift (k=1, m=1 ⇒ max
+/// stride 3), cross-cut exchange, and the event path (injection and
+/// removal mid-run).
+fn setup(dist: Distribution) -> SimulationSetup {
+    InitConfig::new(Grid::new(32).unwrap(), N, dist)
+        .with_k(1)
+        .with_m(1)
+        .build()
+        .unwrap()
+        .with_event(Event::inject(
+            7,
+            Region {
+                x0: 2,
+                x1: 12,
+                y0: 2,
+                y1: 12,
+            },
+            40,
+            0,
+            1,
+            1,
+        ))
+        .with_event(Event::remove(15, Region::whole(32), 25))
+}
+
+fn distributions() -> Vec<Distribution> {
+    vec![
+        Distribution::Uniform,
+        Distribution::Geometric { r: 0.9 },
+        Distribution::Sinusoidal,
+        Distribution::Linear {
+            alpha: 2.0,
+            beta: 3.0,
+        },
+    ]
+}
+
+/// Sorted (id, x-bits, y-bits, vx-bits, vy-bits) across all ranks.
+fn bit_finals(outcomes: &[ParOutcome]) -> Vec<(u64, u64, u64, u64, u64)> {
+    let mut v: Vec<_> = outcomes
+        .iter()
+        .flat_map(|o| o.local_particles.iter())
+        .map(|p| {
+            (
+                p.id,
+                p.x.to_bits(),
+                p.y.to_bits(),
+                p.vx.to_bits(),
+                p.vy.to_bits(),
+            )
+        })
+        .collect();
+    v.sort_by_key(|t| t.0);
+    v
+}
+
+fn run_impl(
+    dist: Distribution,
+    ranks: usize,
+    diffusion: bool,
+    kernel: RankKernel,
+) -> Vec<ParOutcome> {
+    let cfg = ParConfig::new(setup(dist), STEPS).with_kernel(kernel);
+    run_threads(ranks, |comm| {
+        let o = if diffusion {
+            run_diffusion(
+                &comm,
+                &cfg,
+                DiffusionParams {
+                    interval: 3,
+                    tau: 0,
+                    border_w: 3,
+                },
+            )
+        } else {
+            run_baseline(&comm, &cfg)
+        };
+        assert!(o.verify.passed(), "{:?}", o.verify);
+        o
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The tentpole contract: Binned/Exact ≡ AoS, bit for bit, across the
+    /// sampled cross product of distribution × rank count × rebin
+    /// interval × implementation.
+    #[test]
+    fn binned_exact_bitwise_matches_aos_rank_loop(
+        dist_i in 0usize..4,
+        ranks in prop::sample::select(vec![1usize, 2, 4]),
+        rebin in prop::sample::select(vec![1u32, 3, 16]),
+        diffusion in any::<bool>(),
+    ) {
+        let dist = distributions()[dist_i];
+        let aos = bit_finals(&run_impl(dist, ranks, diffusion, RankKernel::aos()));
+        let kernel = RankKernel::default().with_rebin_interval(rebin);
+        let binned = bit_finals(&run_impl(dist, ranks, diffusion, kernel));
+        prop_assert_eq!(
+            aos, binned,
+            "dist {:?}, {} ranks, rebin {}, diffusion={}",
+            dist, ranks, rebin, diffusion
+        );
+    }
+}
+
+/// Every SIMD backend the host offers produces the same bits as the AoS
+/// loop on the exact tier — the lane width is an implementation detail.
+#[test]
+fn binned_exact_bitwise_identical_across_backends() {
+    let dist = Distribution::Geometric { r: 0.9 };
+    let aos = bit_finals(&run_impl(dist, 4, true, RankKernel::aos()));
+    for backend in SimdBackend::available() {
+        let kernel = RankKernel::default().with_backend(backend);
+        let got = bit_finals(&run_impl(dist, 4, true, kernel));
+        assert_eq!(aos, got, "backend {}", backend.name());
+    }
+}
+
+/// Fast-tier drift against the AoS reference stays within the analytic
+/// gate, on both implementations and at the extreme rebin intervals. The
+/// id sets must still agree exactly — only float trajectories may drift.
+#[test]
+fn fast_tier_drift_within_analytic_tolerance() {
+    // k=1, m=1 ⇒ max stride max(2k+1, |m|) = 3 (same formula the serial
+    // engine's `verify_analytic` uses).
+    let tol = analytic_tolerance(STEPS as u64, 3);
+    let dist = Distribution::Sinusoidal;
+    for diffusion in [false, true] {
+        let aos = bit_finals(&run_impl(dist, 4, diffusion, RankKernel::aos()));
+        for rebin in [1u32, 16] {
+            let kernel =
+                RankKernel::from_sweep(SweepMode::SoaBinnedFast).with_rebin_interval(rebin);
+            let fast = bit_finals(&run_impl(dist, 4, diffusion, kernel));
+            assert_eq!(fast.len(), aos.len(), "population diverged");
+            for (a, f) in aos.iter().zip(&fast) {
+                assert_eq!(a.0, f.0, "id sets diverged");
+                let dx = (f64::from_bits(a.1) - f64::from_bits(f.1)).abs();
+                let dy = (f64::from_bits(a.2) - f64::from_bits(f.2)).abs();
+                assert!(
+                    dx <= tol && dy <= tol,
+                    "id {}: fast-tier drift ({dx:e}, {dy:e}) exceeds analytic \
+                     tolerance {tol:e} (diffusion={diffusion}, rebin={rebin})",
+                    a.0
+                );
+            }
+        }
+    }
+}

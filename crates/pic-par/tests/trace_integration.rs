@@ -8,16 +8,25 @@ use pic_core::init::InitConfig;
 use pic_core::verify::MAX_FAILING_IDS;
 use pic_par::decomp::Decomp2d;
 use pic_par::diffusion::{run_diffusion_mode_traced, DiffusionMode, DiffusionParams};
-use pic_par::runner::{ParConfig, RankState};
+use pic_par::runner::{ParConfig, RankKernel, RankState, RankStore};
 use pic_trace::{validate_ndjson, Tracer};
 
 fn cfg(n: u64, dist: Distribution, steps: u32) -> ParConfig {
-    ParConfig {
-        setup: InitConfig::new(Grid::new(32).unwrap(), n, dist)
+    ParConfig::new(
+        InitConfig::new(Grid::new(32).unwrap(), n, dist)
             .with_m(1)
             .build()
             .unwrap(),
         steps,
+    )
+}
+
+/// Direct mutable access to an AoS rank store (the corruption tests run
+/// on the AoS kernel so they can reach into the particle records).
+fn aos_particles(st: &mut RankState) -> &mut Vec<pic_core::particle::Particle> {
+    match &mut st.store {
+        RankStore::Aos(v) => v,
+        RankStore::Binned(_) => panic!("test requires the AoS kernel"),
     }
 }
 
@@ -29,17 +38,18 @@ fn corrupted_particle_reported_on_all_ranks() {
     let c = cfg(400, Distribution::Uniform, 6);
     let results = run_threads(4, |comm| {
         let decomp = Decomp2d::uniform(c.setup.grid.ncells(), comm.size());
-        let mut st = RankState::new(&c.setup, decomp, comm.rank());
+        let mut st = RankState::with_kernel(&c.setup, decomp, comm.rank(), RankKernel::aos());
         for _ in 0..c.steps {
             st.step(&comm);
         }
         let corrupted = if comm.rank() == 2 {
+            let particles = aos_particles(&mut st);
             assert!(
-                !st.particles.is_empty(),
+                !particles.is_empty(),
                 "rank 2 must own particles for this test to bite"
             );
-            st.particles[0].x += 1.5;
-            Some(st.particles[0].id)
+            particles[0].x += 1.5;
+            Some(particles[0].id)
         } else {
             None
         };
@@ -72,14 +82,14 @@ fn failing_ids_capped_and_identical_across_ranks() {
     let c = cfg(600, Distribution::Uniform, 4);
     let results = run_threads(4, |comm| {
         let decomp = Decomp2d::uniform(c.setup.grid.ncells(), comm.size());
-        let mut st = RankState::new(&c.setup, decomp, comm.rank());
+        let mut st = RankState::with_kernel(&c.setup, decomp, comm.rank(), RankKernel::aos());
         for _ in 0..c.steps {
             st.step(&comm);
         }
         // Two ranks corrupt 12 particles each: 24 global failures, above
         // the cap of 16.
         if comm.rank() == 1 || comm.rank() == 3 {
-            for p in st.particles.iter_mut().take(12) {
+            for p in aos_particles(&mut st).iter_mut().take(12) {
                 p.y += 2.5;
             }
         }

@@ -16,8 +16,8 @@ use pic_prk::prelude::*;
 
 fn main() {
     let cores = 4;
-    let cfg = ParConfig {
-        setup: InitConfig::new(
+    let cfg = ParConfig::new(
+        InitConfig::new(
             Grid::new(64).unwrap(),
             20_000,
             Distribution::Geometric { r: 0.9 },
@@ -25,8 +25,8 @@ fn main() {
         .with_m(1)
         .build()
         .unwrap(),
-        steps: 200,
-    };
+        200,
+    );
 
     // Show what over-decomposition looks like.
     let grid = VpGrid::new(64, cores, 8);

@@ -35,7 +35,7 @@ fn main() {
         .unwrap()
         .with_event(Event::inject(50, burst_region, 30_000, 0, 1, 1))
         .with_event(Event::remove(150, drain_region, 5_000));
-    let cfg = ParConfig { setup, steps: 250 };
+    let cfg = ParConfig::new(setup, 250);
 
     println!("population schedule: 10,000 → +30,000 @step 50 → −5,000 @step 150 → 35,000");
 

@@ -14,8 +14,8 @@ use pic_prk::prelude::*;
 
 fn main() {
     let ranks = 8;
-    let cfg = ParConfig {
-        setup: InitConfig::new(
+    let cfg = ParConfig::new(
+        InitConfig::new(
             Grid::new(64).unwrap(),
             20_000,
             Distribution::Geometric { r: 0.95 },
@@ -23,8 +23,8 @@ fn main() {
         .with_m(1)
         .build()
         .unwrap(),
-        steps: 200,
-    };
+        200,
+    );
     let ideal = 20_000 / ranks as u64;
 
     println!("== mpi-2d (static, no load balancing) on {ranks} thread-ranks ==");

@@ -25,8 +25,8 @@ fn main() {
         ("column skew (the paper's orientation)", SkewAxis::X, 0),
         ("row skew (rotated 90°)", SkewAxis::Y, 1),
     ] {
-        let cfg = ParConfig {
-            setup: InitConfig::new(
+        let cfg = ParConfig::new(
+            InitConfig::new(
                 Grid::new(64).unwrap(),
                 12_000,
                 Distribution::Geometric { r: 0.85 },
@@ -35,8 +35,8 @@ fn main() {
             .with_m(m)
             .build()
             .unwrap(),
-            steps: 120,
-        };
+            120,
+        );
         let ideal = 12_000 / ranks as u64;
         println!("== {label} ==");
         let base = run_threads(ranks, |comm| run_baseline(&comm, &cfg));

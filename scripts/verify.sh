@@ -12,7 +12,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> PIC_NO_SIMD=1 cargo test -q"
+echo "==> PIC_NO_SIMD=1 cargo test -q (distributed rank suites, then workspace)"
+# The distributed rank loop defaults to the binned SIMD kernel; its
+# bit-identity contract must also hold with the vector path forced off.
+# Run the rank suites explicitly first so a scalar-path regression there
+# is reported against the responsible crate, then the whole workspace.
+PIC_NO_SIMD=1 cargo test -q -p pic-par -p pic-ampi
 PIC_NO_SIMD=1 cargo test -q
 
 echo "==> cargo fmt --check"
@@ -29,11 +34,17 @@ cargo check --all-targets
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 
-echo "==> traced diffusion smoke run (--trace + trace_check)"
+echo "==> traced diffusion smoke run (binned rank path, --trace + trace_check)"
+# 4 thread-ranks on the binned fast-tier rank kernel: the summary must
+# name the kernel, verification must PASS, the trace run header must
+# record the kernel descriptor, and the ndjson must validate.
 trace_file="$(mktemp /tmp/pic-trace-smoke.XXXXXX.ndjson)"
-./target/release/pic --impl diffusion --ranks 4 --grid 32 --particles 2000 \
-    --steps 40 --m 1 --dist geometric:0.9 --lb-interval 5 \
-    --trace "$trace_file" --trace-every 2 --quiet
+out="$(./target/release/pic --impl diffusion --ranks 4 --grid 32 \
+    --particles 2000 --steps 40 --m 1 --dist geometric:0.9 --lb-interval 5 \
+    --sweep soa-binned-fast --trace "$trace_file" --trace-every 2)"
+echo "$out" | grep -E "rank kernel *: .*/fast"
+echo "$out" | grep -q "verification          : PASS"
+head -1 "$trace_file" | grep -q '"simd":"[a-z0-9]*/fast"'
 cargo run --release -q -p pic-bench --bin trace_check -- "$trace_file"
 rm -f "$trace_file"
 

@@ -18,7 +18,7 @@ use pic_prk::comm::world::run_threads;
 use pic_prk::core::init::SkewAxis;
 use pic_prk::par::baseline::run_baseline_traced;
 use pic_prk::par::diffusion::{run_diffusion_mode_traced, DiffusionMode, DiffusionParams};
-use pic_prk::par::runner::{ParConfig, ParOutcome};
+use pic_prk::par::runner::{ParConfig, ParOutcome, RankKernel};
 use pic_prk::prelude::*;
 use pic_prk::trace::{trace_simulation, Phase, Tracer};
 use std::io::Write;
@@ -60,17 +60,24 @@ Implementation:
   --impl NAME         serial | baseline | diffusion | ampi (default serial)
   --ranks P           thread-ranks for the parallel implementations (default 4)
 
-Single-process engine (--impl serial):
+Kernel selection (all implementations):
   --sweep MODE        {sweep_modes} :
                       particle sweep strategy and memory layout (default
                       serial; every mode except soa-binned-fast is
                       bit-identical — soa-binned-fast trades bit-identity
                       for speed and is verified against the analytic
                       trajectory bound instead)
+                      for the parallel implementations, soa-binned[-fast]
+                      select the binned SIMD rank loop at that tier, any
+                      other mode selects the scalar AoS reference loop;
+                      default without --sweep is soa-binned (bit-identical
+                      to the AoS loop)
+  --rebin R           counting-sort interval for the binned sweeps
+                      (steps between re-sorts, default {rebin})
+
+Single-process engine (--impl serial):
   --chunk N           chunk size for --sweep soa-chunked / soa-binned
                       (default: adaptive, max(4096, n / (threads * 4)))
-  --rebin R           counting-sort interval for --sweep soa-binned[-fast]
-                      (steps between re-sorts, default {rebin})
   --threads T         cap the sweep worker pool at T threads (default:
                       all cores; PIC_THREADS overrides the pool size)
                       the binned sweeps auto-select the widest SIMD backend
@@ -272,6 +279,20 @@ fn main() {
         );
     }
 
+    // Rank-kernel selection for the parallel implementations: --sweep maps
+    // onto the rank hot loop (binned modes → binned SIMD path at that
+    // tier, anything else → the AoS reference loop); without --sweep the
+    // ranks run the binned exact tier, bit-identical to the AoS loop.
+    let rebin: u32 = args.parse("--rebin", pic_prk::core::bin::DEFAULT_REBIN);
+    let rank_kernel = match args.value("--sweep") {
+        Some(name) => RankKernel::from_sweep(
+            SweepMode::from_cli_name(name)
+                .unwrap_or_else(|| bail(&format!("bad sweep mode: {name}"))),
+        ),
+        None => RankKernel::default(),
+    }
+    .with_rebin_interval(rebin);
+
     let outcome: Option<ParOutcome> = match implementation.as_str() {
         "serial" => {
             let sweep_name = args.value("--sweep").unwrap_or("serial");
@@ -311,7 +332,7 @@ fn main() {
             None
         }
         "baseline" => {
-            let cfg = ParConfig { setup, steps };
+            let cfg = ParConfig::new(setup, steps).with_kernel(rank_kernel);
             Some(
                 run_threads(ranks, |comm| {
                     let mut tracer = rank0_tracer(comm.rank());
@@ -334,7 +355,7 @@ fn main() {
                 "2phase" => DiffusionMode::TwoPhase,
                 other => bail(&format!("bad mode: {other}")),
             };
-            let cfg = ParConfig { setup, steps };
+            let cfg = ParConfig::new(setup, steps).with_kernel(rank_kernel);
             Some(
                 run_threads(ranks, |comm| {
                     let mut tracer = rank0_tracer(comm.rank());
@@ -357,7 +378,7 @@ fn main() {
                 interval: args.parse("--lb-interval", AMPI_LB_INTERVAL_DEFAULT),
                 balancer,
             };
-            let cfg = ParConfig { setup, steps };
+            let cfg = ParConfig::new(setup, steps).with_kernel(rank_kernel);
             Some(
                 run_threads(ranks, |comm| {
                     let mut tracer = rank0_tracer(comm.rank());
@@ -403,6 +424,7 @@ fn summarize_parallel(o: &ParOutcome, ranks: usize, quiet: bool) {
         return;
     }
     let ideal = o.total_count as f64 / ranks as f64;
+    println!("rank kernel           : {}", o.kernel);
     println!("final particles       : {}", o.total_count);
     println!(
         "max particles/rank    : {} (ideal {:.0}, ratio {:.2}x)",

@@ -37,7 +37,7 @@ fn make_cfg(steps: u32) -> ParConfig {
         1,
     ))
     .with_event(Event::remove(12, Region::whole(32), 30));
-    ParConfig { setup, steps }
+    ParConfig::new(setup, steps)
 }
 
 /// (id, x-bits, y-bits, vx-bits, vy-bits) of a serial reference run.
@@ -166,7 +166,7 @@ fn two_phase_diffusion_bitwise_matches_serial() {
         1,
         1,
     ));
-    let cfg = ParConfig { setup, steps: 36 };
+    let cfg = ParConfig::new(setup, 36);
     let serial = serial_final(&cfg);
     for mode in [DiffusionMode::YOnly, DiffusionMode::TwoPhase] {
         let outcomes = run_threads(4, |comm| {
@@ -195,7 +195,7 @@ fn leftward_and_fast_configs_agree() {
         .with_dir(-1)
         .build()
         .unwrap();
-    let cfg = ParConfig { setup, steps: 25 };
+    let cfg = ParConfig::new(setup, 25);
     let serial = serial_final(&cfg);
     let base = run_threads(4, |comm| run_baseline(&comm, &cfg));
     assert!(base[0].verify.passed());

@@ -34,10 +34,7 @@ fn run_all_impls(events: &[Event]) -> (u64, u128) {
     assert!(serial_report.passed(), "serial: {serial_report:?}");
     let serial_count = sim.particle_count() as u64;
 
-    let cfg = ParConfig {
-        setup: setup(events),
-        steps: STEPS,
-    };
+    let cfg = ParConfig::new(setup(events), STEPS);
     let check = |outcomes: Vec<ParOutcome>, name: &str| {
         for o in &outcomes {
             assert!(o.verify.passed(), "{name}: {:?}", o.verify);

@@ -16,12 +16,12 @@ fn model_rank_counts_match_functional_baseline() {
     let n = 2_048u64;
     let steps = 37u32;
     let dist = Distribution::Geometric { r: 0.9 };
-    let cfg = ParConfig {
-        setup: InitConfig::new(Grid::new(ncells).unwrap(), n, dist)
+    let cfg = ParConfig::new(
+        InitConfig::new(Grid::new(ncells).unwrap(), n, dist)
             .build()
             .unwrap(),
         steps,
-    };
+    );
     let ranks = 4usize;
     let outcomes = run_threads(ranks, |comm| run_baseline(&comm, &cfg));
     assert!(outcomes[0].verify.passed());
