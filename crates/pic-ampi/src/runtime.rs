@@ -16,7 +16,8 @@ use crate::balancer::Balancer;
 use crate::model::AmpiParams;
 use crate::vp::VpGrid;
 use pic_comm::collective::{
-    allgatherv, allreduce_f64, allreduce_u128, allreduce_u64, decode_u64s, encode_u64s,
+    allgatherv, allreduce_f64, allreduce_u128, allreduce_u64, decode_u64s, decode_u64s_into,
+    encode_u64s,
 };
 use pic_comm::comm::{Communicator, ReduceOp};
 use pic_core::events::{Event, EventKind};
@@ -26,7 +27,8 @@ use pic_core::particle::Particle;
 use pic_core::verify::{verify_all, VerifyReport, DEFAULT_TOLERANCE};
 use pic_par::exchange::{route_binned_with, route_particles_with, ExchangeBuffers};
 use pic_par::runner::{
-    merge_failing_ids, snapshot_loads, trace_interval, ParConfig, ParOutcome, RankStore,
+    merge_failing_ids, snapshot_loads, trace_interval, ExchangeMode, ParConfig, ParOutcome,
+    RankStore,
 };
 use pic_trace::{Phase, Tracer};
 
@@ -73,6 +75,12 @@ pub fn run_ampi_traced(
         .collect();
     let mut store = RankStore::build(locals, &grid, cfg.kernel, (0, grid.ncells()));
     let mut bufs = ExchangeBuffers::new();
+    if cfg.kernel.exchange == ExchangeMode::OverlappedSparse {
+        // VP routing can target any core, so the neighbor plan is
+        // all-pairs: the escape path never fires, but empty payloads are
+        // still elided (sparse wins whenever traffic is, in fact, sparse).
+        bufs.enable_sparse(cores, me, 0..cores);
+    }
 
     let mut events = cfg.setup.events.clone();
     events.sort_by_key(|e| e.at_step);
@@ -171,7 +179,8 @@ pub fn run_ampi_traced(
         }
 
         if every > 0 && (s as u64).is_multiple_of(every) {
-            global_count = snapshot_loads(comm, tracer, store.len() as u64, sent_window);
+            let msgs = bufs.take_message_counts();
+            global_count = snapshot_loads(comm, tracer, store.len() as u64, sent_window, msgs);
             sent_window = 0;
         }
         tracer.end_step(global_count);
@@ -288,9 +297,11 @@ fn rebalance(
     let gathered = allgatherv(comm, encode_u64s(&counts));
     tracer.add(pic_trace::Counter::CollectiveBytes, counts.len() as u64 * 8);
     let mut global = vec![0u64; nvps];
+    let mut scratch = Vec::with_capacity(nvps);
     for buf in &gathered {
-        for (i, v) in decode_u64s(buf).into_iter().enumerate() {
-            global[i] += v;
+        decode_u64s_into(buf, &mut scratch);
+        for (slot, v) in global.iter_mut().zip(&scratch) {
+            *slot += v;
         }
     }
     let loads: Vec<f64> = global.iter().map(|&c| c as f64).collect();

@@ -14,7 +14,7 @@ use pic_core::events::{Event, Region};
 use pic_core::geometry::Grid;
 use pic_core::init::InitConfig;
 use pic_core::verify::analytic_tolerance;
-use pic_par::runner::{ParConfig, ParOutcome, RankKernel};
+use pic_par::runner::{ExchangeMode, ParConfig, ParOutcome, RankKernel};
 
 const STEPS: u32 = 30;
 
@@ -82,12 +82,20 @@ fn bit_finals(outcomes: &[ParOutcome]) -> Vec<(u64, u64, u64, u64, u64)> {
 
 #[test]
 fn ampi_binned_exact_bitwise_matches_aos() {
+    // The AoS reference runs the dense synchronous exchange (the oracle);
+    // the binned kernel must match it bit for bit under both that oracle
+    // and the sparse VP routing (all-pairs plan — empty payloads elided).
     for ranks in [1usize, 2, 4] {
-        let aos = bit_finals(&run(RankKernel::aos(), ranks, Balancer::paper_default()));
+        let aos_kernel = RankKernel::aos().with_exchange(ExchangeMode::DenseSync);
+        let aos = bit_finals(&run(aos_kernel, ranks, Balancer::paper_default()));
         for rebin in [1u32, 3, 16] {
-            let kernel = RankKernel::default().with_rebin_interval(rebin);
-            let got = bit_finals(&run(kernel, ranks, Balancer::paper_default()));
-            assert_eq!(aos, got, "{ranks} ranks, rebin {rebin}");
+            for exchange in [ExchangeMode::DenseSync, ExchangeMode::OverlappedSparse] {
+                let kernel = RankKernel::default()
+                    .with_rebin_interval(rebin)
+                    .with_exchange(exchange);
+                let got = bit_finals(&run(kernel, ranks, Balancer::paper_default()));
+                assert_eq!(aos, got, "{ranks} ranks, rebin {rebin}, {exchange:?}");
+            }
         }
     }
 }

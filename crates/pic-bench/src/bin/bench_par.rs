@@ -35,8 +35,8 @@ use pic_core::init::InitConfig;
 use pic_core::simd::SimdBackend;
 use pic_par::baseline::run_baseline_traced;
 use pic_par::diffusion::{run_diffusion_mode_traced, DiffusionMode, DiffusionParams};
-use pic_par::runner::{ParConfig, ParOutcome, RankKernel};
-use pic_trace::{Phase, TraceSummary, Tracer};
+use pic_par::runner::{ExchangeMode, ParConfig, ParOutcome, RankKernel};
+use pic_trace::{Counter, Phase, TraceSummary, Tracer};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -72,6 +72,9 @@ enum Kernel {
     /// Binned fast forced to the scalar kernel — which *is* the exact
     /// scalar kernel, the fast tier's `PIC_NO_SIMD` baseline.
     BinnedFastScalar,
+    /// Binned exact over the dense synchronous exchange (the oracle) —
+    /// the before-row for the overlapped-sparse exchange contrast.
+    BinnedDense,
 }
 
 impl Kernel {
@@ -85,6 +88,7 @@ impl Kernel {
             Kernel::BinnedFastScalar => {
                 RankKernel::from_sweep(SweepMode::SoaBinnedFast).with_backend(SimdBackend::Scalar)
             }
+            Kernel::BinnedDense => RankKernel::default().with_exchange(ExchangeMode::DenseSync),
         }
     }
 
@@ -95,6 +99,16 @@ impl Kernel {
             Kernel::BinnedFast => "binned-fast",
             Kernel::BinnedScalar => "binned/scalar",
             Kernel::BinnedFastScalar => "binned-fast/scalar",
+            Kernel::BinnedDense => "binned/dense-sync",
+        }
+    }
+
+    /// The exchange strategy the kernel runs (all kernels except the
+    /// dense contrast row use the overlapped-sparse default).
+    fn exchange_name(self) -> &'static str {
+        match self {
+            Kernel::BinnedDense => "dense-sync",
+            _ => "sparse-overlap",
         }
     }
 }
@@ -104,6 +118,8 @@ struct Row {
     kernel: &'static str,
     /// The `<backend>/<tier>` descriptor the runtime actually selected.
     kernel_desc: String,
+    /// Exchange strategy: `sparse-overlap` (default) or `dense-sync`.
+    exchange: &'static str,
     n: u64,
     ranks: usize,
     steps: u32,
@@ -113,6 +129,10 @@ struct Row {
     advance_ns: f64,
     /// Same for the exchange phase (routing + drain + rebin check).
     exchange_ns: f64,
+    /// Global wire messages (payload/count/escape/fallback) per step.
+    msgs_per_step: f64,
+    /// Messages the sparse protocol elided per step (0 under dense).
+    msgs_skipped_per_step: f64,
 }
 
 struct RunResult {
@@ -182,10 +202,15 @@ fn phase_ns_per_pstep(r: &RunResult, phase: Phase, n: u64, steps: u32) -> f64 {
 fn measure(imp: Impl, kernel: Kernel, n: u64, ranks: usize, host_cores: usize) -> Row {
     let steps = steps_for(n);
     let r = run_one(imp, kernel.rank_kernel(), n, ranks, steps);
+    // The message counters are globally reduced at every telemetry
+    // snapshot, so every rank's summary already holds the world totals —
+    // read rank 0's rather than summing across ranks.
+    let counters = &r.outcomes[0].1.counters;
     let row = Row {
         imp: imp.name(),
         kernel: kernel.name(),
         kernel_desc: r.outcomes[0].0.kernel.clone(),
+        exchange: kernel.exchange_name(),
         n,
         ranks,
         steps,
@@ -193,10 +218,21 @@ fn measure(imp: Impl, kernel: Kernel, n: u64, ranks: usize, host_cores: usize) -
         wall_s: r.wall_s,
         advance_ns: phase_ns_per_pstep(&r, Phase::Advance, n, steps),
         exchange_ns: phase_ns_per_pstep(&r, Phase::Exchange, n, steps),
+        msgs_per_step: counters[Counter::MsgsSent.idx()] as f64 / steps as f64,
+        msgs_skipped_per_step: counters[Counter::MsgsSkipped.idx()] as f64 / steps as f64,
     };
     eprintln!(
-        "{:>9} {:<18} n={:<9} ranks={} advance={:.2} exchange={:.2} ns/pstep wall={:.2}s",
-        row.imp, row.kernel_desc, row.n, row.ranks, row.advance_ns, row.exchange_ns, row.wall_s
+        "{:>9} {:<18} n={:<9} ranks={} advance={:.2} exchange={:.2} ns/pstep \
+         msgs/step={:.1} (skipped {:.1}) wall={:.2}s",
+        row.imp,
+        row.kernel_desc,
+        row.n,
+        row.ranks,
+        row.advance_ns,
+        row.exchange_ns,
+        row.msgs_per_step,
+        row.msgs_skipped_per_step,
+        row.wall_s
     );
     row
 }
@@ -280,6 +316,12 @@ fn main() {
                     rows.push(measure(imp, kernel, n, max_ranks, host_cores));
                 }
             }
+            // Dense-exchange contrast row at the largest rank count: the
+            // synchronous P²-message oracle against the overlapped-sparse
+            // default (same binned kernel, only the exchange changes).
+            if max_ranks > 1 {
+                rows.push(measure(imp, Kernel::BinnedDense, n, max_ranks, host_cores));
+            }
         }
     }
 
@@ -307,6 +349,39 @@ fn main() {
         }
     }
 
+    // Exchange headline: dense synchronous oracle vs overlapped sparse on
+    // the same binned kernel at the largest tier and rank count —
+    // exchange-phase ns/pstep before/after plus the wire-message
+    // reduction (the dense path sends ranks² messages per step).
+    let row_of = |imp: &str, kernel: &str| -> Option<&Row> {
+        rows.iter()
+            .find(|r| r.imp == imp && r.kernel == kernel && r.n == n_head && r.ranks == max_ranks)
+    };
+    let mut exchange_headline = Vec::new();
+    for imp in Impl::ALL {
+        if let (Some(dense), Some(sparse)) = (
+            row_of(imp.name(), "binned/dense-sync"),
+            row_of(imp.name(), "binned"),
+        ) {
+            eprintln!(
+                "exchange {:>9} n={n_head}: {:.2} -> {:.2} ns/pstep, \
+                 msgs/step {:.1} -> {:.1}",
+                imp.name(),
+                dense.exchange_ns,
+                sparse.exchange_ns,
+                dense.msgs_per_step,
+                sparse.msgs_per_step
+            );
+            exchange_headline.push((
+                imp.name(),
+                dense.exchange_ns,
+                sparse.exchange_ns,
+                dense.msgs_per_step,
+                sparse.msgs_per_step,
+            ));
+        }
+    }
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"benchmark\": \"par\",");
@@ -330,25 +405,49 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"exchange_headline\": [");
+    for (i, (imp, dense_ns, sparse_ns, dense_msgs, sparse_msgs)) in
+        exchange_headline.iter().enumerate()
+    {
+        let comma = if i + 1 == exchange_headline.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"impl\": \"{imp}\", \"n\": {n_head}, \"ranks\": {max_ranks}, \
+             \"dense_exchange_ns_per_particle_step\": {dense_ns:.3}, \
+             \"sparse_exchange_ns_per_particle_step\": {sparse_ns:.3}, \
+             \"dense_msgs_per_step\": {dense_msgs:.1}, \
+             \"sparse_msgs_per_step\": {sparse_msgs:.1}}}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"results\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         let _ = writeln!(
             json,
             "    {{\"impl\": \"{}\", \"kernel\": \"{}\", \"kernel_desc\": \"{}\", \
+             \"exchange\": \"{}\", \
              \"n\": {}, \"ranks\": {}, \"steps\": {}, \"oversubscribed\": {}, \
              \"wall_s\": {:.4}, \"advance_ns_per_particle_step\": {:.3}, \
-             \"exchange_ns_per_particle_step\": {:.3}}}{comma}",
+             \"exchange_ns_per_particle_step\": {:.3}, \
+             \"msgs_per_step\": {:.1}, \"msgs_skipped_per_step\": {:.1}}}{comma}",
             r.imp,
             r.kernel,
             r.kernel_desc,
+            r.exchange,
             r.n,
             r.ranks,
             r.steps,
             r.oversubscribed,
             r.wall_s,
             r.advance_ns,
-            r.exchange_ns
+            r.exchange_ns,
+            r.msgs_per_step,
+            r.msgs_skipped_per_step
         );
     }
     let _ = writeln!(json, "  ]");
@@ -390,6 +489,12 @@ fn write_scaling_artifacts(dir: &str, rank_counts: &[usize], host_cores: usize, 
 
     let mut strong_csv = String::from("ranks,mpi-2d_s,ampi_s,mpi-2d-LB_s\n");
     let mut weak_csv = String::from("ranks,n,mpi-2d_s,ampi_s,mpi-2d-LB_s\n");
+    // Strong-run message counts per step: the overlapped-sparse default
+    // vs the dense oracle's ranks·(ranks−1) payload wires.
+    let mut msg_md = String::from(
+        "| ranks | impl | msgs/step (sparse) | elided/step | dense msgs/step |\n\
+         |---|---|---|---|---|\n",
+    );
     let mut summaries: Vec<(usize, &'static str, TraceSummary)> = Vec::new();
 
     for &ranks in rank_counts {
@@ -400,7 +505,16 @@ fn write_scaling_artifacts(dir: &str, rank_counts: &[usize], host_cores: usize, 
             let r = run_one(*imp, RankKernel::default(), strong_n, ranks, steps);
             strong[i] = r.wall_s;
             // Keep rank 0's trace digest of the strong run.
-            summaries.push((ranks, imp.name(), r.outcomes[0].1.clone()));
+            let summary = r.outcomes[0].1.clone();
+            let _ = writeln!(
+                msg_md,
+                "| {ranks} | {} | {:.1} | {:.1} | {} |",
+                imp.name(),
+                summary.counters[Counter::MsgsSent.idx()] as f64 / steps as f64,
+                summary.counters[Counter::MsgsSkipped.idx()] as f64 / steps as f64,
+                ranks * ranks.saturating_sub(1),
+            );
+            summaries.push((ranks, imp.name(), summary));
             weak[i] = run_one(*imp, RankKernel::default(), weak_n, ranks, steps).wall_s;
         }
         let _ = writeln!(
@@ -426,6 +540,15 @@ fn write_scaling_artifacts(dir: &str, rank_counts: &[usize], host_cores: usize, 
     let _ = writeln!(
         md,
         "## Weak scaling (Fig 7 analogue)\n\n```\n{weak_csv}```\n"
+    );
+    let _ = writeln!(
+        md,
+        "## Exchange wire messages per step (strong runs)\n\n\
+         Overlapped-sparse exchange (the default): per-neighbor count \
+         wires always travel, payload wires only when non-empty; the \
+         *elided* column counts payloads the sparse protocol skipped. The \
+         dense oracle (`--overlap off`) would send `ranks·(ranks−1)` \
+         payload wires every step regardless of occupancy.\n\n{msg_md}"
     );
     let _ = writeln!(
         md,

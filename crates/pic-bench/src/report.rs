@@ -133,7 +133,7 @@ mod tests {
             steps: 100,
             records: 10,
             phase_ns: [2_000_000, 500_000, 250_000, 1_000_000],
-            counters: [1234, 56, 7890, 6],
+            counters: [1234, 56, 7890, 6, 300, 900, 12_000],
             max_imbalance: 2.345,
             mean_imbalance: 1.5,
             max_gini: 0.25,
@@ -142,6 +142,9 @@ mod tests {
         let md = trace_summary_markdown(&s);
         assert!(md.contains("| advance time | 2.000 ms |"), "{md}");
         assert!(md.contains("| rehomed | 1234 |"), "{md}");
+        assert!(md.contains("| msgs_sent | 300 |"), "{md}");
+        assert!(md.contains("| msgs_skipped | 900 |"), "{md}");
+        assert!(md.contains("| overlap_ns | 12000 |"), "{md}");
         assert!(md.contains("| max imbalance | 2.345 |"), "{md}");
         assert!(md.contains("| final particles | 42000 |"), "{md}");
     }

@@ -26,10 +26,20 @@ pub fn encode_u64s(v: &[u64]) -> Vec<u8> {
 
 /// Decode a buffer of `u64`s; panics on misaligned input (protocol bug).
 pub fn decode_u64s(buf: &[u8]) -> Vec<u64> {
+    let mut out = Vec::new();
+    decode_u64s_into(buf, &mut out);
+    out
+}
+
+/// [`decode_u64s`] into a caller-owned vector (cleared, capacity retained)
+/// — the hot collective paths use this to avoid a per-call allocation.
+pub fn decode_u64s_into(buf: &[u8], out: &mut Vec<u64>) {
     assert_eq!(buf.len() % 8, 0, "u64 buffer misaligned");
-    buf.chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-        .collect()
+    out.clear();
+    out.extend(
+        buf.chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap())),
+    );
 }
 
 /// Encode a slice of `f64` little-endian (bit-exact).
@@ -43,10 +53,19 @@ pub fn encode_f64s(v: &[f64]) -> Vec<u8> {
 
 /// Decode a buffer of `f64`s.
 pub fn decode_f64s(buf: &[u8]) -> Vec<f64> {
+    let mut out = Vec::new();
+    decode_f64s_into(buf, &mut out);
+    out
+}
+
+/// [`decode_f64s`] into a caller-owned vector (cleared, capacity retained).
+pub fn decode_f64s_into(buf: &[u8], out: &mut Vec<f64>) {
     assert_eq!(buf.len() % 8, 0, "f64 buffer misaligned");
-    buf.chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-        .collect()
+    out.clear();
+    out.extend(
+        buf.chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap())),
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -79,32 +98,73 @@ pub fn barrier(comm: &Communicator) {
 
 /// Binomial-tree broadcast from `root`. Every rank returns the payload.
 pub fn broadcast(comm: &Communicator, root: usize, data: Vec<u8>) -> Vec<u8> {
+    let mut payload = data;
+    bcast_tree(comm, root, &mut payload, None::<fn(&[u8])>);
+    payload
+}
+
+/// Broadcast where each rank consumes the payload **by reference** via
+/// `visit` instead of keeping it. Because the buffer is dead after the
+/// forwarding sends, the last child send *moves* it instead of cloning —
+/// one fewer full-payload copy per forwarding rank than [`broadcast`].
+/// The hot allreduce paths pair this with the `_into` decoders.
+pub fn broadcast_visit<F: FnOnce(&[u8])>(
+    comm: &Communicator,
+    root: usize,
+    data: Vec<u8>,
+    visit: F,
+) {
+    let mut payload = data;
+    bcast_tree(comm, root, &mut payload, Some(visit));
+}
+
+/// Shared binomial tree: receive leg, optional in-place consumption, send
+/// leg. With a visitor the payload's last use is the final child send, so
+/// that send takes the buffer by value; without one the payload must
+/// survive for the caller, so every child send clones.
+fn bcast_tree<F: FnOnce(&[u8])>(
+    comm: &Communicator,
+    root: usize,
+    payload: &mut Vec<u8>,
+    visit: Option<F>,
+) {
     let base = comm.next_coll_base();
     let size = comm.size();
     let rank = comm.rank();
     if size == 1 {
-        return data;
+        if let Some(v) = visit {
+            v(payload);
+        }
+        return;
     }
     let vrank = (rank + size - root) % size;
     let to_real = |v: usize| (v + root) % size;
 
-    let mut payload = data;
     let mut mask = 1usize;
     while mask < size {
         if vrank & mask != 0 {
-            payload = comm.recv_coll(to_real(vrank - mask), base);
+            *payload = comm.recv_coll(to_real(vrank - mask), base);
             break;
         }
         mask <<= 1;
     }
+    let retain = visit.is_none();
+    if let Some(v) = visit {
+        v(payload);
+    }
     let mut m = mask >> 1;
     while m > 0 {
         if vrank + m < size {
+            // If any child exists, a child at m == 1 exists too, so the
+            // m == 1 send is always the last one.
+            if m == 1 && !retain {
+                comm.send_coll(to_real(vrank + 1), base, std::mem::take(payload));
+                return;
+            }
             comm.send_coll(to_real(vrank + m), base, payload.clone());
         }
         m >>= 1;
     }
-    payload
 }
 
 // ---------------------------------------------------------------------------
@@ -118,10 +178,11 @@ pub fn gatherv(comm: &Communicator, root: usize, data: Vec<u8>) -> Option<Vec<Ve
     let rank = comm.rank();
     let size = comm.size();
     if rank == root {
+        let mut own = Some(data);
         let mut out = Vec::with_capacity(size);
         for src in 0..size {
             if src == root {
-                out.push(data.clone());
+                out.push(own.take().unwrap());
             } else {
                 out.push(comm.recv_coll(src, base));
             }
@@ -148,15 +209,16 @@ pub fn allgatherv(comm: &Communicator, data: Vec<u8>) -> Vec<Vec<u8>> {
     } else {
         Vec::new()
     };
-    let buf = broadcast(comm, 0, packed);
     let mut out = Vec::with_capacity(comm.size());
-    let mut off = 0usize;
-    while off < buf.len() {
-        let len = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()) as usize;
-        off += 8;
-        out.push(buf[off..off + len].to_vec());
-        off += len;
-    }
+    broadcast_visit(comm, 0, packed, |buf| {
+        let mut off = 0usize;
+        while off < buf.len() {
+            let len = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()) as usize;
+            off += 8;
+            out.push(buf[off..off + len].to_vec());
+            off += len;
+        }
+    });
     assert_eq!(out.len(), comm.size(), "allgatherv framing corrupt");
     out
 }
@@ -165,9 +227,9 @@ pub fn allgatherv(comm: &Communicator, data: Vec<u8>) -> Vec<Vec<u8>> {
 // reductions
 // ---------------------------------------------------------------------------
 
-fn reduce_bytes<F>(comm: &Communicator, root: usize, mine: Vec<u8>, fold: F) -> Option<Vec<u8>>
+fn reduce_bytes<F>(comm: &Communicator, root: usize, mine: Vec<u8>, mut fold: F) -> Option<Vec<u8>>
 where
-    F: Fn(Vec<u8>, Vec<u8>) -> Vec<u8>,
+    F: FnMut(Vec<u8>, Vec<u8>) -> Vec<u8>,
 {
     let base = comm.next_coll_base();
     let size = comm.size();
@@ -193,7 +255,9 @@ where
     Some(acc)
 }
 
-/// Element-wise reduction of equal-length `u64` vectors to `root`.
+/// Element-wise reduction of equal-length `u64` vectors to `root`. The
+/// fold rewrites the accumulator's byte buffer in place — no per-fold
+/// decode/encode allocations.
 pub fn reduce_vec_u64(
     comm: &Communicator,
     root: usize,
@@ -201,24 +265,34 @@ pub fn reduce_vec_u64(
     op: ReduceOp,
 ) -> Option<Vec<u64>> {
     let n = mine.len();
-    reduce_bytes(comm, root, encode_u64s(mine), move |a, b| {
-        let mut av = decode_u64s(&a);
-        let bv = decode_u64s(&b);
-        assert_eq!(av.len(), n, "reduce_vec_u64 length mismatch");
+    let mut bv: Vec<u64> = Vec::new();
+    reduce_bytes(comm, root, encode_u64s(mine), move |mut a, b| {
+        decode_u64s_into(&b, &mut bv);
+        assert_eq!(a.len(), n * 8, "reduce_vec_u64 length mismatch");
         assert_eq!(bv.len(), n, "reduce_vec_u64 length mismatch");
-        for (x, y) in av.iter_mut().zip(bv) {
-            *x = op.fold_u64(*x, y);
+        for (chunk, y) in a.chunks_exact_mut(8).zip(&bv) {
+            let x = u64::from_le_bytes(chunk.try_into().unwrap());
+            chunk.copy_from_slice(&op.fold_u64(x, *y).to_le_bytes());
         }
-        encode_u64s(&av)
+        a
     })
     .map(|b| decode_u64s(&b))
 }
 
 /// Element-wise allreduce of equal-length `u64` vectors.
 pub fn allreduce_vec_u64(comm: &Communicator, mine: &[u64], op: ReduceOp) -> Vec<u64> {
+    let mut out = Vec::new();
+    allreduce_vec_u64_into(comm, mine, op, &mut out);
+    out
+}
+
+/// [`allreduce_vec_u64`] into a caller-owned vector (cleared, capacity
+/// retained) — the per-step load aggregations use this to stay
+/// allocation-free in steady state.
+pub fn allreduce_vec_u64_into(comm: &Communicator, mine: &[u64], op: ReduceOp, out: &mut Vec<u64>) {
     let reduced = reduce_vec_u64(comm, 0, mine, op);
     let packed = reduced.map(|v| encode_u64s(&v)).unwrap_or_default();
-    decode_u64s(&broadcast(comm, 0, packed))
+    broadcast_visit(comm, 0, packed, |b| decode_u64s_into(b, out));
 }
 
 /// Scalar u64 allreduce.
@@ -229,18 +303,27 @@ pub fn allreduce_u64(comm: &Communicator, mine: u64, op: ReduceOp) -> u64 {
 /// Element-wise allreduce of equal-length `f64` vectors (deterministic
 /// fold order: fixed binomial tree).
 pub fn allreduce_vec_f64(comm: &Communicator, mine: &[f64], op: ReduceOp) -> Vec<f64> {
+    let mut out = Vec::new();
+    allreduce_vec_f64_into(comm, mine, op, &mut out);
+    out
+}
+
+/// [`allreduce_vec_f64`] into a caller-owned vector (cleared, capacity
+/// retained). The fold rewrites the accumulator's bytes in place.
+pub fn allreduce_vec_f64_into(comm: &Communicator, mine: &[f64], op: ReduceOp, out: &mut Vec<f64>) {
     let n = mine.len();
-    let reduced = reduce_bytes(comm, 0, encode_f64s(mine), move |a, b| {
-        let mut av = decode_f64s(&a);
-        let bv = decode_f64s(&b);
-        assert_eq!(av.len(), n);
-        for (x, y) in av.iter_mut().zip(bv) {
-            *x = op.fold_f64(*x, y);
+    let mut bv: Vec<f64> = Vec::new();
+    let reduced = reduce_bytes(comm, 0, encode_f64s(mine), move |mut a, b| {
+        decode_f64s_into(&b, &mut bv);
+        assert_eq!(a.len(), n * 8);
+        for (chunk, y) in a.chunks_exact_mut(8).zip(&bv) {
+            let x = f64::from_le_bytes(chunk.try_into().unwrap());
+            chunk.copy_from_slice(&op.fold_f64(x, *y).to_le_bytes());
         }
-        encode_f64s(&av)
+        a
     });
     let packed = reduced.unwrap_or_default();
-    decode_f64s(&broadcast(comm, 0, packed))
+    broadcast_visit(comm, 0, packed, |b| decode_f64s_into(b, out));
 }
 
 /// Scalar f64 allreduce.
@@ -276,7 +359,8 @@ pub fn scan_u64(comm: &Communicator, mine: u64, op: ReduceOp) -> u64 {
     let rank = comm.rank();
     let mut acc = mine;
     if rank > 0 {
-        let upstream = decode_u64s(&comm.recv_coll(rank - 1, base))[0];
+        let buf = comm.recv_coll(rank - 1, base);
+        let upstream = u64::from_le_bytes(buf[..8].try_into().unwrap());
         acc = op.fold_u64(upstream, acc);
     }
     if rank + 1 < comm.size() {
@@ -299,7 +383,94 @@ pub fn exscan_sum_u64(comm: &Communicator, mine: u64) -> u64 {
 /// Element-wise sum of per-rank `u64` vectors of length `P`, scattering
 /// element `r` to rank `r` — the one-call form of the diffusion balancer's
 /// "every processor column learns its own aggregated count".
+///
+/// Pairwise recursive-halving algorithm: the exchanged data volume halves
+/// every round, so no rank ever materializes the full reduced `P`-vector
+/// (unlike the allreduce-based oracle,
+/// [`reduce_scatter_sum_u64_via_allreduce`]). Non-power-of-two sizes fold
+/// the top `P - 2^k` ranks into partners first and scatter their slots
+/// back at the end.
 pub fn reduce_scatter_sum_u64(comm: &Communicator, mine: &[u64]) -> u64 {
+    let size = comm.size();
+    assert_eq!(mine.len(), size, "one element per rank");
+    if size == 1 {
+        return mine[0];
+    }
+    let base = comm.next_coll_base();
+    let rank = comm.rank();
+    let pow2 = if size.is_power_of_two() {
+        size
+    } else {
+        size.next_power_of_two() >> 1
+    };
+    let rem = size - pow2;
+    // Tag layout: base for the pre-phase, base + 1 + round for the halving
+    // rounds (round < 20), base + 30 for the post-phase scatter.
+    const POST_TAG: u64 = 30;
+
+    let mut acc: Vec<u64> = mine.to_vec();
+    if rank >= pow2 {
+        // Fold into the partner, then wait for our scattered slot.
+        comm.send_coll(rank - pow2, base, encode_u64s(&acc));
+        let buf = comm.recv_coll(rank - pow2, base + POST_TAG);
+        return u64::from_le_bytes(buf[..8].try_into().unwrap());
+    }
+    if rank < rem {
+        let theirs = comm.recv_coll(rank + pow2, base);
+        assert_eq!(theirs.len(), size * 8, "reduce_scatter framing");
+        for (x, chunk) in acc.iter_mut().zip(theirs.chunks_exact(8)) {
+            *x += u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+    }
+
+    // Group range [a, b) owns final slots a..b plus the slots of the
+    // pre-folded ranks a+pow2..min(b+pow2, size), serialized ascending.
+    let push_slots = |a: usize, b: usize, acc: &[u64], out: &mut Vec<u8>| {
+        for i in (a..b).chain(a + pow2..(b + pow2).min(size)) {
+            out.extend_from_slice(&acc[i].to_le_bytes());
+        }
+    };
+    let mut lo = 0usize;
+    let mut len = pow2;
+    let mut round = 1u64;
+    while len > 1 {
+        let half = len / 2;
+        let lower = rank < lo + half;
+        let (my_a, my_b, their_a, their_b) = if lower {
+            (lo, lo + half, lo + half, lo + len)
+        } else {
+            (lo + half, lo + len, lo, lo + half)
+        };
+        let partner = if lower { rank + half } else { rank - half };
+        let mut buf = Vec::new();
+        push_slots(their_a, their_b, &acc, &mut buf);
+        comm.send_coll(partner, base + round, buf);
+        let got = comm.recv_coll(partner, base + round);
+        let mut chunks = got.chunks_exact(8);
+        for i in (my_a..my_b).chain(my_a + pow2..(my_b + pow2).min(size)) {
+            let c = chunks.next().expect("reduce_scatter framing");
+            acc[i] += u64::from_le_bytes(c.try_into().unwrap());
+        }
+        assert!(chunks.next().is_none(), "reduce_scatter framing");
+        lo = my_a;
+        len = half;
+        round += 1;
+    }
+    debug_assert_eq!(lo, rank);
+    if rank < rem {
+        comm.send_coll(
+            rank + pow2,
+            base + POST_TAG,
+            acc[rank + pow2].to_le_bytes().to_vec(),
+        );
+    }
+    acc[rank]
+}
+
+/// The pre-PR-8 implementation — a full vector allreduce followed by
+/// picking one's own slot. Kept as the test oracle for the pairwise
+/// algorithm above.
+pub fn reduce_scatter_sum_u64_via_allreduce(comm: &Communicator, mine: &[u64]) -> u64 {
     assert_eq!(mine.len(), comm.size(), "one element per rank");
     let all = allreduce_vec_u64(comm, mine, ReduceOp::Sum);
     all[comm.rank()]
@@ -342,17 +513,8 @@ pub fn alltoallv_take_into(
     outgoing: &mut [Vec<u8>],
     incoming: &mut Vec<Vec<u8>>,
 ) {
-    assert_eq!(
-        outgoing.len(),
-        comm.size(),
-        "alltoallv needs one payload per rank"
-    );
-    let base = comm.next_coll_base();
-    for (dst, payload) in outgoing.iter_mut().enumerate() {
-        comm.send_coll(dst, base, std::mem::take(payload));
-    }
-    incoming.clear();
-    incoming.extend((0..comm.size()).map(|src| comm.recv_coll(src, base)));
+    let handle = crate::sparse::alltoallv_start(comm, outgoing);
+    crate::sparse::alltoallv_finish_into(comm, handle, incoming);
 }
 
 // ---------------------------------------------------------------------------
@@ -401,6 +563,77 @@ mod tests {
         assert_eq!(decode_u64s(&encode_u64s(&v)), v);
         let f = vec![0.0f64, -1.5, f64::MAX, f64::MIN_POSITIVE];
         assert_eq!(decode_f64s(&encode_f64s(&f)), f);
+    }
+
+    #[test]
+    fn codec_into_reuses_capacity() {
+        let v = vec![3u64, 4, 5];
+        let mut out = Vec::with_capacity(8);
+        let cap = out.capacity();
+        decode_u64s_into(&encode_u64s(&v), &mut out);
+        assert_eq!(out, v);
+        assert_eq!(out.capacity(), cap, "no reallocation under capacity");
+        let f = vec![1.5f64, -2.5];
+        let mut fout = Vec::with_capacity(4);
+        decode_f64s_into(&encode_f64s(&f), &mut fout);
+        assert_eq!(fout, f);
+    }
+
+    #[test]
+    fn broadcast_visit_matches_broadcast() {
+        for p in [1usize, 2, 3, 5, 8] {
+            for root in 0..p {
+                let got = run_threads(p, move |comm| {
+                    let data = if comm.rank() == root {
+                        vec![7, root as u8]
+                    } else {
+                        Vec::new()
+                    };
+                    let mut seen = Vec::new();
+                    broadcast_visit(&comm, root, data, |b| seen.extend_from_slice(b));
+                    seen
+                });
+                for g in got {
+                    assert_eq!(g, vec![7, root as u8]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_vec_into_reuses_scratch() {
+        let got = run_threads(3, |comm| {
+            let mut out = Vec::new();
+            let mut fout = Vec::new();
+            for step in 0..3u64 {
+                let mine = vec![comm.rank() as u64 + step, 1];
+                allreduce_vec_u64_into(&comm, &mine, ReduceOp::Sum, &mut out);
+                let fmine = vec![comm.rank() as f64];
+                allreduce_vec_f64_into(&comm, &fmine, ReduceOp::Max, &mut fout);
+            }
+            (out, fout)
+        });
+        for (out, fout) in got {
+            assert_eq!(out, vec![3 + 3 * 2, 3]);
+            assert_eq!(fout, vec![2.0]);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_matches_allreduce_oracle() {
+        for p in [1usize, 2, 3, 4, 5, 6, 7, 8] {
+            let got = run_threads(p, move |comm| {
+                let mine: Vec<u64> = (0..p)
+                    .map(|i| (comm.rank() * 31 + i * 7 + 1) as u64)
+                    .collect();
+                let pairwise = reduce_scatter_sum_u64(&comm, &mine);
+                let oracle = reduce_scatter_sum_u64_via_allreduce(&comm, &mine);
+                (pairwise, oracle)
+            });
+            for (r, (pairwise, oracle)) in got.into_iter().enumerate() {
+                assert_eq!(pairwise, oracle, "size {p} rank {r}");
+            }
+        }
     }
 
     #[test]

@@ -48,6 +48,52 @@ impl ReduceOp {
 /// Highest tag bit flags a collective-internal message.
 const COLLECTIVE_FLAG: u64 = 1 << 63;
 
+/// Completion handle for a nonblocking send started with
+/// [`Communicator::isend`]. Sends never block on this transport (unbounded
+/// channels), so the handle completes trivially — it exists so call sites
+/// are written against the MPI-shaped API and keep working if the
+/// transport grows backpressure.
+#[derive(Debug)]
+#[must_use = "an isend must be completed with wait()"]
+pub struct SendHandle {
+    _priv: (),
+}
+
+impl SendHandle {
+    /// Has the send completed? Always true on this transport.
+    pub fn test(&self) -> bool {
+        true
+    }
+
+    /// Block until the send completes (a no-op here).
+    pub fn wait(self) {}
+}
+
+/// Completion handle for a nonblocking receive posted with
+/// [`Communicator::irecv`]. The message is claimed when `test` first
+/// matches or when `wait` is called; the handle pins `(src, tag)` so the
+/// match is exactly the one the post described.
+#[derive(Debug)]
+#[must_use = "an irecv must be completed with test() or wait()"]
+pub struct RecvHandle {
+    src: usize,
+    tag: Tag,
+}
+
+impl RecvHandle {
+    /// Non-blocking completion probe: returns the payload when the
+    /// matching message has arrived, `None` otherwise. Call with the same
+    /// communicator the handle was created from.
+    pub fn test(&self, comm: &Communicator) -> Option<Vec<u8>> {
+        comm.try_recv(self.src, self.tag)
+    }
+
+    /// Block until the matching message arrives and return its payload.
+    pub fn wait(self, comm: &Communicator) -> Vec<u8> {
+        comm.recv(self.src, self.tag)
+    }
+}
+
 /// A communicator: an ordered group of ranks with an isolated message
 /// context. Clone-free by design — each rank holds exactly one
 /// `Communicator` per group it belongs to.
@@ -123,6 +169,27 @@ impl Communicator {
     pub fn recv(&self, src: usize, tag: Tag) -> Vec<u8> {
         assert!(tag <= Self::MAX_USER_TAG, "tag {tag} exceeds MAX_USER_TAG");
         self.ep.recv(self.members[src], self.ctx, tag)
+    }
+
+    /// Non-blocking receive from communicator rank `src` with a user tag.
+    /// Returns `None` when no matching message has arrived yet.
+    pub fn try_recv(&self, src: usize, tag: Tag) -> Option<Vec<u8>> {
+        assert!(tag <= Self::MAX_USER_TAG, "tag {tag} exceeds MAX_USER_TAG");
+        self.ep.try_recv(self.members[src], self.ctx, tag)
+    }
+
+    /// Nonblocking send. The transport is eager (sends never block), so the
+    /// returned handle is trivially complete; see [`SendHandle`].
+    pub fn isend(&self, dst: usize, tag: Tag, data: Vec<u8>) -> SendHandle {
+        self.send(dst, tag, data);
+        SendHandle { _priv: () }
+    }
+
+    /// Post a nonblocking receive for `(src, tag)`. Complete it with
+    /// [`RecvHandle::test`] or [`RecvHandle::wait`].
+    pub fn irecv(&self, src: usize, tag: Tag) -> RecvHandle {
+        assert!(tag <= Self::MAX_USER_TAG, "tag {tag} exceeds MAX_USER_TAG");
+        RecvHandle { src, tag }
     }
 
     /// Internal: send/recv with a collective-reserved tag.
@@ -203,6 +270,28 @@ mod tests {
         assert_eq!(ReduceOp::Max.fold_u64(2, 3), 3);
         assert_eq!(ReduceOp::Sum.fold_f64(0.5, 0.25), 0.75);
         assert_eq!(ReduceOp::Max.fold_u128(7, 9), 9);
+    }
+
+    #[test]
+    fn isend_irecv_roundtrip() {
+        let eps = Endpoint::world(1);
+        let c = Communicator::world(eps[0].clone());
+        let r = c.irecv(0, 4);
+        assert!(r.test(&c).is_none(), "nothing sent yet");
+        let s = c.isend(0, 4, vec![1, 2]);
+        assert!(s.test());
+        s.wait();
+        assert_eq!(r.test(&c), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn irecv_wait_blocks_until_match() {
+        let eps = Endpoint::world(1);
+        let c = Communicator::world(eps[0].clone());
+        let r = c.irecv(0, 8);
+        c.send(0, 8, vec![3]);
+        assert_eq!(r.wait(&c), vec![3]);
+        assert_eq!(c.try_recv(0, 8), None);
     }
 
     #[test]

@@ -119,6 +119,31 @@ impl Endpoint {
         }
     }
 
+    /// Non-blocking receive matching `(ctx, src_world, tag)`. Drains the
+    /// wire into the unexpected-message queue but never waits; returns
+    /// `None` when no matching message has arrived yet.
+    pub fn try_recv(&self, src_world: usize, ctx: u64, tag: u64) -> Option<Vec<u8>> {
+        {
+            let mut pending = self.pending.lock().unwrap();
+            if let Some(pos) = pending
+                .iter()
+                .position(|m| m.ctx == ctx && m.src == src_world && m.tag == tag)
+            {
+                let m = pending.remove(pos).unwrap();
+                self.note_recv(&m);
+                return Some(m.data);
+            }
+        }
+        while let Some(m) = self.inbox.try_recv() {
+            if m.ctx == ctx && m.src == src_world && m.tag == tag {
+                self.note_recv(&m);
+                return Some(m.data);
+            }
+            self.pending.lock().unwrap().push_back(m);
+        }
+        None
+    }
+
     fn note_recv(&self, m: &RawMsg) {
         self.msgs_recv.fetch_add(1, Ordering::Relaxed);
         self.bytes_recv
@@ -191,6 +216,20 @@ mod tests {
         a.send(1, 0, 1, vec![5, 6]);
         assert_eq!(a.recv(1, 0, 2), vec![10, 12]);
         t.join().unwrap();
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let eps = Endpoint::world(1);
+        assert_eq!(eps[0].try_recv(0, 3, 1), None);
+        eps[0].send(0, 3, 2, vec![9]);
+        eps[0].send(0, 3, 1, vec![7]);
+        // Match arrives after a non-match; the non-match parks.
+        assert_eq!(eps[0].try_recv(0, 3, 1), Some(vec![7]));
+        assert_eq!(eps[0].pending_count(), 1);
+        assert_eq!(eps[0].try_recv(0, 3, 2), Some(vec![9]));
+        assert_eq!(eps[0].pending_count(), 0);
+        assert_eq!(eps[0].try_recv(0, 3, 2), None);
     }
 
     #[test]

@@ -44,7 +44,8 @@ pub fn run_baseline_traced(
         tracer.begin_step(s);
         sent_window += st.step_traced(comm, tracer) as u64;
         if every > 0 && s.is_multiple_of(every) {
-            global_count = snapshot_loads(comm, tracer, st.local_count() as u64, sent_window);
+            let msgs = st.take_message_counts();
+            global_count = snapshot_loads(comm, tracer, st.local_count() as u64, sent_window, msgs);
             sent_window = 0;
         }
         tracer.end_step(global_count);

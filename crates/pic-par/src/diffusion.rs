@@ -177,7 +177,8 @@ pub fn run_diffusion_mode_traced(
             tracer.phase_end(Phase::Balance);
         }
         if every > 0 && (s as u64).is_multiple_of(every) {
-            global_count = snapshot_loads(comm, tracer, st.local_count() as u64, sent_window);
+            let msgs = st.take_message_counts();
+            global_count = snapshot_loads(comm, tracer, st.local_count() as u64, sent_window, msgs);
             sent_window = 0;
         }
         tracer.end_step(global_count);
@@ -228,7 +229,8 @@ fn lb_step(
         }
     }
     if matches!(mode, DiffusionMode::YOnly | DiffusionMode::TwoPhase) {
-        let row_counts = st.aggregate_axis_counts(comm, false);
+        let mut row_counts = Vec::new();
+        st.aggregate_axis_counts_into(comm, false, &mut row_counts);
         tracer.add(Counter::CollectiveBytes, row_counts.len() as u64 * 8);
         // The decision procedure is axis-agnostic: cuts + counts in, cuts
         // out.

@@ -9,8 +9,11 @@
 //! owner-directed personalized all-to-all.
 
 use crate::decomp::Decomp2d;
-use pic_comm::collective::alltoallv_take_into;
 use pic_comm::comm::Communicator;
+use pic_comm::sparse::{
+    alltoallv_finish_into, alltoallv_sparse_finish_into, alltoallv_sparse_start, alltoallv_start,
+    AlltoallvHandle, SparsePlan,
+};
 use pic_core::bin::BinnedStore;
 use pic_core::geometry::Grid;
 use pic_core::particle::Particle;
@@ -39,11 +42,71 @@ pub struct ExchangeBuffers {
     inbox: Vec<Vec<u8>>,
     /// Recycled byte buffers feeding the next encode pass.
     spare: Vec<Vec<u8>>,
+    /// Neighbor topology for the sparse exchange; `None` routes every
+    /// payload through the dense synchronous all-to-all (the oracle path).
+    plan: Option<SparsePlan>,
+    /// Payload messages put on the wire since the last counter take.
+    msgs_sent: u64,
+    /// Payload messages the sparse protocol elided since the last take.
+    msgs_skipped: u64,
 }
 
 impl ExchangeBuffers {
     pub fn new() -> ExchangeBuffers {
         ExchangeBuffers::default()
+    }
+
+    /// Route subsequent exchanges through the sparse neighbor-aware
+    /// protocol. `neighbors` must be symmetric across ranks (see
+    /// [`SparsePlan`]); calling again replaces the topology while keeping
+    /// the plan's recycled scratch, and must keep `size`/`my_rank` fixed.
+    pub fn enable_sparse(
+        &mut self,
+        size: usize,
+        my_rank: usize,
+        neighbors: impl IntoIterator<Item = usize>,
+    ) {
+        match &mut self.plan {
+            Some(p) => p.set_neighbors(neighbors),
+            None => self.plan = Some(SparsePlan::new(size, my_rank, neighbors)),
+        }
+    }
+
+    /// Is the sparse protocol active for these buffers?
+    pub fn sparse_enabled(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// Drain the accumulated `(sent, skipped)` wire-message counters —
+    /// payload messages actually sent vs. elided by the sparse protocol
+    /// since the previous take. Feeds the `msgs_sent` / `msgs_skipped`
+    /// trace counters.
+    pub fn take_message_counts(&mut self) -> (u64, u64) {
+        (
+            std::mem::take(&mut self.msgs_sent),
+            std::mem::take(&mut self.msgs_skipped),
+        )
+    }
+
+    /// Launch the encoded wire payloads through the configured (sparse or
+    /// dense) all-to-all and account the message counters.
+    fn start_wire(&mut self, comm: &Communicator) -> AlltoallvHandle {
+        let h = match &mut self.plan {
+            Some(plan) => alltoallv_sparse_start(comm, &mut self.wire, plan),
+            None => alltoallv_start(comm, &mut self.wire),
+        };
+        self.msgs_sent += h.messages_sent();
+        self.msgs_skipped += h.messages_skipped();
+        h
+    }
+
+    /// Complete an exchange started by [`ExchangeBuffers::start_wire`],
+    /// filling `inbox` with one payload per source rank.
+    fn finish_wire(&mut self, comm: &Communicator, handle: AlltoallvHandle) {
+        match &mut self.plan {
+            Some(plan) => alltoallv_sparse_finish_into(comm, handle, plan, &mut self.inbox),
+            None => alltoallv_finish_into(comm, handle, &mut self.inbox),
+        }
     }
 
     /// Encode the staged `outgoing` buckets into per-destination wire
@@ -131,7 +194,8 @@ where
     std::mem::swap(particles, &mut bufs.kept);
 
     bufs.encode_wire(comm.size());
-    alltoallv_take_into(comm, &mut bufs.wire, &mut bufs.inbox);
+    let handle = bufs.start_wire(comm);
+    bufs.finish_wire(comm, handle);
     let mut received = 0usize;
     for (src, buf) in bufs.inbox.iter().enumerate() {
         if src == my_rank || buf.is_empty() {
@@ -160,13 +224,62 @@ pub fn route_binned_with<F>(
 where
     F: Fn(usize, usize) -> usize,
 {
+    let inflight = route_binned_start(comm, my_rank, owner, |_| true, store, grid, bufs);
+    let sent = inflight.sent;
+    let received = route_binned_finish(comm, inflight, store, bufs);
+    (sent, received)
+}
+
+/// An exchange whose sends are posted but whose receives have not been
+/// completed — the split between [`route_binned_start`] and
+/// [`route_binned_finish`]. Dropping it without finishing strands the
+/// matching receives on every peer.
+#[must_use = "a started exchange must be completed with route_binned_finish"]
+pub struct ExchangeInFlight {
+    handle: AlltoallvHandle,
+    /// Particles this rank handed to other ranks at the start.
+    pub sent: usize,
+}
+
+impl ExchangeInFlight {
+    /// Did the sparse protocol fall back to the dense pattern because some
+    /// rank had a payload for a non-neighbor?
+    pub fn escaped(&self) -> bool {
+        self.handle.escaped()
+    }
+}
+
+/// First half of the split-phase binned exchange: drain the leavers of the
+/// bins whose **global column** satisfies `active` (plus the tail region,
+/// which is always tested), stage them per destination, and post all sends.
+/// The overlapped rank step passes the border-column predicate here, then
+/// advances the interior while the messages are in flight, and calls
+/// [`route_binned_finish`] afterwards. Passing `|_| true` drains everything
+/// — the synchronous pattern.
+///
+/// The caller guarantees inactive columns hold no leavers; for a store
+/// swept with per-step column stride `s`, that is exactly the bins within
+/// [`BinnedStore::border_width`]`(s)` of a subdomain edge.
+pub fn route_binned_start<F>(
+    comm: &Communicator,
+    my_rank: usize,
+    owner: F,
+    active: impl FnMut(usize) -> bool,
+    store: &mut BinnedStore,
+    grid: &Grid,
+    bufs: &mut ExchangeBuffers,
+) -> ExchangeInFlight
+where
+    F: Fn(usize, usize) -> usize,
+{
     debug_assert_eq!(comm.rank(), my_rank);
     bufs.outgoing.resize_with(comm.size(), Vec::new);
     bufs.outgoing.iter_mut().for_each(Vec::clear);
     let outgoing = &mut bufs.outgoing;
     let nranks = comm.size();
-    let sent = store.drain_leavers_into(
+    let sent = store.drain_leavers_cols_into(
         grid,
+        active,
         |c, r| owner(c, r) == my_rank,
         |p| {
             let (c, r) = grid.cell_of_point(p.x, p.y);
@@ -176,17 +289,31 @@ where
         },
     );
     bufs.encode_wire(nranks);
-    alltoallv_take_into(comm, &mut bufs.wire, &mut bufs.inbox);
+    let handle = bufs.start_wire(comm);
+    ExchangeInFlight { handle, sent }
+}
+
+/// Second half of the split-phase binned exchange: complete the receives
+/// and append every arrival to the store's tail region (in source-rank
+/// order, so the result is identical to the synchronous exchange). Returns
+/// the number of particles received.
+pub fn route_binned_finish(
+    comm: &Communicator,
+    inflight: ExchangeInFlight,
+    store: &mut BinnedStore,
+    bufs: &mut ExchangeBuffers,
+) -> usize {
+    bufs.finish_wire(comm, inflight.handle);
     let mut received = 0usize;
     for (src, buf) in bufs.inbox.iter().enumerate() {
-        if src == my_rank || buf.is_empty() {
+        if src == comm.rank() || buf.is_empty() {
             continue;
         }
         received +=
             Particle::decode_each(buf, |p| store.push_tail(p)).expect("corrupt particle payload");
     }
     bufs.recycle_inbox();
-    (sent, received)
+    received
 }
 
 /// [`route_binned_with`] under the Cartesian decomposition — the binned
@@ -308,6 +435,152 @@ mod tests {
         let idsum: u128 = totals.iter().map(|t| t.1).sum();
         assert_eq!(total, 200);
         assert_eq!(idsum, 200u128 * 201 / 2, "no particle lost or duplicated");
+    }
+
+    #[test]
+    fn sparse_escape_rehomes_strided_misassignment() {
+        // Strided mis-assignment scatters particles across *non-adjacent*
+        // ranks of a 4-column world (neighbor stencil = {left, right}), so
+        // the very first sparse exchange must raise the escape flag and
+        // fall back to the dense pattern — and still deliver everything.
+        let (grid, all) = setup(200);
+        let decomp = Decomp2d::columns(16, 4);
+        let totals = run_threads(4, |comm| {
+            let rank = comm.rank();
+            let mut mine: Vec<Particle> = all
+                .iter()
+                .filter(|p| (p.id as usize) % 4 == rank)
+                .copied()
+                .collect();
+            let d = decomp.clone();
+            let mut bufs = ExchangeBuffers::new();
+            bufs.enable_sparse(4, rank, d.neighbors_of(rank));
+            rehome_particles_with(&comm, &d, &grid, rank, &mut mine, &mut bufs);
+            for p in &mine {
+                let (c, r) = grid.cell_of_point(p.x, p.y);
+                assert_eq!(d.owner_of_cell(c, r), rank);
+            }
+            // Once settled, a second pass stays on the sparse path and
+            // sends no payloads at all.
+            bufs.take_message_counts();
+            rehome_particles_with(&comm, &d, &grid, rank, &mut mine, &mut bufs);
+            let (sent_msgs, skipped) = bufs.take_message_counts();
+            assert_eq!(sent_msgs, 0, "settled world must skip every payload");
+            assert_eq!(skipped, 4);
+            (mine.len(), mine.iter().map(|p| p.id as u128).sum::<u128>())
+        });
+        let total: usize = totals.iter().map(|t| t.0).sum();
+        let idsum: u128 = totals.iter().map(|t| t.1).sum();
+        assert_eq!(total, 200);
+        assert_eq!(idsum, 200u128 * 201 / 2, "no particle lost or duplicated");
+    }
+
+    #[test]
+    fn sparse_binned_route_matches_dense_oracle() {
+        // The sparse neighbor path must be bit-identical to the dense
+        // synchronous exchange over a multi-step binned run — and must
+        // actually elide messages while doing so.
+        use pic_core::charge::SimConstants;
+        let (grid, all) = setup(400);
+        let decomp = Decomp2d::columns(16, 4);
+        let consts = SimConstants::CANONICAL;
+        let steps = 12;
+        let run = |sparse: bool| {
+            run_threads(4, |comm| {
+                let rank = comm.rank();
+                let mine = local_slice(&decomp, &grid, rank, &all);
+                let ((x0, x1), _) = decomp.bounds(rank);
+                let mut store = BinnedStore::new_subdomain(&mine, &grid, 3, x0, x1);
+                let mut bufs = ExchangeBuffers::new();
+                if sparse {
+                    bufs.enable_sparse(4, rank, decomp.neighbors_of(rank));
+                }
+                for _ in 0..steps {
+                    store.sweep_local(&grid, &consts, None);
+                    rehome_binned_with(&comm, &decomp, &grid, rank, &mut store, &mut bufs);
+                    if store.rebin_due() {
+                        store.rebin(&grid);
+                    }
+                }
+                let (sent_msgs, skipped) = bufs.take_message_counts();
+                (store.to_particles(), sent_msgs, skipped)
+            })
+        };
+        let dense = run(false);
+        let sparse = run(true);
+        let flat = |rs: &[(Vec<Particle>, u64, u64)]| {
+            let mut v: Vec<Particle> = rs.iter().flat_map(|r| r.0.clone()).collect();
+            v.sort_unstable_by_key(|p| p.id);
+            v
+        };
+        assert_eq!(flat(&dense), flat(&sparse), "sparse diverged from dense");
+        let dense_msgs: u64 = dense.iter().map(|r| r.1).sum();
+        let sparse_msgs: u64 = sparse.iter().map(|r| r.1).sum();
+        let skipped: u64 = sparse.iter().map(|r| r.2).sum();
+        assert_eq!(dense_msgs, 4 * 4 * steps, "dense sends P per rank per step");
+        assert!(sparse_msgs < dense_msgs, "sparse must elide messages");
+        assert_eq!(sparse_msgs + skipped, dense_msgs, "counters must partition");
+    }
+
+    #[test]
+    fn split_phase_start_finish_matches_synchronous() {
+        // Split the exchange around an (empty) compute window and restrict
+        // the drain to border columns — the tail and border bins still
+        // deliver every leaver, matching the synchronous full drain.
+        use pic_core::charge::SimConstants;
+        let (grid, all) = setup(300);
+        let decomp = Decomp2d::columns(16, 4);
+        let consts = SimConstants::CANONICAL;
+        let steps = 10;
+        let stride = 1; // k = 0 population
+        let run = |split: bool| {
+            run_threads(4, |comm| {
+                let rank = comm.rank();
+                let mine = local_slice(&decomp, &grid, rank, &all);
+                let ((x0, x1), _) = decomp.bounds(rank);
+                let mut store = BinnedStore::new_subdomain(&mine, &grid, 3, x0, x1);
+                let mut bufs = ExchangeBuffers::new();
+                bufs.enable_sparse(4, rank, decomp.neighbors_of(rank));
+                for _ in 0..steps {
+                    if split {
+                        store.prepare_sweep(&grid);
+                        let w = store.border_width(stride);
+                        let b_lo = (x0 + w).min(x1);
+                        let b_hi = x1.saturating_sub(w).max(b_lo);
+                        store.sweep_cols(&grid, &consts, None, x0..b_lo);
+                        store.sweep_cols(&grid, &consts, None, b_hi..x1);
+                        store.sweep_tail_pass(&grid, &consts, None);
+                        let inflight = route_binned_start(
+                            &comm,
+                            rank,
+                            |c, r| decomp.owner_of_cell(c, r),
+                            |c| !(b_lo..b_hi).contains(&c),
+                            &mut store,
+                            &grid,
+                            &mut bufs,
+                        );
+                        store.sweep_cols(&grid, &consts, None, b_lo..b_hi);
+                        route_binned_finish(&comm, inflight, &mut store, &mut bufs);
+                        store.end_sweep();
+                    } else {
+                        store.sweep_local(&grid, &consts, None);
+                        rehome_binned_with(&comm, &decomp, &grid, rank, &mut store, &mut bufs);
+                    }
+                    if store.rebin_due() {
+                        store.rebin(&grid);
+                    }
+                }
+                store.to_particles()
+            })
+        };
+        let sync = run(false);
+        let split = run(true);
+        let flat = |rs: &[Vec<Particle>]| {
+            let mut v: Vec<Particle> = rs.concat();
+            v.sort_unstable_by_key(|p| p.id);
+            v
+        };
+        assert_eq!(flat(&sync), flat(&split), "split-phase diverged");
     }
 
     #[test]

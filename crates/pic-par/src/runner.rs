@@ -2,10 +2,13 @@
 //! event application, and distributed verification.
 
 use crate::decomp::Decomp2d;
-use crate::exchange::{local_slice, rehome_binned_with, rehome_particles_with, ExchangeBuffers};
+use crate::exchange::{
+    local_slice, rehome_binned_with, rehome_particles_with, route_binned_finish,
+    route_binned_start, ExchangeBuffers,
+};
 use pic_comm::collective::{
-    allgatherv, allreduce_f64, allreduce_u128, allreduce_u64, allreduce_vec_u64, decode_u64s,
-    encode_u64s,
+    allgatherv, allreduce_f64, allreduce_u128, allreduce_u64, allreduce_vec_u64,
+    allreduce_vec_u64_into, decode_u64s, encode_u64s,
 };
 use pic_comm::comm::{Communicator, ReduceOp};
 use pic_core::bin::{BinnedStore, KernelTier, DEFAULT_REBIN};
@@ -33,6 +36,23 @@ pub enum RankPath {
     Binned,
 }
 
+/// How the per-step exchange routes particle payloads between ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExchangeMode {
+    /// Dense synchronous all-to-all after the full sweep: every rank sends
+    /// `P` payloads (most of them empty markers) and blocks until all are
+    /// received. Kept selectable as the equivalence oracle.
+    DenseSync,
+    /// Sparse neighbor-aware exchange (counts to the Cartesian 8-stencil,
+    /// payloads only where non-empty, global escape flag for fast
+    /// particles), split-phase overlapped with the interior sweep whenever
+    /// the decomposition permits (`py == 1`, or no vertical motion at
+    /// all); sparse-but-synchronous otherwise. Bit-identical results to
+    /// [`ExchangeMode::DenseSync`].
+    #[default]
+    OverlappedSparse,
+}
+
 /// Rank-loop kernel selection, threaded from the CLI's `--sweep`/`--rebin`
 /// into every distributed implementation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +64,9 @@ pub struct RankKernel {
     pub backend: Option<SimdBackend>,
     /// Sweeps between counting sorts (binned path).
     pub rebin_interval: u32,
+    /// Exchange routing (default: overlapped sparse; dense synchronous is
+    /// the oracle escape hatch).
+    pub exchange: ExchangeMode,
 }
 
 impl Default for RankKernel {
@@ -53,6 +76,7 @@ impl Default for RankKernel {
             tier: KernelTier::Exact,
             backend: None,
             rebin_interval: DEFAULT_REBIN,
+            exchange: ExchangeMode::OverlappedSparse,
         }
     }
 }
@@ -92,6 +116,11 @@ impl RankKernel {
 
     pub fn with_backend(mut self, backend: SimdBackend) -> RankKernel {
         self.backend = Some(backend);
+        self
+    }
+
+    pub fn with_exchange(mut self, exchange: ExchangeMode) -> RankKernel {
+        self.exchange = exchange;
         self
     }
 }
@@ -275,6 +304,15 @@ pub struct RankState {
     bufs: ExchangeBuffers,
     /// Reused per-axis count scratch for the diffusion balancer.
     lb_scratch: Vec<u64>,
+    /// Exchange routing mode (from the rank kernel).
+    exchange: ExchangeMode,
+    /// Per-step column stride bound: `2·k_max + 1` over the initial
+    /// population and every injection event — no particle can hop more
+    /// columns than this in one sweep (the analytic motion contract).
+    stride_x: usize,
+    /// Largest `|m|` over the population and injections: the exact
+    /// per-step row hop. Zero means no particle ever crosses a row.
+    max_abs_m: i64,
 }
 
 impl RankState {
@@ -297,6 +335,11 @@ impl RankState {
         let (cols, rows) = decomp.bounds(rank);
         let charges = ChargeGrid::build(&setup.grid, &setup.consts, cols, rows);
         let store = RankStore::build(particles, &setup.grid, kernel, cols);
+        let (stride_x, max_abs_m) = motion_bounds(setup);
+        let mut bufs = ExchangeBuffers::new();
+        if kernel.exchange == ExchangeMode::OverlappedSparse {
+            bufs.enable_sparse(decomp.ranks(), rank, decomp.neighbors_of(rank));
+        }
         RankState {
             grid: setup.grid,
             consts: setup.consts,
@@ -309,8 +352,11 @@ impl RankState {
             next_event: 0,
             expected_id_sum: setup.initial_id_sum(),
             next_id: setup.next_id,
-            bufs: ExchangeBuffers::new(),
+            bufs,
             lb_scratch: Vec::new(),
+            exchange: kernel.exchange,
+            stride_x,
+            max_abs_m,
         }
     }
 
@@ -431,37 +477,59 @@ impl RankState {
         self.step_traced(comm, &mut Tracer::disabled());
     }
 
+    /// Can this step run the overlapped border/interior split? The split
+    /// is column-based, so it only catches leavers through the x-cuts: it
+    /// is sound when the rank rows cannot be crossed at all — a single
+    /// processor row, or a population with no vertical motion. Otherwise
+    /// the step falls back to the sparse-but-synchronous exchange (the
+    /// full drain catches row leavers from any column).
+    fn overlap_ready(&self) -> bool {
+        self.exchange == ExchangeMode::OverlappedSparse
+            && matches!(self.store, RankStore::Binned(_))
+            && (self.decomp.py == 1 || self.max_abs_m == 0)
+    }
+
     /// [`RankState::step`] with telemetry: the advance loop is timed as
-    /// the `advance` phase, rehoming as `exchange`. Returns the number of
-    /// particles this rank sent away (feeds the `rehomed` counter, which
-    /// is globally summed at traced steps by [`snapshot_loads`]).
+    /// the `advance` phase, rehoming as `exchange` (interleaved when the
+    /// overlapped path runs). Returns the number of particles this rank
+    /// sent away (feeds the `rehomed` counter, which is globally summed
+    /// at traced steps by [`snapshot_loads`]).
     pub fn step_traced(&mut self, comm: &Communicator, tracer: &mut Tracer) -> usize {
         self.apply_due_events(comm);
         let rebins_before = match &self.store {
             RankStore::Binned(b) => b.rebin_count(),
             RankStore::Aos(_) => 0,
         };
-        tracer.phase_start(Phase::Advance);
-        match &mut self.store {
-            RankStore::Aos(particles) => {
-                for p in particles.iter_mut() {
-                    let (ax, ay) =
-                        self.charges
-                            .total_force(&self.grid, &self.consts, p.x, p.y, p.q);
-                    advance_with_acceleration(&self.grid, &self.consts, p, ax, ay);
+        let sent = if self.overlap_ready() {
+            self.step_overlapped(comm, tracer)
+        } else {
+            tracer.phase_start(Phase::Advance);
+            match &mut self.store {
+                RankStore::Aos(particles) => {
+                    for p in particles.iter_mut() {
+                        let (ax, ay) =
+                            self.charges
+                                .total_force(&self.grid, &self.consts, p.x, p.y, p.q);
+                        advance_with_acceleration(&self.grid, &self.consts, p, ax, ay);
+                    }
+                }
+                // The serial engine's kernel stack, serial on this rank's
+                // own thread (each rank is already a parallel unit), forces
+                // read from the ghost-ringed charge subgrid.
+                RankStore::Binned(b) => {
+                    b.sweep_local(&self.grid, &self.consts, Some(&self.charges))
                 }
             }
-            // The serial engine's kernel stack, serial on this rank's own
-            // thread (each rank is already a parallel unit), forces read
-            // from the ghost-ringed charge subgrid.
-            RankStore::Binned(b) => b.sweep_local(&self.grid, &self.consts, Some(&self.charges)),
-        }
-        tracer.phase_end(Phase::Advance);
-        tracer.phase_start(Phase::Exchange);
-        let (sent, _received) = self.rehome(comm);
+            tracer.phase_end(Phase::Advance);
+            tracer.phase_start(Phase::Exchange);
+            let (sent, _received) = self.rehome(comm);
+            tracer.phase_end(Phase::Exchange);
+            sent
+        };
         // The amortized rebin runs *after* the exchange so the counting
         // sort only ever sees homed particles (arrivals fold in from the
         // tail; column range is exactly the subdomain).
+        tracer.phase_start(Phase::Exchange);
         if let RankStore::Binned(b) = &mut self.store {
             if b.rebin_due() {
                 b.rebin(&self.grid);
@@ -471,6 +539,68 @@ impl RankState {
         tracer.phase_end(Phase::Exchange);
         self.step += 1;
         sent
+    }
+
+    /// The overlapped step (paper-faithful split-phase exchange): advance
+    /// the *border* columns first, launch the exchange for their leavers,
+    /// advance the *interior* while the messages are in flight, then
+    /// complete the receives into the tail. Bit-identical to the
+    /// synchronous step: bins run the same tier kernel at the same age
+    /// parity against the same fixed per-step mesh regardless of the
+    /// column partition, the stable drain visits leavers in the same
+    /// order (interior bins cannot produce leavers — that is what
+    /// [`BinnedStore::border_width`] guarantees), and arrivals append in
+    /// source-rank order either way.
+    fn step_overlapped(&mut self, comm: &Communicator, tracer: &mut Tracer) -> usize {
+        let RankStore::Binned(b) = &mut self.store else {
+            unreachable!("overlap_ready checked the store path");
+        };
+        tracer.phase_start(Phase::Advance);
+        b.prepare_sweep(&self.grid);
+        let ((x0, x1), _) = self.decomp.bounds(self.rank);
+        // Bin-space border: particles drift from their bin column between
+        // rebins, so the border widens with the store's age.
+        let w = b.border_width(self.stride_x);
+        let b_lo = (x0 + w).min(x1);
+        let b_hi = x1.saturating_sub(w).max(b_lo);
+        b.sweep_cols(&self.grid, &self.consts, Some(&self.charges), x0..b_lo);
+        b.sweep_cols(&self.grid, &self.consts, Some(&self.charges), b_hi..x1);
+        b.sweep_tail_pass(&self.grid, &self.consts, Some(&self.charges));
+        tracer.phase_end(Phase::Advance);
+
+        tracer.phase_start(Phase::Exchange);
+        let decomp = &self.decomp;
+        let inflight = route_binned_start(
+            comm,
+            self.rank,
+            |c, r| decomp.owner_of_cell(c, r),
+            |c| !(b_lo..b_hi).contains(&c),
+            b,
+            &self.grid,
+            &mut self.bufs,
+        );
+        let sent = inflight.sent;
+        tracer.phase_end(Phase::Exchange);
+
+        tracer.phase_start(Phase::Advance);
+        let window_start = std::time::Instant::now();
+        b.sweep_cols(&self.grid, &self.consts, Some(&self.charges), b_lo..b_hi);
+        let overlap_ns = window_start.elapsed().as_nanos() as u64;
+        tracer.phase_end(Phase::Advance);
+
+        tracer.phase_start(Phase::Exchange);
+        route_binned_finish(comm, inflight, b, &mut self.bufs);
+        b.end_sweep();
+        tracer.add(Counter::OverlapNs, overlap_ns);
+        tracer.phase_end(Phase::Exchange);
+        sent
+    }
+
+    /// Drain the `(sent, skipped)` wire-message counters accumulated by
+    /// this rank's exchanges since the previous take (see
+    /// [`ExchangeBuffers::take_message_counts`]).
+    pub fn take_message_counts(&mut self) -> (u64, u64) {
+        self.bufs.take_message_counts()
     }
 
     /// Route every mis-homed particle to its owner, reusing this rank's
@@ -503,6 +633,19 @@ impl RankState {
     /// allocated by the collective (message ownership crosses the
     /// transport, as with any MPI receive buffer).
     pub fn aggregate_axis_counts(&mut self, comm: &Communicator, along_x: bool) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.aggregate_axis_counts_into(comm, along_x, &mut out);
+        out
+    }
+
+    /// [`RankState::aggregate_axis_counts`] into a caller-owned buffer —
+    /// the fully allocation-free form for steady-state balancer loops.
+    pub fn aggregate_axis_counts_into(
+        &mut self,
+        comm: &Communicator,
+        along_x: bool,
+        out: &mut Vec<u64>,
+    ) {
         let (slots, idx) = {
             let (cx, cy) = self.decomp.coords_of(self.rank);
             if along_x {
@@ -514,7 +657,7 @@ impl RankState {
         self.lb_scratch.clear();
         self.lb_scratch.resize(slots, 0);
         self.lb_scratch[idx] = self.local_count() as u64;
-        allreduce_vec_u64(comm, &self.lb_scratch, ReduceOp::Sum)
+        allreduce_vec_u64_into(comm, &self.lb_scratch, ReduceOp::Sum, out);
     }
 
     /// Collectively aggregate the global per-cell-column histogram from
@@ -595,26 +738,55 @@ pub fn trace_interval(comm: &Communicator, tracer: &Tracer) -> u64 {
 }
 
 /// Collective telemetry snapshot at a traced step: the per-rank load
-/// vector (one slot per rank, vector allreduce) and the global number of
-/// particles rehomed since the previous snapshot. Feeds the tracer's load
-/// statistics, `rehomed`, and `collective_bytes` counters; returns the
-/// global particle count. Must be called by every rank at the same step.
+/// vector plus three windowed scalars (particles rehomed, wire messages
+/// sent, wire messages elided by the sparse protocol) merged into a
+/// single `(size + 3)`-slot vector allreduce. Feeds the tracer's load
+/// statistics and the `rehomed` / `msgs_sent` / `msgs_skipped` /
+/// `collective_bytes` counters; returns the global particle count. Must
+/// be called by every rank at the same step.
 pub fn snapshot_loads(
     comm: &Communicator,
     tracer: &mut Tracer,
     local_count: u64,
     sent_window: u64,
+    msgs_window: (u64, u64),
 ) -> u64 {
-    let mut slots = vec![0u64; comm.size()];
+    let n = comm.size();
+    let mut slots = vec![0u64; n + 3];
     slots[comm.rank()] = local_count;
+    slots[n] = sent_window;
+    slots[n + 1] = msgs_window.0;
+    slots[n + 2] = msgs_window.1;
     let counts = allreduce_vec_u64(comm, &slots, ReduceOp::Sum);
-    let moved = allreduce_u64(comm, sent_window, ReduceOp::Sum);
-    tracer.add(Counter::Rehomed, moved);
-    // This rank's contribution bytes: the slot vector plus the scalar.
-    tracer.add(Counter::CollectiveBytes, (slots.len() as u64 + 1) * 8);
-    let loads: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+    tracer.add(Counter::Rehomed, counts[n]);
+    tracer.add(Counter::MsgsSent, counts[n + 1]);
+    tracer.add(Counter::MsgsSkipped, counts[n + 2]);
+    tracer.add(Counter::CollectiveBytes, slots.len() as u64 * 8);
+    let loads: Vec<f64> = counts[..n].iter().map(|&c| c as f64).collect();
     tracer.record_loads(&loads);
-    counts.iter().sum()
+    counts[..n].iter().sum()
+}
+
+/// Bounds on per-step motion over the whole simulation (initial
+/// population plus every scheduled injection): the maximum x-stride
+/// `2·k + 1` and the largest per-step row displacement `|m|`. Both are
+/// exact analytic contracts of the kernel (see
+/// [`Particle::cells_per_step_x`] / `cells_per_step_y`), so the border
+/// width computed from the stride is a guarantee, not a heuristic.
+fn motion_bounds(setup: &SimulationSetup) -> (usize, i64) {
+    let mut max_k = 0u32;
+    let mut max_m = 0i64;
+    for p in &setup.particles {
+        max_k = max_k.max(p.k);
+        max_m = max_m.max((p.m as i64).abs());
+    }
+    for e in &setup.events {
+        if let EventKind::Inject { k, m, .. } = e.kind {
+            max_k = max_k.max(k);
+            max_m = max_m.max((m as i64).abs());
+        }
+    }
+    (2 * max_k as usize + 1, max_m)
 }
 
 /// Globally merge per-rank failing-id diagnostics: allgather, sort, dedup,

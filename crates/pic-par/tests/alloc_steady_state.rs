@@ -24,7 +24,7 @@ use pic_core::dist::Distribution;
 use pic_core::geometry::Grid;
 use pic_core::init::InitConfig;
 use pic_par::decomp::Decomp2d;
-use pic_par::runner::{RankKernel, RankState};
+use pic_par::runner::{ExchangeMode, RankKernel, RankState};
 
 struct CountingAlloc;
 
@@ -110,10 +110,14 @@ fn audit(kernel: RankKernel) -> Vec<(usize, usize)> {
 #[test]
 fn rank_step_loop_reaches_allocation_steady_state() {
     // The drifting uniform cloud keeps the exchange busy: every step moves
-    // boundary particles across at least one cut. Audit the binned default,
-    // its fast tier, and the AoS reference loop.
+    // boundary particles across at least one cut. Audit the binned default
+    // (overlapped sparse exchange — escape dissemination, per-neighbor
+    // counts, and the split-phase handle must all run off pooled buffers),
+    // the dense synchronous oracle, the fast tier, and the AoS reference
+    // loop (sparse-synchronous: AoS has no column split to overlap).
     for kernel in [
         RankKernel::default(),
+        RankKernel::default().with_exchange(ExchangeMode::DenseSync),
         RankKernel::default().with_rebin_interval(1),
         RankKernel::from_sweep(pic_core::engine::SweepMode::SoaBinnedFast),
         RankKernel::aos(),

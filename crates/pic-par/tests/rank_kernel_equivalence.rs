@@ -24,7 +24,7 @@ use pic_core::simd::SimdBackend;
 use pic_core::verify::analytic_tolerance;
 use pic_par::baseline::run_baseline;
 use pic_par::diffusion::{run_diffusion, DiffusionParams};
-use pic_par::runner::{ParConfig, ParOutcome, RankKernel};
+use pic_par::runner::{ExchangeMode, ParConfig, ParOutcome, RankKernel};
 use proptest::prelude::*;
 
 const STEPS: u32 = 30;
@@ -117,7 +117,9 @@ proptest! {
 
     /// The tentpole contract: Binned/Exact ≡ AoS, bit for bit, across the
     /// sampled cross product of distribution × rank count × rebin
-    /// interval × implementation.
+    /// interval × implementation × exchange mode. The AoS reference runs
+    /// the dense synchronous exchange (the oracle); the binned kernel must
+    /// match it under both the oracle and the overlapped sparse default.
     #[test]
     fn binned_exact_bitwise_matches_aos_rank_loop(
         dist_i in 0usize..4,
@@ -126,27 +128,100 @@ proptest! {
         diffusion in any::<bool>(),
     ) {
         let dist = distributions()[dist_i];
-        let aos = bit_finals(&run_impl(dist, ranks, diffusion, RankKernel::aos()));
-        let kernel = RankKernel::default().with_rebin_interval(rebin);
-        let binned = bit_finals(&run_impl(dist, ranks, diffusion, kernel));
-        prop_assert_eq!(
-            aos, binned,
-            "dist {:?}, {} ranks, rebin {}, diffusion={}",
-            dist, ranks, rebin, diffusion
-        );
+        let aos_kernel = RankKernel::aos().with_exchange(ExchangeMode::DenseSync);
+        let aos = bit_finals(&run_impl(dist, ranks, diffusion, aos_kernel));
+        for exchange in [ExchangeMode::DenseSync, ExchangeMode::OverlappedSparse] {
+            let kernel = RankKernel::default()
+                .with_rebin_interval(rebin)
+                .with_exchange(exchange);
+            let binned = bit_finals(&run_impl(dist, ranks, diffusion, kernel));
+            prop_assert_eq!(
+                &aos, &binned,
+                "dist {:?}, {} ranks, rebin {}, diffusion={}, exchange={:?}",
+                dist, ranks, rebin, diffusion, exchange
+            );
+        }
     }
 }
 
 /// Every SIMD backend the host offers produces the same bits as the AoS
-/// loop on the exact tier — the lane width is an implementation detail.
+/// loop on the exact tier — the lane width is an implementation detail —
+/// under both exchange modes.
 #[test]
 fn binned_exact_bitwise_identical_across_backends() {
     let dist = Distribution::Geometric { r: 0.9 };
-    let aos = bit_finals(&run_impl(dist, 4, true, RankKernel::aos()));
+    let aos = bit_finals(&run_impl(
+        dist,
+        4,
+        true,
+        RankKernel::aos().with_exchange(ExchangeMode::DenseSync),
+    ));
     for backend in SimdBackend::available() {
-        let kernel = RankKernel::default().with_backend(backend);
-        let got = bit_finals(&run_impl(dist, 4, true, kernel));
-        assert_eq!(aos, got, "backend {}", backend.name());
+        for exchange in [ExchangeMode::DenseSync, ExchangeMode::OverlappedSparse] {
+            let kernel = RankKernel::default()
+                .with_backend(backend)
+                .with_exchange(exchange);
+            let got = bit_finals(&run_impl(dist, 4, true, kernel));
+            assert_eq!(
+                aos,
+                got,
+                "backend {} exchange {:?}",
+                backend.name(),
+                exchange
+            );
+        }
+    }
+}
+
+/// The split-phase overlapped path specifically (not the sparse-synchronous
+/// fallback): horizontal-only motion keeps every rank row uncrossable, so
+/// the border/interior column split is active on every binned rank even
+/// under a 2D decomposition. Fast stride (k=2 ⇒ 5 cells/step) plus a
+/// mid-run injection keeps the exchange and the escape machinery busy; the
+/// result must still match the dense synchronous oracle bit for bit.
+#[test]
+fn overlapped_split_phase_matches_dense_oracle_bitwise() {
+    let setup = InitConfig::new(
+        Grid::new(32).unwrap(),
+        N,
+        Distribution::Geometric { r: 0.85 },
+    )
+    .with_k(2)
+    .build()
+    .unwrap()
+    .with_event(Event::inject(
+        9,
+        Region {
+            x0: 4,
+            x1: 20,
+            y0: 4,
+            y1: 20,
+        },
+        50,
+        1,
+        0,
+        -1,
+    ));
+    for ranks in [1usize, 2, 4] {
+        for rebin in [1u32, 3, 16] {
+            let mut finals = Vec::new();
+            for exchange in [ExchangeMode::DenseSync, ExchangeMode::OverlappedSparse] {
+                let kernel = RankKernel::default()
+                    .with_rebin_interval(rebin)
+                    .with_exchange(exchange);
+                let cfg = ParConfig::new(setup.clone(), STEPS).with_kernel(kernel);
+                let outcomes = run_threads(ranks, |comm| {
+                    let o = run_baseline(&comm, &cfg);
+                    assert!(o.verify.passed(), "{:?}", o.verify);
+                    o
+                });
+                finals.push(bit_finals(&outcomes));
+            }
+            assert_eq!(
+                finals[0], finals[1],
+                "overlapped sparse diverged from dense oracle ({ranks} ranks, rebin {rebin})"
+            );
+        }
     }
 }
 

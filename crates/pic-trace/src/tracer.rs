@@ -88,10 +88,19 @@ pub enum Counter {
     CollectiveBytes,
     /// Counting-sort (rebin) invocations in the binned store.
     Rebins,
+    /// Exchange payload messages actually put on the wire (global sum at
+    /// traced steps; the dense pattern sends one per rank pair per step).
+    MsgsSent,
+    /// Exchange payload messages the sparse protocol elided (global sum at
+    /// traced steps); `sent + skipped` = what dense would have sent.
+    MsgsSkipped,
+    /// Nanoseconds the recording rank spent advancing interior columns
+    /// while exchange messages were in flight (the overlap window).
+    OverlapNs,
 }
 
 /// Number of [`Counter`] variants (array-index bound).
-pub const COUNTER_COUNT: usize = 4;
+pub const COUNTER_COUNT: usize = 7;
 
 impl Counter {
     /// All counters, in emission order.
@@ -100,6 +109,9 @@ impl Counter {
         Counter::BorderCells,
         Counter::CollectiveBytes,
         Counter::Rebins,
+        Counter::MsgsSent,
+        Counter::MsgsSkipped,
+        Counter::OverlapNs,
     ];
 
     /// JSON field name.
@@ -109,6 +121,9 @@ impl Counter {
             Counter::BorderCells => "border_cells",
             Counter::CollectiveBytes => "collective_bytes",
             Counter::Rebins => "rebins",
+            Counter::MsgsSent => "msgs_sent",
+            Counter::MsgsSkipped => "msgs_skipped",
+            Counter::OverlapNs => "overlap_ns",
         }
     }
 

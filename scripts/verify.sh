@@ -48,6 +48,21 @@ head -1 "$trace_file" | grep -q '"simd":"[a-z0-9]*/fast"'
 cargo run --release -q -p pic-bench --bin trace_check -- "$trace_file"
 rm -f "$trace_file"
 
+echo "==> overlap-mode equivalence pass (overlapped sparse vs dense oracle)"
+# The overlapped sparse exchange (the default) must be bit-identical to
+# the dense synchronous oracle. The proptests pin this in-process; this
+# gate re-runs the cross-mode equivalence suites end to end, vector and
+# forced-scalar, and smokes both CLI modes on every implementation.
+cargo test -q -p pic-par --test rank_kernel_equivalence
+PIC_NO_SIMD=1 cargo test -q -p pic-par --test rank_kernel_equivalence
+for impl in baseline diffusion ampi; do
+    for overlap in on off; do
+        ./target/release/pic --impl "$impl" --ranks 4 --grid 32 \
+            --particles 2000 --steps 30 --k 1 --dist geometric:0.9 \
+            --overlap "$overlap" --quiet | grep -qx PASS
+    done
+done
+
 echo "==> fast-tier analytic gate (--sweep soa-binned-fast must PASS)"
 # The fast kernel relaxes bit-identity; its correctness gate is the
 # analytic trajectory bound (DESIGN.md §12), which verify() applies in

@@ -18,7 +18,7 @@ use pic_prk::comm::world::run_threads;
 use pic_prk::core::init::SkewAxis;
 use pic_prk::par::baseline::run_baseline_traced;
 use pic_prk::par::diffusion::{run_diffusion_mode_traced, DiffusionMode, DiffusionParams};
-use pic_prk::par::runner::{ParConfig, ParOutcome, RankKernel};
+use pic_prk::par::runner::{ExchangeMode, ParConfig, ParOutcome, RankKernel};
 use pic_prk::prelude::*;
 use pic_prk::trace::{trace_simulation, Phase, Tracer};
 use std::io::Write;
@@ -74,6 +74,13 @@ Kernel selection (all implementations):
                       to the AoS loop)
   --rebin R           counting-sort interval for the binned sweeps
                       (steps between re-sorts, default {rebin})
+  --overlap on|off    particle exchange strategy for the parallel
+                      implementations (default on): on = sparse
+                      neighbor-aware all-to-all, split-phase overlapped
+                      with the interior sweep where the decomposition
+                      allows; off = dense synchronous alltoallv (the
+                      oracle both paths are verified against) —
+                      bit-identical results either way
 
 Single-process engine (--impl serial):
   --chunk N           chunk size for --sweep soa-chunked / soa-binned
@@ -284,6 +291,11 @@ fn main() {
     // tier, anything else → the AoS reference loop); without --sweep the
     // ranks run the binned exact tier, bit-identical to the AoS loop.
     let rebin: u32 = args.parse("--rebin", pic_prk::core::bin::DEFAULT_REBIN);
+    let exchange = match args.value("--overlap").unwrap_or("on") {
+        "on" => ExchangeMode::OverlappedSparse,
+        "off" => ExchangeMode::DenseSync,
+        other => bail(&format!("bad --overlap value: {other}")),
+    };
     let rank_kernel = match args.value("--sweep") {
         Some(name) => RankKernel::from_sweep(
             SweepMode::from_cli_name(name)
@@ -291,7 +303,8 @@ fn main() {
         ),
         None => RankKernel::default(),
     }
-    .with_rebin_interval(rebin);
+    .with_rebin_interval(rebin)
+    .with_exchange(exchange);
 
     let outcome: Option<ParOutcome> = match implementation.as_str() {
         "serial" => {
