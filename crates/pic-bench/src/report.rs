@@ -133,6 +133,7 @@ mod tests {
             steps: 100,
             records: 10,
             phase_ns: [2_000_000, 500_000, 250_000, 1_000_000],
+            phase_cpu_ns: [1_900_000, 100_000, 250_000, 1_000_000],
             counters: [1234, 56, 7890, 6, 300, 900, 12_000],
             max_imbalance: 2.345,
             mean_imbalance: 1.5,

@@ -85,8 +85,8 @@ pub fn barrier(comm: &Communicator) {
     while dist < size {
         let dst = (rank + dist) % size;
         let src = (rank + size - dist) % size;
-        comm.send_coll(dst, base + round, Vec::new());
-        let _ = comm.recv_coll(src, base + round);
+        comm.send_coll(dst, base + round, Vec::<u8>::new());
+        let _: Vec<u8> = comm.recv_coll(src, base + round);
         dist <<= 1;
         round += 1;
     }
@@ -359,7 +359,7 @@ pub fn scan_u64(comm: &Communicator, mine: u64, op: ReduceOp) -> u64 {
     let rank = comm.rank();
     let mut acc = mine;
     if rank > 0 {
-        let buf = comm.recv_coll(rank - 1, base);
+        let buf: Vec<u8> = comm.recv_coll(rank - 1, base);
         let upstream = u64::from_le_bytes(buf[..8].try_into().unwrap());
         acc = op.fold_u64(upstream, acc);
     }
@@ -412,11 +412,11 @@ pub fn reduce_scatter_sum_u64(comm: &Communicator, mine: &[u64]) -> u64 {
     if rank >= pow2 {
         // Fold into the partner, then wait for our scattered slot.
         comm.send_coll(rank - pow2, base, encode_u64s(&acc));
-        let buf = comm.recv_coll(rank - pow2, base + POST_TAG);
+        let buf: Vec<u8> = comm.recv_coll(rank - pow2, base + POST_TAG);
         return u64::from_le_bytes(buf[..8].try_into().unwrap());
     }
     if rank < rem {
-        let theirs = comm.recv_coll(rank + pow2, base);
+        let theirs: Vec<u8> = comm.recv_coll(rank + pow2, base);
         assert_eq!(theirs.len(), size * 8, "reduce_scatter framing");
         for (x, chunk) in acc.iter_mut().zip(theirs.chunks_exact(8)) {
             *x += u64::from_le_bytes(chunk.try_into().unwrap());
@@ -445,7 +445,7 @@ pub fn reduce_scatter_sum_u64(comm: &Communicator, mine: &[u64]) -> u64 {
         let mut buf = Vec::new();
         push_slots(their_a, their_b, &acc, &mut buf);
         comm.send_coll(partner, base + round, buf);
-        let got = comm.recv_coll(partner, base + round);
+        let got: Vec<u8> = comm.recv_coll(partner, base + round);
         let mut chunks = got.chunks_exact(8);
         for i in (my_a..my_b).chain(my_a + pow2..(my_b + pow2).min(size)) {
             let c = chunks.next().expect("reduce_scatter framing");
@@ -493,8 +493,9 @@ pub fn sendrecv(comm: &Communicator, dst: usize, src: usize, tag: u64, data: Vec
 
 /// Personalized all-to-all: `outgoing[d]` goes to rank `d`; returns the
 /// payload received from every rank (in rank order). Zero-length payloads
-/// are delivered too (they serve as "nothing for you" markers).
-pub fn alltoallv(comm: &Communicator, outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+/// are delivered too (they serve as "nothing for you" markers). Generic
+/// over the wire lane — byte buffers or typed particle buffers.
+pub fn alltoallv<P: crate::payload::WirePayload>(comm: &Communicator, outgoing: Vec<P>) -> Vec<P> {
     let mut outgoing = outgoing;
     let mut incoming = Vec::new();
     alltoallv_take_into(comm, &mut outgoing, &mut incoming);
@@ -502,16 +503,17 @@ pub fn alltoallv(comm: &Communicator, outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
 }
 
 /// [`alltoallv`] with caller-owned scratch on both sides: each payload is
-/// *taken* out of `outgoing` (`std::mem::take`, so the outer vector and
-/// its slots survive for reuse) and arrivals land in `incoming`
-/// (cleared, capacity retained). The payload buffers themselves still
-/// move into the transport — channel ownership transfer, like an MPI
-/// send buffer — but receivers can recycle the buffers they get, so a
-/// steady-state exchange *circulates* capacity instead of allocating it.
-pub fn alltoallv_take_into(
+/// *taken* out of `outgoing` (replaced by an empty buffer, so the outer
+/// vector and its slots survive for reuse) and arrivals land in
+/// `incoming` (cleared, capacity retained). The payload buffers
+/// themselves still move into the transport — channel ownership transfer,
+/// like an MPI send buffer — but receivers can recycle the buffers they
+/// get, so a steady-state exchange *circulates* capacity instead of
+/// allocating it.
+pub fn alltoallv_take_into<P: crate::payload::WirePayload>(
     comm: &Communicator,
-    outgoing: &mut [Vec<u8>],
-    incoming: &mut Vec<Vec<u8>>,
+    outgoing: &mut [P],
+    incoming: &mut Vec<P>,
 ) {
     let handle = crate::sparse::alltoallv_start(comm, outgoing);
     crate::sparse::alltoallv_finish_into(comm, handle, incoming);

@@ -1,6 +1,7 @@
 //! The [`Communicator`] — a rank's handle on a (sub-)communicator.
 
 use crate::endpoint::{CommMetrics, Endpoint};
+use crate::payload::WirePayload;
 use std::cell::Cell;
 use std::sync::Arc;
 
@@ -159,16 +160,29 @@ impl Communicator {
         self.members[r]
     }
 
+    /// Send a buffer to communicator rank `dst` with a user tag,
+    /// surrendering its ownership to the transport. Generic over the wire
+    /// lane — `Vec<u8>` (oracle) or `Vec<Particle>` (typed fast lane).
+    pub fn send_payload<P: WirePayload>(&self, dst: usize, tag: Tag, data: P) {
+        assert!(tag <= Self::MAX_USER_TAG, "tag {tag} exceeds MAX_USER_TAG");
+        self.ep.send_payload(self.members[dst], self.ctx, tag, data);
+    }
+
+    /// Blocking receive of a `P` buffer from communicator rank `src` with
+    /// a user tag. A matching message of the wrong payload kind panics.
+    pub fn recv_payload<P: WirePayload>(&self, src: usize, tag: Tag) -> P {
+        assert!(tag <= Self::MAX_USER_TAG, "tag {tag} exceeds MAX_USER_TAG");
+        self.ep.recv_payload(self.members[src], self.ctx, tag)
+    }
+
     /// Send `data` to communicator rank `dst` with a user tag.
     pub fn send(&self, dst: usize, tag: Tag, data: Vec<u8>) {
-        assert!(tag <= Self::MAX_USER_TAG, "tag {tag} exceeds MAX_USER_TAG");
-        self.ep.send(self.members[dst], self.ctx, tag, data);
+        self.send_payload(dst, tag, data);
     }
 
     /// Blocking receive from communicator rank `src` with a user tag.
     pub fn recv(&self, src: usize, tag: Tag) -> Vec<u8> {
-        assert!(tag <= Self::MAX_USER_TAG, "tag {tag} exceeds MAX_USER_TAG");
-        self.ep.recv(self.members[src], self.ctx, tag)
+        self.recv_payload(src, tag)
     }
 
     /// Non-blocking receive from communicator rank `src` with a user tag.
@@ -192,15 +206,16 @@ impl Communicator {
         RecvHandle { src, tag }
     }
 
-    /// Internal: send/recv with a collective-reserved tag.
-    pub(crate) fn send_coll(&self, dst: usize, tag: u64, data: Vec<u8>) {
+    /// Internal: send/recv with a collective-reserved tag. Generic over
+    /// the wire lane so the alltoallv family can route typed buffers.
+    pub(crate) fn send_coll<P: WirePayload>(&self, dst: usize, tag: u64, data: P) {
         self.ep
-            .send(self.members[dst], self.ctx, COLLECTIVE_FLAG | tag, data);
+            .send_payload(self.members[dst], self.ctx, COLLECTIVE_FLAG | tag, data);
     }
 
-    pub(crate) fn recv_coll(&self, src: usize, tag: u64) -> Vec<u8> {
+    pub(crate) fn recv_coll<P: WirePayload>(&self, src: usize, tag: u64) -> P {
         self.ep
-            .recv(self.members[src], self.ctx, COLLECTIVE_FLAG | tag)
+            .recv_payload(self.members[src], self.ctx, COLLECTIVE_FLAG | tag)
     }
 
     /// Allocate a fresh tag block for one collective operation. All members

@@ -1,18 +1,21 @@
 //! Per-rank communication endpoint: channels + tag matching + counters.
 
 use crate::chan::{unbounded, Receiver, Sender};
+use crate::payload::{Payload, WirePayload};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A raw wire message. `ctx` isolates communicators, `src` is the sender's
-/// *world* rank, `tag` is the user/collective tag.
+/// *world* rank, `tag` is the user/collective tag. The body is a
+/// [`Payload`] — matching is on `(ctx, src, tag)` only; the *receiver*
+/// names the type it expects and a kind mismatch panics at claim time.
 #[derive(Debug)]
 pub struct RawMsg {
     pub ctx: u64,
     pub src: usize,
     pub tag: u64,
-    pub data: Vec<u8>,
+    pub data: Payload,
 }
 
 /// Snapshot of an endpoint's traffic counters.
@@ -74,25 +77,33 @@ impl Endpoint {
         self.senders.len()
     }
 
-    /// Send a message to a world rank. Never blocks (unbounded channels,
-    /// like an eager-protocol MPI for the message sizes this kernel uses).
-    pub fn send(&self, dst_world: usize, ctx: u64, tag: u64, data: Vec<u8>) {
+    /// Send a buffer to a world rank, surrendering its ownership to the
+    /// transport. Never blocks (unbounded channels, like an eager-protocol
+    /// MPI for the message sizes this kernel uses).
+    pub fn send_payload<P: WirePayload>(&self, dst_world: usize, ctx: u64, tag: u64, data: P) {
         self.msgs_sent.fetch_add(1, Ordering::Relaxed);
         self.bytes_sent
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
+            .fetch_add(data.len_bytes() as u64, Ordering::Relaxed);
         self.senders[dst_world]
             .send(RawMsg {
                 ctx,
                 src: self.world_rank,
                 tag,
-                data,
+                data: data.into_payload(),
             })
             .expect("receiver endpoint dropped while ranks still sending");
     }
 
-    /// Blocking receive matching `(ctx, src_world, tag)`. Non-matching
-    /// arrivals are parked for later receives.
-    pub fn recv(&self, src_world: usize, ctx: u64, tag: u64) -> Vec<u8> {
+    /// [`Endpoint::send_payload`] on the byte lane.
+    pub fn send(&self, dst_world: usize, ctx: u64, tag: u64, data: Vec<u8>) {
+        self.send_payload(dst_world, ctx, tag, data);
+    }
+
+    /// Blocking receive matching `(ctx, src_world, tag)`, claiming the
+    /// message as buffer type `P`. Non-matching arrivals are parked for
+    /// later receives; a matching message of the wrong payload kind panics
+    /// (see [`WirePayload::from_payload`]).
+    pub fn recv_payload<P: WirePayload>(&self, src_world: usize, ctx: u64, tag: u64) -> P {
         // First scan the unexpected-message queue.
         {
             let mut pending = self.pending.lock().unwrap();
@@ -102,7 +113,7 @@ impl Endpoint {
             {
                 let m = pending.remove(pos).unwrap();
                 self.note_recv(&m);
-                return m.data;
+                return P::from_payload(m.data);
             }
         }
         // Then pull from the wire until the match arrives.
@@ -113,16 +124,26 @@ impl Endpoint {
                 .expect("all senders dropped while a receive was outstanding");
             if m.ctx == ctx && m.src == src_world && m.tag == tag {
                 self.note_recv(&m);
-                return m.data;
+                return P::from_payload(m.data);
             }
             self.pending.lock().unwrap().push_back(m);
         }
     }
 
+    /// [`Endpoint::recv_payload`] on the byte lane.
+    pub fn recv(&self, src_world: usize, ctx: u64, tag: u64) -> Vec<u8> {
+        self.recv_payload(src_world, ctx, tag)
+    }
+
     /// Non-blocking receive matching `(ctx, src_world, tag)`. Drains the
     /// wire into the unexpected-message queue but never waits; returns
     /// `None` when no matching message has arrived yet.
-    pub fn try_recv(&self, src_world: usize, ctx: u64, tag: u64) -> Option<Vec<u8>> {
+    pub fn try_recv_payload<P: WirePayload>(
+        &self,
+        src_world: usize,
+        ctx: u64,
+        tag: u64,
+    ) -> Option<P> {
         {
             let mut pending = self.pending.lock().unwrap();
             if let Some(pos) = pending
@@ -131,23 +152,28 @@ impl Endpoint {
             {
                 let m = pending.remove(pos).unwrap();
                 self.note_recv(&m);
-                return Some(m.data);
+                return Some(P::from_payload(m.data));
             }
         }
         while let Some(m) = self.inbox.try_recv() {
             if m.ctx == ctx && m.src == src_world && m.tag == tag {
                 self.note_recv(&m);
-                return Some(m.data);
+                return Some(P::from_payload(m.data));
             }
             self.pending.lock().unwrap().push_back(m);
         }
         None
     }
 
+    /// [`Endpoint::try_recv_payload`] on the byte lane.
+    pub fn try_recv(&self, src_world: usize, ctx: u64, tag: u64) -> Option<Vec<u8>> {
+        self.try_recv_payload(src_world, ctx, tag)
+    }
+
     fn note_recv(&self, m: &RawMsg) {
         self.msgs_recv.fetch_add(1, Ordering::Relaxed);
         self.bytes_recv
-            .fetch_add(m.data.len() as u64, Ordering::Relaxed);
+            .fetch_add(m.data.len_bytes() as u64, Ordering::Relaxed);
     }
 
     /// Traffic counters so far.
@@ -230,6 +256,40 @@ mod tests {
         assert_eq!(eps[0].try_recv(0, 3, 2), Some(vec![9]));
         assert_eq!(eps[0].pending_count(), 0);
         assert_eq!(eps[0].try_recv(0, 3, 2), None);
+    }
+
+    #[test]
+    fn typed_lane_moves_buffers_and_accounts_bytes() {
+        use pic_core::particle::Particle;
+        let p = Particle {
+            id: 9,
+            x: 0.5,
+            y: 0.5,
+            vx: 1.0,
+            vy: -1.0,
+            q: 0.25,
+            x0: 0.5,
+            y0: 0.5,
+            k: 0,
+            m: 0,
+            born_at: 0,
+        };
+        let eps = Endpoint::world(1);
+        eps[0].send_payload(0, 4, 11, vec![p, p]);
+        let got: Vec<Particle> = eps[0].recv_payload(0, 4, 11);
+        assert_eq!(got, vec![p, p]);
+        let m = eps[0].metrics();
+        assert_eq!(m.bytes_sent, 2 * Particle::WIRE_SIZE as u64);
+        assert_eq!(m.bytes_received, 2 * Particle::WIRE_SIZE as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload kind mismatch")]
+    fn typed_message_claimed_as_bytes_panics() {
+        use pic_core::particle::Particle;
+        let eps = Endpoint::world(1);
+        eps[0].send_payload(0, 0, 1, Vec::<Particle>::new());
+        let _ = eps[0].recv(0, 0, 1);
     }
 
     #[test]

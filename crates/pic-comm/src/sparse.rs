@@ -29,6 +29,7 @@
 //! in [`SparsePlan`], so a steady-state exchange allocates nothing.
 
 use crate::comm::Communicator;
+use crate::payload::{Payload, PayloadKind, WirePayload};
 
 /// Tag offset of the per-neighbor count messages.
 const TAG_COUNT: u64 = 32;
@@ -58,6 +59,10 @@ enum HandleKind {
 pub struct AlltoallvHandle {
     base: u64,
     kind: HandleKind,
+    /// Wire lane the start call put on the wire; the finish call must
+    /// claim the same lane (asserted) — the receives would otherwise
+    /// panic deep in the payload layer or, worse, mis-deliver.
+    payload_kind: PayloadKind,
     sent: u64,
     skipped: u64,
 }
@@ -82,11 +87,12 @@ impl AlltoallvHandle {
     }
 }
 
-/// Start a dense split-phase all-to-all: `outgoing[d]` is taken
-/// (`std::mem::take`) and sent to rank `d` — including empty payloads,
-/// which serve as "nothing for you" markers. Complete with
-/// [`alltoallv_finish_into`].
-pub fn alltoallv_start(comm: &Communicator, outgoing: &mut [Vec<u8>]) -> AlltoallvHandle {
+/// Start a dense split-phase all-to-all: `outgoing[d]` is surrendered to
+/// the transport (replaced by `P::empty()`) and sent to rank `d` —
+/// including empty payloads, which serve as "nothing for you" markers.
+/// Generic over the wire lane (`Vec<u8>` or `Vec<Particle>`); complete
+/// with [`alltoallv_finish_into`] naming the same lane.
+pub fn alltoallv_start<P: WirePayload>(comm: &Communicator, outgoing: &mut [P]) -> AlltoallvHandle {
     assert_eq!(
         outgoing.len(),
         comm.size(),
@@ -94,11 +100,12 @@ pub fn alltoallv_start(comm: &Communicator, outgoing: &mut [Vec<u8>]) -> Alltoal
     );
     let base = comm.next_coll_base();
     for (dst, payload) in outgoing.iter_mut().enumerate() {
-        comm.send_coll(dst, base, std::mem::take(payload));
+        comm.send_coll(dst, base, std::mem::replace(payload, P::empty()));
     }
     AlltoallvHandle {
         base,
         kind: HandleKind::Dense,
+        payload_kind: P::KIND,
         sent: comm.size() as u64,
         skipped: 0,
     }
@@ -108,18 +115,25 @@ pub fn alltoallv_start(comm: &Communicator, outgoing: &mut [Vec<u8>]) -> Alltoal
 /// rank, in rank order, into `incoming` (cleared, capacity retained).
 /// Sparse handles carry plan state and must use
 /// [`alltoallv_sparse_finish_into`].
-pub fn alltoallv_finish_into(
+pub fn alltoallv_finish_into<P: WirePayload>(
     comm: &Communicator,
     handle: AlltoallvHandle,
-    incoming: &mut Vec<Vec<u8>>,
+    incoming: &mut Vec<P>,
 ) {
+    assert_eq!(
+        handle.payload_kind,
+        P::KIND,
+        "alltoallv started on the {} lane but finished on the {} lane",
+        handle.payload_kind.name(),
+        P::KIND.name()
+    );
     incoming.clear();
     let tag = match handle.kind {
         HandleKind::Dense => handle.base,
         HandleKind::Fallback => handle.base + TAG_FALLBACK,
         HandleKind::Sparse => panic!("sparse handle requires alltoallv_sparse_finish_into"),
     };
-    incoming.extend((0..comm.size()).map(|src| comm.recv_coll(src, tag)));
+    incoming.extend((0..comm.size()).map(|src| comm.recv_coll::<P>(src, tag)));
 }
 
 /// Reusable neighbor topology + scratch for the sparse exchange. Build it
@@ -136,11 +150,12 @@ pub struct SparsePlan {
     my_rank: usize,
     neighbors: Vec<usize>,
     is_neighbor: Vec<bool>,
-    /// Expected payload length per source for the in-flight exchange.
+    /// Expected payload length (wire-equivalent bytes) per source for the
+    /// in-flight exchange.
     counts: Vec<u64>,
     /// Self-destined payload stashed between start and finish (delivered
-    /// without a message).
-    self_payload: Vec<u8>,
+    /// without a message; either lane).
+    self_payload: Payload,
     /// Recycled small (flag/count) message buffers.
     small_spares: Vec<Vec<u8>>,
 }
@@ -165,7 +180,7 @@ impl SparsePlan {
             neighbors,
             is_neighbor,
             counts: Vec::new(),
-            self_payload: Vec::new(),
+            self_payload: Payload::default(),
             small_spares: Vec::new(),
         }
     }
@@ -223,7 +238,7 @@ fn escape_or(comm: &Communicator, plan: &mut SparsePlan, mut flag: bool, base: u
         let mut buf = plan.take_small();
         buf.push(flag as u8);
         comm.send_coll(dst, base + round, buf);
-        let got = comm.recv_coll(src, base + round);
+        let got: Vec<u8> = comm.recv_coll(src, base + round);
         flag |= got[0] != 0;
         plan.recycle_small(got);
         dist <<= 1;
@@ -238,9 +253,9 @@ fn escape_or(comm: &Communicator, plan: &mut SparsePlan, mut flag: bool, base: u
 /// degrade the call to the dense pattern; otherwise per-destination counts
 /// go to each neighbor and only non-empty payloads travel. The
 /// self-destined payload never touches the wire.
-pub fn alltoallv_sparse_start(
+pub fn alltoallv_sparse_start<P: WirePayload>(
     comm: &Communicator,
-    outgoing: &mut [Vec<u8>],
+    outgoing: &mut [P],
     plan: &mut SparsePlan,
 ) -> AlltoallvHandle {
     let size = comm.size();
@@ -256,32 +271,42 @@ pub fn alltoallv_sparse_start(
         .any(|(d, p)| !p.is_empty() && d != rank && !plan.is_neighbor[d]);
     if escape_or(comm, plan, local_escape, base) {
         for (dst, payload) in outgoing.iter_mut().enumerate() {
-            comm.send_coll(dst, base + TAG_FALLBACK, std::mem::take(payload));
+            comm.send_coll(
+                dst,
+                base + TAG_FALLBACK,
+                std::mem::replace(payload, P::empty()),
+            );
         }
         return AlltoallvHandle {
             base,
             kind: HandleKind::Fallback,
+            payload_kind: P::KIND,
             sent: size as u64,
             skipped: 0,
         };
     }
 
-    plan.self_payload = std::mem::take(&mut outgoing[rank]);
+    plan.self_payload = std::mem::replace(&mut outgoing[rank], P::empty()).into_payload();
     let mut sent = 0u64;
     for i in 0..plan.neighbors.len() {
         let dst = plan.neighbors[i];
-        let len = outgoing[dst].len() as u64;
+        let len = outgoing[dst].len_bytes() as u64;
         let mut cbuf = plan.take_small();
         cbuf.extend_from_slice(&len.to_le_bytes());
         comm.send_coll(dst, base + TAG_COUNT, cbuf);
         if len > 0 {
-            comm.send_coll(dst, base + TAG_PAYLOAD, std::mem::take(&mut outgoing[dst]));
+            comm.send_coll(
+                dst,
+                base + TAG_PAYLOAD,
+                std::mem::replace(&mut outgoing[dst], P::empty()),
+            );
             sent += 1;
         }
     }
     AlltoallvHandle {
         base,
         kind: HandleKind::Sparse,
+        payload_kind: P::KIND,
         sent,
         skipped: size as u64 - sent,
     }
@@ -291,12 +316,19 @@ pub fn alltoallv_sparse_start(
 /// [`alltoallv_sparse_start`], with the same `plan`. `incoming` is cleared
 /// and filled with one payload per source rank in rank order — `Vec::new()`
 /// for sources that had nothing for us (no allocation).
-pub fn alltoallv_sparse_finish_into(
+pub fn alltoallv_sparse_finish_into<P: WirePayload>(
     comm: &Communicator,
     handle: AlltoallvHandle,
     plan: &mut SparsePlan,
-    incoming: &mut Vec<Vec<u8>>,
+    incoming: &mut Vec<P>,
 ) {
+    assert_eq!(
+        handle.payload_kind,
+        P::KIND,
+        "alltoallv started on the {} lane but finished on the {} lane",
+        handle.payload_kind.name(),
+        P::KIND.name()
+    );
     let size = comm.size();
     incoming.clear();
     match handle.kind {
@@ -306,26 +338,27 @@ pub fn alltoallv_sparse_finish_into(
             } else {
                 handle.base + TAG_FALLBACK
             };
-            incoming.extend((0..size).map(|src| comm.recv_coll(src, tag)));
+            incoming.extend((0..size).map(|src| comm.recv_coll::<P>(src, tag)));
         }
         HandleKind::Sparse => {
             plan.counts.clear();
             plan.counts.resize(size, 0);
             for i in 0..plan.neighbors.len() {
                 let src = plan.neighbors[i];
-                let cbuf = comm.recv_coll(src, handle.base + TAG_COUNT);
+                let cbuf: Vec<u8> = comm.recv_coll(src, handle.base + TAG_COUNT);
                 plan.counts[src] = u64::from_le_bytes(cbuf[..8].try_into().unwrap());
                 plan.recycle_small(cbuf);
             }
             for src in 0..size {
                 if src == comm.rank() {
-                    incoming.push(std::mem::take(&mut plan.self_payload));
+                    let stashed = std::mem::take(&mut plan.self_payload);
+                    incoming.push(P::from_payload(stashed));
                 } else if plan.counts[src] > 0 {
-                    let payload = comm.recv_coll(src, handle.base + TAG_PAYLOAD);
-                    debug_assert_eq!(payload.len() as u64, plan.counts[src]);
+                    let payload: P = comm.recv_coll(src, handle.base + TAG_PAYLOAD);
+                    debug_assert_eq!(payload.len_bytes() as u64, plan.counts[src]);
                     incoming.push(payload);
                 } else {
-                    incoming.push(Vec::new());
+                    incoming.push(P::empty());
                 }
             }
         }
@@ -350,7 +383,7 @@ mod tests {
         let got = run_threads(4, |comm| {
             let mut outgoing: Vec<Vec<u8>> =
                 (0..4).map(|d| vec![(10 * comm.rank() + d) as u8]).collect();
-            let mut incoming = Vec::new();
+            let mut incoming: Vec<Vec<u8>> = Vec::new();
             let h = alltoallv_start(&comm, &mut outgoing);
             assert_eq!(h.messages_sent(), 4);
             assert_eq!(h.messages_skipped(), 0);
@@ -372,7 +405,7 @@ mod tests {
         let got = run_threads(p, move |comm| {
             let rank = comm.rank();
             let mut plan = SparsePlan::new(p, rank, [(rank + 1) % p, (rank + p - 1) % p]);
-            let mut incoming = Vec::new();
+            let mut incoming: Vec<Vec<u8>> = Vec::new();
             // Payloads only to the ring neighbors and self.
             let mut outgoing: Vec<Vec<u8>> = (0..p)
                 .map(|d| {
@@ -415,7 +448,7 @@ mod tests {
             if rank == 0 {
                 outgoing[2] = vec![42];
             }
-            let mut incoming = Vec::new();
+            let mut incoming: Vec<Vec<u8>> = Vec::new();
             let h = alltoallv_sparse_start(&comm, &mut outgoing, &mut plan);
             assert!(
                 h.escaped(),
@@ -440,7 +473,7 @@ mod tests {
         let got = run_threads(1, |comm| {
             let mut plan = SparsePlan::all_pairs(1, 0);
             let mut outgoing = vec![vec![7u8, 8]];
-            let mut incoming = Vec::new();
+            let mut incoming: Vec<Vec<u8>> = Vec::new();
             let h = alltoallv_sparse_start(&comm, &mut outgoing, &mut plan);
             assert_eq!(h.messages_sent(), 0);
             alltoallv_sparse_finish_into(&comm, h, &mut plan, &mut incoming);
@@ -454,8 +487,8 @@ mod tests {
         let p = 4usize;
         let got = run_threads(p, move |comm| {
             let mut plan = SparsePlan::all_pairs(p, comm.rank());
-            let mut outgoing = vec![Vec::new(); p];
-            let mut incoming = Vec::new();
+            let mut outgoing = vec![Vec::<u8>::new(); p];
+            let mut incoming: Vec<Vec<u8>> = Vec::new();
             let before = comm.metrics();
             let h = alltoallv_sparse_start(&comm, &mut outgoing, &mut plan);
             assert_eq!(h.messages_sent(), 0);
@@ -480,8 +513,8 @@ mod tests {
     #[test]
     fn dense_split_phase_single_rank_and_empty() {
         let got = run_threads(1, |comm| {
-            let mut outgoing = vec![Vec::new()];
-            let mut incoming = Vec::new();
+            let mut outgoing = vec![Vec::<u8>::new()];
+            let mut incoming: Vec<Vec<u8>> = Vec::new();
             let h = alltoallv_start(&comm, &mut outgoing);
             alltoallv_finish_into(&comm, h, &mut incoming);
             incoming
@@ -495,7 +528,7 @@ mod tests {
         let got = run_threads(p, move |comm| {
             let rank = comm.rank();
             let mut plan = SparsePlan::new(p, rank, [(rank + 1) % p, (rank + p - 1) % p]);
-            let mut incoming = Vec::new();
+            let mut incoming: Vec<Vec<u8>> = Vec::new();
             for step in 0..6 {
                 let mut outgoing: Vec<Vec<u8>> = (0..p)
                     .map(|d| {
@@ -517,6 +550,134 @@ mod tests {
             assert!(spares <= MAX_SMALL_SPARES);
             assert!(spares >= 1, "pool should have recycled buffers");
         }
+    }
+
+    fn tp(id: u64) -> pic_core::particle::Particle {
+        pic_core::particle::Particle {
+            id,
+            x: id as f64 * 0.25,
+            y: 1.5,
+            vx: -1.0,
+            vy: 2.0,
+            q: 0.5,
+            x0: 0.5,
+            y0: 1.5,
+            k: 1,
+            m: -1,
+            born_at: 3,
+        }
+    }
+
+    #[test]
+    fn typed_sparse_ring_matches_bytes_lane_and_recycles() {
+        use pic_core::particle::Particle;
+        // The same ring traffic on both lanes must deliver identical
+        // particles; the typed lane must also reach a small-spare fixed
+        // point (counts and escape flags stay byte messages either way).
+        let p = 4usize;
+        let steps = 6;
+        let run_typed = run_threads(p, move |comm| {
+            let rank = comm.rank();
+            let mut plan = SparsePlan::new(p, rank, [(rank + 1) % p, (rank + p - 1) % p]);
+            let mut incoming: Vec<Vec<Particle>> = Vec::new();
+            let mut all_got: Vec<Particle> = Vec::new();
+            for step in 0..steps {
+                let mut outgoing: Vec<Vec<Particle>> = (0..p)
+                    .map(|d| {
+                        if d == (rank + 1) % p {
+                            vec![tp((100 * step + 10 * rank + d) as u64)]
+                        } else {
+                            Vec::new()
+                        }
+                    })
+                    .collect();
+                let h = alltoallv_sparse_start(&comm, &mut outgoing, &mut plan);
+                assert!(!h.escaped());
+                alltoallv_sparse_finish_into(&comm, h, &mut plan, &mut incoming);
+                for buf in &mut incoming {
+                    all_got.append(buf);
+                }
+            }
+            assert!(
+                !plan.small_spares.is_empty(),
+                "typed lane must recycle count buffers"
+            );
+            all_got
+        });
+        let run_bytes = run_threads(p, move |comm| {
+            let rank = comm.rank();
+            let mut plan = SparsePlan::new(p, rank, [(rank + 1) % p, (rank + p - 1) % p]);
+            let mut incoming: Vec<Vec<u8>> = Vec::new();
+            let mut all_got: Vec<Particle> = Vec::new();
+            for step in 0..steps {
+                let mut outgoing: Vec<Vec<u8>> = (0..p)
+                    .map(|d| {
+                        if d == (rank + 1) % p {
+                            Particle::encode_all(&[tp((100 * step + 10 * rank + d) as u64)])
+                        } else {
+                            Vec::new()
+                        }
+                    })
+                    .collect();
+                let h = alltoallv_sparse_start(&comm, &mut outgoing, &mut plan);
+                alltoallv_sparse_finish_into(&comm, h, &mut plan, &mut incoming);
+                for buf in &incoming {
+                    all_got.extend(Particle::decode_all(buf).unwrap());
+                }
+            }
+            all_got
+        });
+        assert_eq!(run_typed, run_bytes, "typed lane diverged from byte lane");
+    }
+
+    #[test]
+    fn typed_escape_fallback_delivers_with_self_payload() {
+        use pic_core::particle::Particle;
+        // Rank 0 targets non-neighbor rank 2 (escape → dense fallback) and
+        // every rank also keeps a self-destined typed payload — both must
+        // arrive intact on the typed lane.
+        let p = 4usize;
+        let got = run_threads(p, move |comm| {
+            let rank = comm.rank();
+            let mut plan = SparsePlan::new(p, rank, [(rank + 1) % p, (rank + p - 1) % p]);
+            let mut outgoing: Vec<Vec<Particle>> = vec![Vec::new(); p];
+            outgoing[rank] = vec![tp(1000 + rank as u64)];
+            if rank == 0 {
+                outgoing[2] = vec![tp(42)];
+            }
+            let mut incoming: Vec<Vec<Particle>> = Vec::new();
+            let h = alltoallv_sparse_start(&comm, &mut outgoing, &mut plan);
+            assert!(h.escaped());
+            alltoallv_sparse_finish_into(&comm, h, &mut plan, &mut incoming);
+            incoming
+                .into_iter()
+                .flatten()
+                .map(|q| q.id)
+                .collect::<Vec<_>>()
+        });
+        for (r, ids) in got.into_iter().enumerate() {
+            let mut want = vec![1000 + r as u64];
+            if r == 2 {
+                want.push(42);
+            }
+            let mut ids = ids;
+            ids.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(ids, want, "rank {r}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "started on the typed lane but finished on the bytes lane")]
+    fn lane_mismatch_between_start_and_finish_is_loud() {
+        // Single-rank world on the test thread itself, so the panic is the
+        // test's own (run_threads would wrap a rank-thread panic).
+        let eps = crate::endpoint::Endpoint::world(1);
+        let comm = Communicator::world(eps[0].clone());
+        let mut outgoing: Vec<Vec<pic_core::particle::Particle>> = vec![Vec::new()];
+        let mut incoming: Vec<Vec<u8>> = Vec::new();
+        let h = alltoallv_start(&comm, &mut outgoing);
+        alltoallv_finish_into(&comm, h, &mut incoming);
     }
 
     #[test]

@@ -197,6 +197,41 @@ mod tests {
     }
 
     #[test]
+    fn decode_each_rejects_truncated_and_padded_buffers() {
+        let ps: Vec<Particle> = (1..=3).map(sample).collect();
+        let buf = Particle::encode_all(&ps);
+
+        // Truncated mid-record: nothing is delivered, even the records
+        // that were complete — a corrupt exchange must fail loudly as a
+        // whole, not deliver a particle subset (the id-sum ledger would
+        // otherwise mask the loss until end-of-run verification).
+        let mut seen = Vec::new();
+        assert!(Particle::decode_each(&buf[..buf.len() - 7], |p| seen.push(p)).is_none());
+        assert!(seen.is_empty());
+
+        // Trailing garbage (non-multiple length): same contract.
+        let mut padded = buf.clone();
+        padded.extend_from_slice(&[0xAB; 5]);
+        assert!(Particle::decode_each(&padded, |p| seen.push(p)).is_none());
+        assert!(Particle::decode_all(&padded).is_none());
+        assert!(seen.is_empty());
+
+        // Exactly one whole record short is still a clean multiple and
+        // decodes fine — the length check is per-record, not a checksum.
+        let n = Particle::decode_each(&buf[..2 * Particle::WIRE_SIZE], |p| seen.push(p));
+        assert_eq!(n, Some(2));
+        assert_eq!(seen, ps[..2]);
+    }
+
+    #[test]
+    fn decode_each_empty_buffer_is_zero_records() {
+        let mut called = false;
+        assert_eq!(Particle::decode_each(&[], |_| called = true), Some(0));
+        assert!(!called);
+        assert_eq!(Particle::decode_all(&[]), Some(Vec::new()));
+    }
+
+    #[test]
     fn direction_from_initial_cell() {
         let g = Grid::new(8).unwrap();
         // Even initial column + positive charge → right.

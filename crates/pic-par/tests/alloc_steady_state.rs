@@ -24,7 +24,7 @@ use pic_core::dist::Distribution;
 use pic_core::geometry::Grid;
 use pic_core::init::InitConfig;
 use pic_par::decomp::Decomp2d;
-use pic_par::runner::{ExchangeMode, RankKernel, RankState};
+use pic_par::runner::{ExchangeMode, RankKernel, RankState, WireFormat};
 
 struct CountingAlloc;
 
@@ -111,13 +111,19 @@ fn audit(kernel: RankKernel) -> Vec<(usize, usize)> {
 fn rank_step_loop_reaches_allocation_steady_state() {
     // The drifting uniform cloud keeps the exchange busy: every step moves
     // boundary particles across at least one cut. Audit the binned default
-    // (overlapped sparse exchange — escape dissemination, per-neighbor
-    // counts, and the split-phase handle must all run off pooled buffers),
-    // the dense synchronous oracle, the fast tier, and the AoS reference
-    // loop (sparse-synchronous: AoS has no column split to overlap).
+    // (typed zero-copy wire over the overlapped sparse exchange — escape
+    // dissemination, per-neighbor counts, the split-phase handle, and the
+    // typed spare-buffer free-list must all run off pooled buffers), the
+    // dense synchronous oracle, the byte-wire serialization oracle under
+    // both exchange modes, the fast tier, and the AoS reference loop
+    // (sparse-synchronous: AoS has no column split to overlap).
     for kernel in [
         RankKernel::default(),
         RankKernel::default().with_exchange(ExchangeMode::DenseSync),
+        RankKernel::default().with_wire(WireFormat::Bytes),
+        RankKernel::default()
+            .with_wire(WireFormat::Bytes)
+            .with_exchange(ExchangeMode::DenseSync),
         RankKernel::default().with_rebin_interval(1),
         RankKernel::from_sweep(pic_core::engine::SweepMode::SoaBinnedFast),
         RankKernel::aos(),

@@ -1,0 +1,195 @@
+//! Wire-format equivalence (DESIGN.md §15): the typed zero-copy particle
+//! wire is a drop-in replacement for the byte-serialization oracle.
+//!
+//! The typed lane moves per-destination `Vec<Particle>` buffers through
+//! the exchange fabric by ownership — no encode, no decode, no
+//! per-particle copy. Nothing about the physics may notice: the final
+//! state must be **bit-identical** to the byte wire across distributions,
+//! rank counts, rebin intervals, both distributed implementations in this
+//! crate, and both exchange modes (the sparse protocol's count wires and
+//! escape flags stay on the byte lane in both formats, so the routing
+//! decisions are lane-invariant by construction — this suite pins that).
+//!
+//! The whole file also passes with `PIC_NO_SIMD=1` (CI runs it both ways).
+
+use pic_comm::world::run_threads;
+use pic_core::dist::Distribution;
+use pic_core::events::{Event, Region};
+use pic_core::geometry::Grid;
+use pic_core::init::{InitConfig, SimulationSetup};
+use pic_par::baseline::run_baseline;
+use pic_par::diffusion::{run_diffusion, DiffusionParams};
+use pic_par::runner::{ExchangeMode, ParConfig, ParOutcome, RankKernel, WireFormat};
+use proptest::prelude::*;
+
+const STEPS: u32 = 30;
+const N: u64 = 600;
+
+/// Same shape as the rank-kernel equivalence setup: drift (k=1, m=1 ⇒ max
+/// stride 3) keeps the exchange busy every step, and the event path
+/// (injection and removal mid-run) exercises arrival ordering under
+/// population churn.
+fn setup(dist: Distribution) -> SimulationSetup {
+    InitConfig::new(Grid::new(32).unwrap(), N, dist)
+        .with_k(1)
+        .with_m(1)
+        .build()
+        .unwrap()
+        .with_event(Event::inject(
+            7,
+            Region {
+                x0: 2,
+                x1: 12,
+                y0: 2,
+                y1: 12,
+            },
+            40,
+            0,
+            1,
+            1,
+        ))
+        .with_event(Event::remove(15, Region::whole(32), 25))
+}
+
+fn distributions() -> Vec<Distribution> {
+    vec![
+        Distribution::Uniform,
+        Distribution::Geometric { r: 0.9 },
+        Distribution::Sinusoidal,
+        Distribution::Linear {
+            alpha: 2.0,
+            beta: 3.0,
+        },
+    ]
+}
+
+/// Sorted (id, x-bits, y-bits, vx-bits, vy-bits) across all ranks.
+fn bit_finals(outcomes: &[ParOutcome]) -> Vec<(u64, u64, u64, u64, u64)> {
+    let mut v: Vec<_> = outcomes
+        .iter()
+        .flat_map(|o| o.local_particles.iter())
+        .map(|p| {
+            (
+                p.id,
+                p.x.to_bits(),
+                p.y.to_bits(),
+                p.vx.to_bits(),
+                p.vy.to_bits(),
+            )
+        })
+        .collect();
+    v.sort_by_key(|t| t.0);
+    v
+}
+
+fn run_impl(
+    dist: Distribution,
+    ranks: usize,
+    diffusion: bool,
+    kernel: RankKernel,
+) -> Vec<ParOutcome> {
+    let cfg = ParConfig::new(setup(dist), STEPS).with_kernel(kernel);
+    run_threads(ranks, |comm| {
+        let o = if diffusion {
+            run_diffusion(
+                &comm,
+                &cfg,
+                DiffusionParams {
+                    interval: 3,
+                    tau: 0,
+                    border_w: 3,
+                },
+            )
+        } else {
+            run_baseline(&comm, &cfg)
+        };
+        assert!(o.verify.passed(), "{:?}", o.verify);
+        o
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The tentpole contract: Typed ≡ Bytes, bit for bit, across the
+    /// sampled cross product of distribution × rank count × rebin
+    /// interval × implementation × exchange mode.
+    #[test]
+    fn typed_wire_bitwise_matches_byte_oracle(
+        dist_i in 0usize..4,
+        ranks in prop::sample::select(vec![1usize, 2, 4]),
+        rebin in prop::sample::select(vec![1u32, 3, 16]),
+        diffusion in any::<bool>(),
+    ) {
+        let dist = distributions()[dist_i];
+        for exchange in [ExchangeMode::DenseSync, ExchangeMode::OverlappedSparse] {
+            let base = RankKernel::default()
+                .with_rebin_interval(rebin)
+                .with_exchange(exchange);
+            let bytes = bit_finals(&run_impl(
+                dist, ranks, diffusion, base.with_wire(WireFormat::Bytes),
+            ));
+            let typed = bit_finals(&run_impl(
+                dist, ranks, diffusion, base.with_wire(WireFormat::Typed),
+            ));
+            prop_assert_eq!(
+                &bytes, &typed,
+                "dist {:?}, {} ranks, rebin {}, diffusion={}, exchange={:?}",
+                dist, ranks, rebin, diffusion, exchange
+            );
+        }
+    }
+}
+
+/// `--overlap auto` is a pure mode selector: whatever it resolves to for
+/// a given topology, the physics is bit-identical to both forced modes
+/// (which are themselves bit-identical — rank_kernel_equivalence pins
+/// that pair). Checked on both wire formats and across the 1/2/4-rank
+/// topologies the auto rule sees differently.
+#[test]
+fn auto_exchange_matches_forced_modes_bitwise() {
+    let dist = Distribution::Geometric { r: 0.9 };
+    for ranks in [1usize, 2, 4] {
+        for wire in [WireFormat::Bytes, WireFormat::Typed] {
+            let dense = bit_finals(&run_impl(
+                dist,
+                ranks,
+                false,
+                RankKernel::default()
+                    .with_exchange(ExchangeMode::DenseSync)
+                    .with_wire(wire),
+            ));
+            let auto = bit_finals(&run_impl(
+                dist,
+                ranks,
+                false,
+                RankKernel::default()
+                    .with_exchange(ExchangeMode::Auto)
+                    .with_wire(wire),
+            ));
+            assert_eq!(dense, auto, "{ranks} ranks, wire {}", wire.name());
+        }
+    }
+}
+
+/// The AoS reference loop on the typed wire matches the binned loop on
+/// the byte wire — the wire format and the rank path are orthogonal
+/// knobs, so the cross-combination must land on the same bits as the
+/// matched pairs do.
+#[test]
+fn wire_format_is_orthogonal_to_rank_path() {
+    let dist = Distribution::Sinusoidal;
+    let aos_typed = bit_finals(&run_impl(
+        dist,
+        4,
+        true,
+        RankKernel::aos().with_wire(WireFormat::Typed),
+    ));
+    let binned_bytes = bit_finals(&run_impl(
+        dist,
+        4,
+        true,
+        RankKernel::default().with_wire(WireFormat::Bytes),
+    ));
+    assert_eq!(aos_typed, binned_bytes);
+}

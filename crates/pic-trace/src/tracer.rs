@@ -33,6 +33,50 @@ use std::time::Instant;
 /// Trace schema version, stamped into run-header and summary records.
 pub const SCHEMA_VERSION: u64 = 1;
 
+/// Nanoseconds of CPU time consumed by the calling thread.
+///
+/// Unlike a wall clock, this does not advance while the thread is
+/// blocked (channel receives, condvar waits), so phase *CPU* totals
+/// measure work where phase *wall* totals measure work plus waiting —
+/// the late-sender separation: a rank stalled in an exchange receive
+/// accrues exchange wall time but no exchange CPU time. On non-Linux
+/// targets this falls back to a monotonic wall clock (CPU == wall).
+#[inline]
+pub fn thread_cpu_ns() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        // CLOCK_THREAD_CPUTIME_ID, per-thread CPU clock. Declared by
+        // hand: the build is offline/std-only, and std already links
+        // libc on every Linux target.
+        const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+        #[repr(C)]
+        struct Timespec {
+            tv_sec: i64,
+            tv_nsec: i64,
+        }
+        extern "C" {
+            fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+        }
+        let mut ts = Timespec {
+            tv_sec: 0,
+            tv_nsec: 0,
+        };
+        // SAFETY: `ts` is a valid, writable timespec; the clock id is a
+        // compile-time constant the kernel has supported since 2.6.12.
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+        if rc == 0 {
+            return (ts.tv_sec as u64).saturating_mul(1_000_000_000) + ts.tv_nsec as u64;
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        use std::sync::OnceLock;
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+}
+
 /// Execution phases timed within a step. Units are nanoseconds of
 /// wall-clock time on the recording rank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,6 +217,11 @@ pub struct TraceSummary {
     pub records: u64,
     /// Whole-run per-phase nanoseconds.
     pub phase_ns: [u64; PHASE_COUNT],
+    /// Whole-run per-phase *CPU* nanoseconds ([`thread_cpu_ns`] deltas):
+    /// work only, excluding blocked time, where `phase_ns` includes the
+    /// waiting. In-memory only — the ndjson summary record (schema 1)
+    /// carries the wall totals.
+    pub phase_cpu_ns: [u64; PHASE_COUNT],
     /// Whole-run counter totals.
     pub counters: [u64; COUNTER_COUNT],
     /// Max `max/mean` imbalance over emitted records (1.0 if none).
@@ -207,10 +256,11 @@ struct Inner {
     pend_counters: [u64; COUNTER_COUNT],
     cur_loads: Vec<f64>,
     cur_stats: Option<BalanceStats>,
-    phase_open: [Option<Instant>; PHASE_COUNT],
+    phase_open: [Option<(Instant, u64)>; PHASE_COUNT],
     // Whole-run aggregates.
     total_steps: u64,
     total_phase_ns: [u64; PHASE_COUNT],
+    total_phase_cpu_ns: [u64; PHASE_COUNT],
     total_counters: [u64; COUNTER_COUNT],
     imb_sum: f64,
     imb_max: f64,
@@ -269,6 +319,7 @@ impl Tracer {
                 phase_open: [None; PHASE_COUNT],
                 total_steps: 0,
                 total_phase_ns: [0; PHASE_COUNT],
+                total_phase_cpu_ns: [0; PHASE_COUNT],
                 total_counters: [0; COUNTER_COUNT],
                 imb_sum: 0.0,
                 imb_max: 1.0,
@@ -349,7 +400,7 @@ impl Tracer {
     #[inline]
     pub fn phase_start(&mut self, p: Phase) {
         if let Some(i) = &mut self.inner {
-            i.phase_open[p.idx()] = Some(Instant::now());
+            i.phase_open[p.idx()] = Some((Instant::now(), thread_cpu_ns()));
         }
     }
 
@@ -358,10 +409,11 @@ impl Tracer {
     #[inline]
     pub fn phase_end(&mut self, p: Phase) {
         if let Some(i) = &mut self.inner {
-            if let Some(t0) = i.phase_open[p.idx()].take() {
+            if let Some((t0, cpu0)) = i.phase_open[p.idx()].take() {
                 let ns = t0.elapsed().as_nanos() as u64;
                 i.pend_phase_ns[p.idx()] += ns;
                 i.total_phase_ns[p.idx()] += ns;
+                i.total_phase_cpu_ns[p.idx()] += thread_cpu_ns().saturating_sub(cpu0);
             }
         }
     }
@@ -448,6 +500,7 @@ impl Tracer {
             steps: i.total_steps,
             records: i.steps.len() as u64,
             phase_ns: i.total_phase_ns,
+            phase_cpu_ns: i.total_phase_cpu_ns,
             counters: i.total_counters,
             max_imbalance: i.imb_max,
             mean_imbalance: if i.n_stats == 0 {
@@ -611,6 +664,44 @@ fn json_str(s: &str) -> String {
 mod tests {
     use super::*;
     use crate::json::{validate_ndjson, Json};
+
+    /// A phase spent blocked accrues wall time but (on Linux) almost no
+    /// CPU time; a phase spent computing accrues both. This is the
+    /// work-vs-wait separation `bench_par`'s exchange-work metric rests
+    /// on.
+    #[test]
+    fn phase_cpu_clock_excludes_blocked_time() {
+        let mut t = Tracer::in_memory(1);
+        t.begin_step(1);
+        t.phase_start(Phase::Advance);
+        // Busy work the optimizer can't delete.
+        let mut acc = 0u64;
+        for i in 0..20_000_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        assert_ne!(acc, 1);
+        t.phase_end(Phase::Advance);
+        t.phase_start(Phase::Exchange);
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        t.phase_end(Phase::Exchange);
+        t.end_step(0);
+        let s = t.finish().unwrap().summary;
+        // Busy phase: CPU tracks wall (both nonzero; CPU never exceeds
+        // wall by more than clock granularity).
+        let adv = Phase::Advance.idx();
+        assert!(s.phase_cpu_ns[adv] > 0, "busy phase recorded no CPU time");
+        assert!(s.phase_cpu_ns[adv] <= s.phase_ns[adv] + 1_000_000);
+        // Blocked phase: wall sees the sleep, the CPU clock must not.
+        let ex = Phase::Exchange.idx();
+        assert!(s.phase_ns[ex] >= 50_000_000, "sleep not captured in wall");
+        #[cfg(target_os = "linux")]
+        assert!(
+            s.phase_cpu_ns[ex] < s.phase_ns[ex] / 2,
+            "CPU clock counted blocked time: cpu={} wall={}",
+            s.phase_cpu_ns[ex],
+            s.phase_ns[ex]
+        );
+    }
 
     #[test]
     fn disabled_tracer_is_inert() {

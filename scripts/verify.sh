@@ -63,6 +63,24 @@ for impl in baseline diffusion ampi; do
     done
 done
 
+echo "==> typed-wire equivalence pass (zero-copy lane vs byte oracle)"
+# The typed zero-copy particle wire (the default) must be bit-identical
+# to the byte-serialization oracle on every implementation and exchange
+# mode. The proptests pin this in-process; this gate re-runs the
+# cross-wire suites end to end, vector and forced-scalar, and smokes
+# both CLI wire formats (crossed with --overlap auto) on every
+# implementation.
+cargo test -q -p pic-par --test wire_format_equivalence
+PIC_NO_SIMD=1 cargo test -q -p pic-par --test wire_format_equivalence
+cargo test -q -p pic-ampi --test rank_kernel_equivalence ampi_typed_wire
+for impl in baseline diffusion ampi; do
+    for wire in typed bytes; do
+        ./target/release/pic --impl "$impl" --ranks 4 --grid 32 \
+            --particles 2000 --steps 30 --k 1 --dist geometric:0.9 \
+            --wire "$wire" --overlap auto --quiet | grep -qx PASS
+    done
+done
+
 echo "==> fast-tier analytic gate (--sweep soa-binned-fast must PASS)"
 # The fast kernel relaxes bit-identity; its correctness gate is the
 # analytic trajectory bound (DESIGN.md §12), which verify() applies in

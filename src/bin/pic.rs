@@ -18,7 +18,7 @@ use pic_prk::comm::world::run_threads;
 use pic_prk::core::init::SkewAxis;
 use pic_prk::par::baseline::run_baseline_traced;
 use pic_prk::par::diffusion::{run_diffusion_mode_traced, DiffusionMode, DiffusionParams};
-use pic_prk::par::runner::{ExchangeMode, ParConfig, ParOutcome, RankKernel};
+use pic_prk::par::runner::{ExchangeMode, ParConfig, ParOutcome, RankKernel, WireFormat};
 use pic_prk::prelude::*;
 use pic_prk::trace::{trace_simulation, Phase, Tracer};
 use std::io::Write;
@@ -74,13 +74,24 @@ Kernel selection (all implementations):
                       to the AoS loop)
   --rebin R           counting-sort interval for the binned sweeps
                       (steps between re-sorts, default {rebin})
-  --overlap on|off    particle exchange strategy for the parallel
-                      implementations (default on): on = sparse
-                      neighbor-aware all-to-all, split-phase overlapped
-                      with the interior sweep where the decomposition
-                      allows; off = dense synchronous alltoallv (the
-                      oracle both paths are verified against) —
-                      bit-identical results either way
+  --overlap MODE      on | off | auto — particle exchange strategy for
+                      the parallel implementations (default on): on =
+                      sparse neighbor-aware all-to-all, split-phase
+                      overlapped with the interior sweep where the
+                      decomposition allows; off = dense synchronous
+                      alltoallv (the oracle both paths are verified
+                      against); auto = pick per run from the world size
+                      and neighbor density (dense at small P, sparse once
+                      elided messages outweigh the protocol overhead) —
+                      bit-identical results in every mode
+  --wire bytes|typed  particle wire representation for the parallel
+                      implementations (default typed): typed moves the
+                      per-destination particle buffers through the
+                      in-process fabric by ownership — zero serialization,
+                      zero per-particle copies; bytes encodes to the
+                      76-byte portable wire record first (kept as the
+                      serialization oracle) — bit-identical results
+                      either way
 
 Single-process engine (--impl serial):
   --chunk N           chunk size for --sweep soa-chunked / soa-binned
@@ -294,7 +305,13 @@ fn main() {
     let exchange = match args.value("--overlap").unwrap_or("on") {
         "on" => ExchangeMode::OverlappedSparse,
         "off" => ExchangeMode::DenseSync,
+        "auto" => ExchangeMode::Auto,
         other => bail(&format!("bad --overlap value: {other}")),
+    };
+    let wire = match args.value("--wire").unwrap_or("typed") {
+        "typed" => WireFormat::Typed,
+        "bytes" => WireFormat::Bytes,
+        other => bail(&format!("bad --wire value: {other}")),
     };
     let rank_kernel = match args.value("--sweep") {
         Some(name) => RankKernel::from_sweep(
@@ -304,7 +321,8 @@ fn main() {
         None => RankKernel::default(),
     }
     .with_rebin_interval(rebin)
-    .with_exchange(exchange);
+    .with_exchange(exchange)
+    .with_wire(wire);
 
     let outcome: Option<ParOutcome> = match implementation.as_str() {
         "serial" => {
