@@ -6,253 +6,14 @@
 //! the property of runtime-orchestrated balancing the paper's experiments
 //! probe ("the AMPI implementation is agnostic of the underlying problem
 //! characteristics").
+//!
+//! The decision logic itself now lives in [`pic_cluster::balancer`]
+//! alongside every other strategy (shared `LoadBalancer` trait, NaN-safe
+//! total-order comparisons); this module re-exports it under the
+//! historical names.
 
-/// Strategy selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Balancer {
-    /// No balancing (over-decomposition only).
-    None,
-    /// Full remap: sort VPs by load descending, assign each to the
-    /// currently least-loaded core (Charm++ `GreedyLB`). Excellent balance,
-    /// maximal migration churn.
-    Greedy,
-    /// Iterative refinement: repeatedly move a VP from the most-loaded to
-    /// the least-loaded core ("migrates VPs from the most loaded to the
-    /// least loaded core" — the strategy the paper's experiments used).
-    /// Bounded migration churn.
-    Refine {
-        /// Upper bound on moves per invocation.
-        max_moves: usize,
-    },
-}
+pub use pic_cluster::balancer::{greedy_assign, imbalance, refine_assign};
 
-impl Balancer {
-    /// The paper's choice with a sensible move bound.
-    pub fn paper_default() -> Balancer {
-        Balancer::Refine {
-            max_moves: usize::MAX,
-        }
-    }
-
-    /// Compute a new assignment. `loads[vp]` is the VP's measured load;
-    /// `current[vp]` its core. Returns the new `Vec` (possibly identical).
-    pub fn rebalance(&self, loads: &[f64], current: &[usize], cores: usize) -> Vec<usize> {
-        match *self {
-            Balancer::None => current.to_vec(),
-            Balancer::Greedy => greedy_assign(loads, cores),
-            Balancer::Refine { max_moves } => refine_assign(loads, current, cores, max_moves),
-        }
-    }
-}
-
-/// Charm++-GreedyLB-style full remap.
-pub fn greedy_assign(loads: &[f64], cores: usize) -> Vec<usize> {
-    assert!(cores >= 1);
-    let mut order: Vec<usize> = (0..loads.len()).collect();
-    // Heaviest first; ties by VP index for determinism.
-    order.sort_by(|&a, &b| loads[b].partial_cmp(&loads[a]).unwrap().then(a.cmp(&b)));
-    // Min-heap of (core load, core id).
-    use std::cmp::Reverse;
-    use std::collections::BinaryHeap;
-    #[derive(PartialEq)]
-    struct Entry(f64, usize);
-    impl Eq for Entry {}
-    impl PartialOrd for Entry {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for Entry {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0
-                .partial_cmp(&other.0)
-                .unwrap()
-                .then(self.1.cmp(&other.1))
-        }
-    }
-    let mut heap: BinaryHeap<Reverse<Entry>> = (0..cores).map(|c| Reverse(Entry(0.0, c))).collect();
-    let mut assignment = vec![0usize; loads.len()];
-    for vp in order {
-        let Reverse(Entry(load, core)) = heap.pop().unwrap();
-        assignment[vp] = core;
-        heap.push(Reverse(Entry(load + loads[vp], core)));
-    }
-    assignment
-}
-
-/// Total-ordered f64 key (loads are finite and non-negative).
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Key(f64);
-impl Eq for Key {}
-impl PartialOrd for Key {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Key {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
-
-/// Iterative most→least refinement.
-///
-/// Each move takes the heaviest VP on the most-loaded core that fits in the
-/// max−min gap and ships it to the least-loaded core; every move strictly
-/// decreases `Σ load²`, so the loop terminates. Ordered sets keep each move
-/// `O(log)` — at 3,072 cores × 49k VPs a full rebalance is milliseconds,
-/// not minutes.
-pub fn refine_assign(
-    loads: &[f64],
-    current: &[usize],
-    cores: usize,
-    max_moves: usize,
-) -> Vec<usize> {
-    use std::collections::BTreeSet;
-    assert_eq!(loads.len(), current.len());
-    let mut assignment = current.to_vec();
-    let mut core_loads = vec![0.0f64; cores];
-    let mut per_core: Vec<BTreeSet<(Key, usize)>> = vec![BTreeSet::new(); cores];
-    for (vp, &c) in assignment.iter().enumerate() {
-        core_loads[c] += loads[vp];
-        if loads[vp] > 0.0 {
-            per_core[c].insert((Key(loads[vp]), vp));
-        }
-    }
-    let mut order: BTreeSet<(Key, usize)> = core_loads
-        .iter()
-        .enumerate()
-        .map(|(c, &l)| (Key(l), c))
-        .collect();
-    // Hard cap keeps one invocation O(n log n) even when many tiny VPs
-    // could be shuffled indefinitely for vanishing gains.
-    let max_moves = max_moves.min(2 * loads.len());
-    let mut moves = 0usize;
-    while moves < max_moves {
-        let &(Key(max_load), max_core) = order.last().unwrap();
-        let &(Key(min_load), min_core) = order.first().unwrap();
-        let gap = max_load - min_load;
-        // Stop when the gap closes or becomes negligible (guards against
-        // f64 increments too small to change the potential function).
-        if gap <= 1e-9 * max_load.max(1.0) || max_core == min_core {
-            break;
-        }
-        // Heaviest VP on the max core with load strictly inside the gap.
-        let candidate = per_core[max_core]
-            .range(..(Key(gap), 0usize))
-            .next_back()
-            .copied();
-        let Some((Key(load), vp)) = candidate else {
-            break;
-        };
-        debug_assert!(load > 0.0 && load < gap);
-        per_core[max_core].remove(&(Key(load), vp));
-        per_core[min_core].insert((Key(load), vp));
-        order.remove(&(Key(max_load), max_core));
-        order.remove(&(Key(min_load), min_core));
-        core_loads[max_core] -= load;
-        core_loads[min_core] += load;
-        order.insert((Key(core_loads[max_core]), max_core));
-        order.insert((Key(core_loads[min_core]), min_core));
-        assignment[vp] = min_core;
-        moves += 1;
-    }
-    assignment
-}
-
-/// Max/avg core-load ratio under an assignment — the balance quality
-/// metric used by tests and the model.
-pub fn imbalance(loads: &[f64], assignment: &[usize], cores: usize) -> f64 {
-    let mut core_loads = vec![0.0f64; cores];
-    for (vp, &c) in assignment.iter().enumerate() {
-        core_loads[c] += loads[vp];
-    }
-    let total: f64 = core_loads.iter().sum();
-    if total <= 0.0 {
-        return 1.0;
-    }
-    let max = core_loads.iter().cloned().fold(0.0f64, f64::max);
-    max / (total / cores as f64)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn greedy_balances_skewed_loads() {
-        let loads = vec![10.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2.0];
-        let asg = greedy_assign(&loads, 2);
-        let imb = imbalance(&loads, &asg, 2);
-        assert!(imb < 1.1, "greedy imbalance {imb}");
-    }
-
-    #[test]
-    fn greedy_is_deterministic() {
-        let loads = vec![3.0, 3.0, 3.0, 3.0];
-        assert_eq!(greedy_assign(&loads, 2), greedy_assign(&loads, 2));
-    }
-
-    #[test]
-    fn refine_moves_from_most_to_least() {
-        // Core 0 has everything.
-        let loads = vec![5.0, 4.0, 3.0, 2.0];
-        let current = vec![0, 0, 0, 0];
-        let asg = refine_assign(&loads, &current, 2, usize::MAX);
-        let imb = imbalance(&loads, &asg, 2);
-        assert!(imb < 1.3, "refine imbalance {imb}, assignment {asg:?}");
-    }
-
-    #[test]
-    fn refine_respects_move_budget() {
-        let loads = vec![5.0, 4.0, 3.0, 2.0, 1.0, 1.0];
-        let current = vec![0; 6];
-        let asg = refine_assign(&loads, &current, 3, 1);
-        let moved = asg.iter().zip(&current).filter(|(a, b)| a != b).count();
-        assert_eq!(moved, 1);
-    }
-
-    #[test]
-    fn refine_never_increases_max_load() {
-        let loads = vec![7.0, 1.0, 2.0, 2.0, 3.0, 1.0, 4.0, 2.0];
-        let current = vec![0, 0, 1, 1, 2, 2, 3, 3];
-        let before = imbalance(&loads, &current, 4);
-        let asg = refine_assign(&loads, &current, 4, usize::MAX);
-        let after = imbalance(&loads, &asg, 4);
-        assert!(
-            after <= before + 1e-12,
-            "refine must not worsen: {before} → {after}"
-        );
-    }
-
-    #[test]
-    fn refine_noop_when_balanced() {
-        let loads = vec![1.0; 8];
-        let current = vec![0, 0, 1, 1, 2, 2, 3, 3];
-        assert_eq!(refine_assign(&loads, &current, 4, usize::MAX), current);
-    }
-
-    #[test]
-    fn none_keeps_assignment() {
-        let loads = vec![9.0, 1.0];
-        let current = vec![1, 0];
-        assert_eq!(Balancer::None.rebalance(&loads, &current, 2), current);
-    }
-
-    #[test]
-    fn single_huge_vp_cannot_be_split() {
-        // One VP dominates: no strategy can beat max = that VP's load.
-        let loads = vec![100.0, 1.0, 1.0, 1.0];
-        let g = greedy_assign(&loads, 4);
-        let r = refine_assign(&loads, &[0, 0, 0, 0], 4, usize::MAX);
-        for asg in [g, r] {
-            let imb = imbalance(&loads, &asg, 4);
-            assert!((imb - 100.0 / (103.0 / 4.0)).abs() < 1e-9, "imb {imb}");
-        }
-    }
-
-    #[test]
-    fn imbalance_of_empty_loads_is_one() {
-        assert_eq!(imbalance(&[0.0, 0.0], &[0, 1], 2), 1.0);
-    }
-}
+/// Strategy selector (the historical name for
+/// [`pic_cluster::balancer::VpStrategy`]).
+pub use pic_cluster::balancer::VpStrategy as Balancer;

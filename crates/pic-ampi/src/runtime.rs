@@ -12,9 +12,9 @@
 //! is the point of the PRK: a lost particle in any migration or exchange
 //! fails the run.
 
-use crate::balancer::Balancer;
 use crate::model::AmpiParams;
 use crate::vp::VpGrid;
+use pic_cluster::balancer::{AdaptiveLb, BalanceInput, Layout, LoadBalancer, VpLb};
 use pic_comm::collective::{
     allgatherv, allreduce_f64, allreduce_u128, allreduce_u64, decode_u64s, decode_u64s_into,
     encode_u64s,
@@ -49,11 +49,51 @@ pub fn run_ampi_traced(
     tracer: &mut Tracer,
 ) -> ParOutcome {
     assert!(params.interval > 0, "LB interval must be positive");
+    let mut lb = VpLb::new(params.interval as u64, params.balancer);
+    run_ampi_lb(comm, cfg, params.d, &mut lb, tracer)
+}
+
+/// Run the AMPI runtime under the online adaptive balancer: the VP-family
+/// escalation ladder (keep → refine → greedy) switched on measured
+/// imbalance, every switch recorded as a `"switch"` trace event.
+pub fn run_ampi_adaptive(
+    comm: &Communicator,
+    cfg: &ParConfig,
+    d: usize,
+    interval: u32,
+) -> ParOutcome {
+    run_ampi_adaptive_traced(comm, cfg, d, interval, &mut Tracer::disabled())
+}
+
+/// [`run_ampi_adaptive`] with telemetry.
+pub fn run_ampi_adaptive_traced(
+    comm: &Communicator,
+    cfg: &ParConfig,
+    d: usize,
+    interval: u32,
+    tracer: &mut Tracer,
+) -> ParOutcome {
+    assert!(interval > 0, "LB interval must be positive");
+    let mut lb = AdaptiveLb::vp_arms(interval as u64);
+    run_ampi_lb(comm, cfg, d, &mut lb, tracer)
+}
+
+/// The shared AMPI rank loop, generic over the [`LoadBalancer`] driving
+/// VP reassignment. The assignment table is replicated, and the balancer
+/// decides from the allgathered per-VP load vector — identically on every
+/// core — so no decision broadcast is needed.
+fn run_ampi_lb(
+    comm: &Communicator,
+    cfg: &ParConfig,
+    d: usize,
+    lb: &mut dyn LoadBalancer,
+    tracer: &mut Tracer,
+) -> ParOutcome {
     let grid = cfg.setup.grid;
     let consts = cfg.setup.consts;
     let cores = comm.size();
     let me = comm.rank();
-    let vps = VpGrid::new(grid.ncells(), cores, params.d);
+    let vps = VpGrid::new(grid.ncells(), cores, d);
     let nvps = vps.vp_count();
     let mut assignment = vps.initial_assignment();
 
@@ -99,6 +139,7 @@ pub fn run_ampi_traced(
         cfg.setup.particles.len() as u64,
         cfg.steps as u64,
         &store.kernel_desc(),
+        lb.name(),
     );
     let mut sent_window = 0u64;
     let mut global_count = cfg.setup.particles.len() as u64;
@@ -165,14 +206,16 @@ pub fn run_ampi_traced(
         tracer.phase_end(Phase::Exchange);
         sent_window += sent as u64;
 
-        // Runtime load balancing.
-        if s % params.interval == 0 && s < cfg.steps {
+        // Runtime load balancing (never on the final step, matching the
+        // historical cadence).
+        if lb.wants(s as u64) && s < cfg.steps {
             tracer.phase_start(Phase::Balance);
             sent_window += rebalance(
                 comm,
                 &vps,
                 &mut assignment,
-                params.balancer,
+                s as u64,
+                lb,
                 &mut store,
                 &mut bufs,
                 me,
@@ -262,15 +305,17 @@ fn p_cell(grid: &pic_core::geometry::Grid, p: &Particle) -> (usize, usize) {
     grid.cell_of_point(p.x, p.y)
 }
 
-/// One LB round: allgather per-VP loads, rebalance deterministically on
-/// every core, migrate the particles of reassigned VPs. Returns the number
-/// of particles this core sent during the migration.
+/// One LB round: allgather per-VP loads, let the balancer decide
+/// deterministically on every core, migrate the particles of reassigned
+/// VPs. Returns the number of particles this core sent during the
+/// migration.
 #[allow(clippy::too_many_arguments)]
 fn rebalance(
     comm: &Communicator,
     vps: &VpGrid,
     assignment: &mut Vec<usize>,
-    balancer: Balancer,
+    step: u64,
+    lb: &mut dyn LoadBalancer,
     store: &mut RankStore,
     bufs: &mut ExchangeBuffers,
     me: usize,
@@ -308,12 +353,31 @@ fn rebalance(
             *slot += v;
         }
     }
-    let loads: Vec<f64> = global.iter().map(|&c| c as f64).collect();
-    let new_assignment = balancer.rebalance(&loads, assignment, comm.size());
-    // The VP-assignment analogue of a cut decision: old table, the per-VP
-    // counts the balancer saw, new table.
-    tracer.record_cuts('v', assignment, &global, &new_assignment);
-    *assignment = new_assignment;
+    let decision = {
+        let layout = Layout {
+            ncells: grid.ncells(),
+            ranks: comm.size(),
+            xcuts: &[],
+            ycuts: &[],
+            vp_assignment: assignment,
+        };
+        let input = BalanceInput {
+            step,
+            col_hist: &[],
+            row_counts: &[],
+            vp_counts: &global,
+        };
+        lb.decide(&input, &layout)
+    };
+    if let Some(sw) = &decision.switched {
+        tracer.record_switch(sw.from, sw.to, sw.imbalance);
+    }
+    if let Some(vp) = decision.vps {
+        // The VP-assignment analogue of a cut decision: old table, the
+        // per-VP counts the balancer saw, new table.
+        tracer.record_cuts('v', assignment, &vp.counts, &vp.assignment);
+        *assignment = vp.assignment;
+    }
     // Migrate: particles whose VP moved away get routed to the new owner.
     let (sent, _received) = route_store(comm, me, grid, vps, assignment, store, bufs);
     sent
@@ -322,6 +386,7 @@ fn rebalance(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::balancer::Balancer;
     use pic_comm::world::run_threads;
     use pic_core::dist::Distribution;
     use pic_core::events::Region;
@@ -477,6 +542,35 @@ mod tests {
         // Skewed start under greedy VP placement must register migrations.
         let rehomed: u64 = report.steps.iter().map(|s| s.counters[0]).sum();
         assert!(rehomed > 0, "migration counter never moved");
+    }
+
+    #[test]
+    fn adaptive_vp_run_verifies_and_switches() {
+        // Geometric skew under the keep-everything arm sustains a high
+        // per-core imbalance, so the adaptive ladder must escalate from
+        // vp-none to vp-refine once its window fills.
+        let c = cfg(1200, Distribution::Geometric { r: 0.85 }, 40);
+        let results = run_threads(4, |comm| {
+            let mut tracer = if comm.rank() == 0 {
+                Tracer::in_memory(2)
+            } else {
+                Tracer::disabled()
+            };
+            let out = run_ampi_adaptive_traced(&comm, &c, 4, 4, &mut tracer);
+            (out, tracer.finish())
+        });
+        for (out, _) in &results {
+            assert!(out.verify.passed(), "{:?}", out.verify);
+            assert_eq!(out.total_count, 1200);
+        }
+        let report = results[0].1.as_ref().expect("rank 0 traced");
+        assert_eq!(report.summary.balancer, "adaptive");
+        assert!(
+            !report.switches.is_empty(),
+            "sustained skew must escalate off the vp-none arm"
+        );
+        assert_eq!(report.switches[0].from, "vp-none");
+        assert_eq!(report.switches[0].to, "vp-refine");
     }
 
     #[test]

@@ -48,8 +48,26 @@ fn main() {
     if check.steps == 0 {
         fail(&format!("{path}: no step records"));
     }
+    // The summary's switch count must agree with the switch records in the
+    // stream, so a truncated trace (or a balancer that lies about its
+    // switching) fails the gate.
+    let claimed = summary
+        .get("switches")
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    if claimed != check.switches as u64 {
+        fail(&format!(
+            "{path}: summary claims {claimed} strategy switches, stream has {}",
+            check.switches
+        ));
+    }
+    let balancer = summary
+        .get("balancer")
+        .and_then(|v| v.as_str())
+        .unwrap_or("none");
     println!(
-        "trace_check: {path} OK — {} lines, {} step records / {steps} steps, {} cut decisions",
-        check.lines, check.steps, check.cuts
+        "trace_check: {path} OK — {} lines, {} step records / {steps} steps, {} cut decisions, \
+         balancer {balancer} ({} switches)",
+        check.lines, check.steps, check.cuts, check.switches
     );
 }

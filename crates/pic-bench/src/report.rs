@@ -78,6 +78,8 @@ pub fn trace_summary_markdown(s: &pic_trace::TraceSummary) -> String {
     let _ = writeln!(out, "| mean imbalance | {:.3} |", s.mean_imbalance);
     let _ = writeln!(out, "| max gini | {:.3} |", s.max_gini);
     let _ = writeln!(out, "| final particles | {} |", s.final_particles);
+    let _ = writeln!(out, "| balancer | {} |", s.balancer);
+    let _ = writeln!(out, "| strategy switches | {} |", s.switches);
     out
 }
 
@@ -139,6 +141,8 @@ mod tests {
             mean_imbalance: 1.5,
             max_gini: 0.25,
             final_particles: 42_000,
+            balancer: String::from("adaptive"),
+            switches: 2,
         };
         let md = trace_summary_markdown(&s);
         assert!(md.contains("| advance time | 2.000 ms |"), "{md}");
@@ -148,6 +152,8 @@ mod tests {
         assert!(md.contains("| overlap_ns | 12000 |"), "{md}");
         assert!(md.contains("| max imbalance | 2.345 |"), "{md}");
         assert!(md.contains("| final particles | 42000 |"), "{md}");
+        assert!(md.contains("| balancer | adaptive |"), "{md}");
+        assert!(md.contains("| strategy switches | 2 |"), "{md}");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! answers "how long would this decomposition/balancing strategy take on a
 //! big machine", which is exactly what the paper's figures compare.
 
+pub mod balancer;
 pub mod bsp;
 pub mod cost;
 pub mod loadmodel;
@@ -29,6 +30,11 @@ pub mod machine;
 pub mod noise;
 pub mod stats;
 
+pub use balancer::{
+    diffuse_xcuts, diffuse_xcuts_from_histogram, greedy_assign, imbalance, per_column_counts_into,
+    refine_assign, AdaptiveConfig, AdaptiveLb, Axes, BalanceDecision, BalanceInput, BalanceNeeds,
+    CutMove, DiffusionLb, Layout, LoadBalancer, StaticLb, SwitchEvent, VpLb, VpMove, VpStrategy,
+};
 pub use bsp::{BspSimulator, RunStats};
 pub use cost::CostModel;
 pub use loadmodel::ColumnLoadModel;

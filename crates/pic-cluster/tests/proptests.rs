@@ -1,12 +1,34 @@
-//! Property tests of the machine model, cost model, BSP accounting and the
-//! analytic load model.
+//! Property tests of the machine model, cost model, BSP accounting, the
+//! analytic load model, and the balance decision functions.
 
+use pic_cluster::balancer::{diffuse_xcuts_from_histogram, greedy_assign, refine_assign};
 use pic_cluster::bsp::BspSimulator;
 use pic_cluster::cost::CostModel;
 use pic_cluster::loadmodel::ColumnLoadModel;
 use pic_cluster::machine::{Distance, MachineModel};
 use pic_core::dist::Distribution;
 use proptest::prelude::*;
+
+/// A uniform partition of `ncells` into `px` columns, `xcuts` style.
+fn uniform_cuts(px: usize, ncells: usize) -> Vec<usize> {
+    (0..=px).map(|i| i * ncells / px).collect()
+}
+
+/// The partition invariant every diffusion decision must keep: pinned
+/// ends, strictly increasing interior (≥ 1 cell per column).
+fn assert_partition(
+    cuts: &[usize],
+    px: usize,
+    ncells: usize,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    prop_assert_eq!(cuts.len(), px + 1);
+    prop_assert_eq!(cuts[0], 0);
+    prop_assert_eq!(cuts[px], ncells);
+    for w in cuts.windows(2) {
+        prop_assert!(w[0] < w[1], "cuts not strictly increasing: {cuts:?}");
+    }
+    Ok(())
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -143,5 +165,94 @@ proptest! {
         m.advance(adv);
         let cut = (cut_sel % c as u64) as usize;
         prop_assert!(m.crossing_cut(cut) <= n);
+    }
+
+    /// A zero-total histogram never moves a cut: with nothing to balance,
+    /// the decision is the identity, whatever the border width.
+    #[test]
+    fn diffusion_zero_total_histogram_is_identity(
+        px in 1usize..8,
+        cells_per in 1usize..16,
+        border_w in 1usize..1000,
+        tau in 0u64..100,
+    ) {
+        let ncells = px * cells_per;
+        let cuts = uniform_cuts(px, ncells);
+        let hist = vec![0u64; ncells];
+        let out = diffuse_xcuts_from_histogram(&cuts, &hist, tau, border_w);
+        prop_assert_eq!(out, cuts);
+    }
+
+    /// A single heavy mesh column — the most lopsided histogram possible —
+    /// must still produce a valid partition for any border width (the
+    /// clamp absorbs arbitrarily wild proposals, including the huge
+    /// `border_w` casts that used to wrap).
+    #[test]
+    fn diffusion_single_heavy_column_keeps_partition(
+        px in 2usize..8,
+        cells_per in 1usize..16,
+        heavy_sel in any::<u64>(),
+        weight in 1u64..u64::MAX / 2,
+        border_w in 1usize..usize::MAX,
+        adv in 0usize..4,
+    ) {
+        let ncells = px * cells_per;
+        let mut cuts = uniform_cuts(px, ncells);
+        let mut hist = vec![0u64; ncells];
+        hist[(heavy_sel % ncells as u64) as usize] = weight;
+        // Iterate the decision a few times: the fixed point must stay a
+        // partition too (cascading clamps interact across rounds).
+        for _ in 0..=adv {
+            cuts = diffuse_xcuts_from_histogram(&cuts, &hist, 0, border_w);
+            assert_partition(&cuts, px, ncells)?;
+        }
+    }
+
+    /// Arbitrary histograms, thresholds and border widths: the decision
+    /// always yields a valid partition and is replicated (two evaluations
+    /// from identical inputs agree bit-for-bit).
+    #[test]
+    fn diffusion_always_partitions_and_replicates(
+        px in 1usize..8,
+        cells_per in 1usize..16,
+        seed in any::<u64>(),
+        tau in 0u64..10_000,
+        border_w in 1usize..100,
+    ) {
+        let ncells = px * cells_per;
+        let cuts = uniform_cuts(px, ncells);
+        let hist: Vec<u64> = (0..ncells)
+            .map(|i| seed.rotate_left((i % 64) as u32) % 100_000)
+            .collect();
+        let a = diffuse_xcuts_from_histogram(&cuts, &hist, tau, border_w);
+        let b = diffuse_xcuts_from_histogram(&cuts, &hist, tau, border_w);
+        assert_partition(&a, px, ncells)?;
+        prop_assert_eq!(a, b);
+    }
+
+    /// The VP assignment strategies must return a complete, in-range
+    /// assignment for any load vector — including non-finite loads (the
+    /// NaN-safe total order must never panic and never emit an out-of-range
+    /// core id).
+    #[test]
+    fn vp_assignments_total_and_in_range(
+        nvps in 1usize..32,
+        cores in 1usize..8,
+        seed in any::<u64>(),
+        nan_sel in any::<u64>(),
+    ) {
+        let mut loads: Vec<f64> = (0..nvps)
+            .map(|i| (seed.rotate_left((i % 64) as u32) % 1000) as f64)
+            .collect();
+        if nan_sel % 3 == 0 {
+            loads[(nan_sel % nvps as u64) as usize] = f64::NAN;
+        }
+        let greedy = greedy_assign(&loads, cores);
+        prop_assert_eq!(greedy.len(), nvps);
+        prop_assert!(greedy.iter().all(|&c| c < cores));
+        let current: Vec<usize> = (0..nvps).map(|i| i % cores).collect();
+        let refined = refine_assign(&loads, &current, cores, usize::MAX);
+        prop_assert_eq!(refined.len(), nvps);
+        prop_assert!(refined.iter().all(|&c| c < cores));
     }
 }

@@ -7,8 +7,9 @@
 //! performance suffers." — it is the baseline the balanced implementations
 //! are compared against.
 
-use crate::decomp::Decomp2d;
-use crate::runner::{snapshot_loads, trace_interval, ParConfig, ParOutcome, RankState};
+use crate::balance::run_balanced_traced;
+use crate::runner::{ParConfig, ParOutcome};
+use pic_cluster::balancer::StaticLb;
 use pic_comm::comm::Communicator;
 use pic_trace::Tracer;
 
@@ -28,31 +29,10 @@ pub fn run_baseline_traced(
     cfg: &ParConfig,
     tracer: &mut Tracer,
 ) -> ParOutcome {
-    let decomp = Decomp2d::uniform(cfg.setup.grid.ncells(), comm.size());
-    let mut st = RankState::with_kernel(&cfg.setup, decomp, comm.rank(), cfg.kernel);
-    let every = trace_interval(comm, tracer);
-    tracer.emit_run_header(
-        "baseline",
-        comm.size(),
-        cfg.setup.particles.len() as u64,
-        cfg.steps as u64,
-        &st.kernel_desc(),
-    );
-    let mut sent_window = 0u64;
-    let mut global_count = cfg.setup.particles.len() as u64;
-    for s in 1..=cfg.steps as u64 {
-        tracer.begin_step(s);
-        sent_window += st.step_traced(comm, tracer) as u64;
-        if every > 0 && s.is_multiple_of(every) {
-            let msgs = st.take_message_counts();
-            global_count = snapshot_loads(comm, tracer, st.local_count() as u64, sent_window, msgs);
-            sent_window = 0;
-        }
-        tracer.end_step(global_count);
-    }
-    let out = st.finish_traced(comm, tracer);
-    tracer.set_final_particles(out.total_count);
-    out
+    // The baseline is the static strategy through the shared trait-driven
+    // loop: `StaticLb::wants` is always false, so no balance phase ever
+    // opens and the step sequence is exactly the historical baseline's.
+    run_balanced_traced(comm, cfg, "baseline", &mut StaticLb, tracer)
 }
 
 #[cfg(test)]

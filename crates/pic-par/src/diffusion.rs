@@ -10,10 +10,17 @@
 //! a Cartesian product: communication stays regular nearest-neighbor, the
 //! property the paper credits for this scheme's strong-scaling advantage.
 
-use crate::decomp::Decomp2d;
-use crate::runner::{snapshot_loads, trace_interval, ParConfig, ParOutcome, RankState};
+use crate::balance::run_balanced_traced;
+use crate::runner::{ParConfig, ParOutcome};
+use pic_cluster::balancer::{Axes, DiffusionLb};
 use pic_comm::comm::Communicator;
-use pic_trace::{Counter, Phase, Tracer};
+use pic_trace::Tracer;
+
+// The pure decision functions live in `pic_cluster::balancer` now (shared
+// with every other strategy); re-exported here for source compatibility.
+pub use pic_cluster::balancer::{
+    diffuse_xcuts, diffuse_xcuts_from_histogram, per_column_counts_into,
+};
 
 /// Tuning knobs of the diffusion balancer (the paper's three interfering
 /// parameters: frequency, threshold, border width — "should be co-tuned").
@@ -57,76 +64,6 @@ pub enum DiffusionMode {
     TwoPhase,
 }
 
-/// Pure diffusion decision: given current x-cuts and per-processor-column
-/// particle counts, produce the new cuts. Moves are decided simultaneously
-/// on the old counts (Jacobi style), then clamped left-to-right so every
-/// column keeps at least one cell.
-pub fn diffuse_xcuts(
-    xcuts: &[usize],
-    counts: &[u64],
-    tau: u64,
-    border_w: usize,
-    ncells: usize,
-) -> Vec<usize> {
-    let px = counts.len();
-    assert_eq!(xcuts.len(), px + 1);
-    let mut proposed: Vec<i64> = xcuts.iter().map(|&c| c as i64).collect();
-    for i in 1..px {
-        let left = counts[i - 1];
-        let right = counts[i];
-        if left > right && left - right > tau {
-            proposed[i] -= border_w as i64; // heavy left sheds cells rightward
-        } else if right > left && right - left > tau {
-            proposed[i] += border_w as i64; // heavy right sheds cells leftward
-        }
-    }
-    // Clamp: strictly increasing, ≥1 cell per column, ends pinned.
-    let mut out = vec![0usize; px + 1];
-    out[px] = ncells;
-    for i in 1..px {
-        let lo = out[i - 1] as i64 + 1;
-        let hi = ncells as i64 - (px - i) as i64;
-        out[i] = proposed[i].clamp(lo, hi) as usize;
-    }
-    out
-}
-
-/// Aggregate a per-mesh-cell-column particle histogram into
-/// per-processor-column counts under `xcuts`, reusing `out`.
-///
-/// This is the bridge between the engine's histogram readback
-/// (`Simulation::column_histogram_into`, an O(columns) prefix-sum read
-/// when the store is binned) and the per-processor-column counts the
-/// diffusion decision operates on: processor column `i` owns mesh columns
-/// `xcuts[i]..xcuts[i+1]`, so its count is the sum of that slice.
-pub fn per_column_counts_into(hist: &[u64], xcuts: &[usize], out: &mut Vec<u64>) {
-    let px = xcuts.len().checked_sub(1).expect("xcuts must be non-empty");
-    assert_eq!(
-        *xcuts.last().unwrap(),
-        hist.len(),
-        "last cut must pin the histogram's right edge"
-    );
-    out.clear();
-    out.resize(px, 0);
-    for (i, slot) in out.iter_mut().enumerate() {
-        *slot = hist[xcuts[i]..xcuts[i + 1]].iter().sum();
-    }
-}
-
-/// One diffusion decision straight from a per-cell-column histogram: the
-/// counts never exist per particle on the deciding side, so a binned
-/// engine store feeds the balancer at O(columns) per invocation.
-pub fn diffuse_xcuts_from_histogram(
-    xcuts: &[usize],
-    hist: &[u64],
-    tau: u64,
-    border_w: usize,
-) -> Vec<usize> {
-    let mut counts = Vec::new();
-    per_column_counts_into(hist, xcuts, &mut counts);
-    diffuse_xcuts(xcuts, &counts, tau, border_w, hist.len())
-}
-
 /// Run the diffusion-balanced implementation on this rank with the
 /// paper's experimental x-only balancing.
 pub fn run_diffusion(comm: &Communicator, cfg: &ParConfig, params: DiffusionParams) -> ParOutcome {
@@ -156,125 +93,13 @@ pub fn run_diffusion_mode_traced(
 ) -> ParOutcome {
     assert!(params.interval > 0, "interval must be positive");
     assert!(params.border_w > 0, "border width must be positive");
-    let decomp = Decomp2d::uniform(cfg.setup.grid.ncells(), comm.size());
-    let mut st = RankState::with_kernel(&cfg.setup, decomp, comm.rank(), cfg.kernel);
-    let every = trace_interval(comm, tracer);
-    tracer.emit_run_header(
-        "diffusion",
-        comm.size(),
-        cfg.setup.particles.len() as u64,
-        cfg.steps as u64,
-        &st.kernel_desc(),
-    );
-    let mut sent_window = 0u64;
-    let mut global_count = cfg.setup.particles.len() as u64;
-    for s in 1..=cfg.steps {
-        tracer.begin_step(s as u64);
-        sent_window += st.step_traced(comm, tracer) as u64;
-        if s % params.interval == 0 && s < cfg.steps {
-            tracer.phase_start(Phase::Balance);
-            sent_window += lb_step(comm, &mut st, params, mode, tracer) as u64;
-            tracer.phase_end(Phase::Balance);
-        }
-        if every > 0 && (s as u64).is_multiple_of(every) {
-            let msgs = st.take_message_counts();
-            global_count = snapshot_loads(comm, tracer, st.local_count() as u64, sent_window, msgs);
-            sent_window = 0;
-        }
-        tracer.end_step(global_count);
-    }
-    let out = st.finish_traced(comm, tracer);
-    tracer.set_final_particles(out.total_count);
-    out
-}
-
-/// One load-balancing invocation: phase 1 aggregates per-processor-column
-/// counts and moves x-cuts; phase 2 (two-phase mode) does the same for
-/// rows. A single rehome at the end migrates all border residents.
-/// Returns the number of particles this rank sent during the migration.
-fn lb_step(
-    comm: &Communicator,
-    st: &mut RankState,
-    params: DiffusionParams,
-    mode: DiffusionMode,
-    tracer: &mut Tracer,
-) -> usize {
-    let mut changed = false;
-    if matches!(mode, DiffusionMode::XOnly | DiffusionMode::TwoPhase) {
-        // Aggregate the global per-cell-column histogram with one vector
-        // allreduce — each rank's contribution comes straight from its own
-        // store (O(columns) prefix-sum differences when the binned store is
-        // fresh) — then fold it onto processor columns. Same totals as the
-        // per-rank-count reduction, so cut decisions are unchanged.
-        let mut hist_scratch = Vec::new();
-        let hist = st.aggregate_column_histogram(comm, &mut hist_scratch);
-        tracer.add(Counter::CollectiveBytes, hist.len() as u64 * 8);
-        let mut col_counts = Vec::new();
-        per_column_counts_into(&hist, &st.decomp.xcuts, &mut col_counts);
-        let new_cuts = diffuse_xcuts(
-            &st.decomp.xcuts,
-            &col_counts,
-            params.tau,
-            params.border_w,
-            st.decomp.ncells,
-        );
-        tracer.record_cuts('x', &st.decomp.xcuts, &col_counts, &new_cuts);
-        if new_cuts != st.decomp.xcuts {
-            tracer.add(
-                Counter::BorderCells,
-                handed_over_cells(&st.decomp.xcuts, &new_cuts, st.decomp.ncells),
-            );
-            st.decomp.set_xcuts(new_cuts);
-            changed = true;
-        }
-    }
-    if matches!(mode, DiffusionMode::YOnly | DiffusionMode::TwoPhase) {
-        let mut row_counts = Vec::new();
-        st.aggregate_axis_counts_into(comm, false, &mut row_counts);
-        tracer.add(Counter::CollectiveBytes, row_counts.len() as u64 * 8);
-        // The decision procedure is axis-agnostic: cuts + counts in, cuts
-        // out.
-        let new_cuts = diffuse_xcuts(
-            &st.decomp.ycuts,
-            &row_counts,
-            params.tau,
-            params.border_w,
-            st.decomp.ncells,
-        );
-        tracer.record_cuts('y', &st.decomp.ycuts, &row_counts, &new_cuts);
-        if new_cuts != st.decomp.ycuts {
-            tracer.add(
-                Counter::BorderCells,
-                handed_over_cells(&st.decomp.ycuts, &new_cuts, st.decomp.ncells),
-            );
-            st.decomp.set_ycuts(new_cuts);
-            changed = true;
-        }
-    }
-    if changed {
-        debug_assert!(st.decomp.is_partition());
-        // The functional analogue of receiving the migrated border
-        // subgrid: rebuild this rank's stored mesh for its new bounds.
-        st.rebuild_charges();
-    }
-    // Rehome particles under the new ownership map (border-cell residents
-    // migrate to the adjacent ranks), through the rank's reused buffers.
-    let (sent, _received) = st.rehome(comm);
-    // Every surviving particle is now inside the new bounds, so a binned
-    // store can re-anchor its column range to the moved cuts.
-    st.rebind_store();
-    sent
-}
-
-/// Mesh cells handed over by a cut movement: Σ |new − old| per interior
-/// cut, times the `ncells` extent of the perpendicular axis. Exact and
-/// replicated on every rank, because the decision itself is.
-fn handed_over_cells(old: &[usize], new: &[usize], ncells: usize) -> u64 {
-    old.iter()
-        .zip(new)
-        .map(|(&o, &n)| o.abs_diff(n) as u64)
-        .sum::<u64>()
-        * ncells as u64
+    let axes = match mode {
+        DiffusionMode::XOnly => Axes::X,
+        DiffusionMode::YOnly => Axes::Y,
+        DiffusionMode::TwoPhase => Axes::XY,
+    };
+    let mut lb = DiffusionLb::new(params.interval as u64, params.tau, params.border_w, axes);
+    run_balanced_traced(comm, cfg, "diffusion", &mut lb, tracer)
 }
 
 #[cfg(test)]

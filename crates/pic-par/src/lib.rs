@@ -22,6 +22,7 @@
 //! [`model_impl`] re-expresses the same two strategies against the
 //! analytic load model for full-scale modeled runs (Figures 6–7).
 
+pub mod balance;
 pub mod baseline;
 pub mod decomp;
 pub mod diffusion;
@@ -29,6 +30,10 @@ pub mod exchange;
 pub mod model_impl;
 pub mod runner;
 
+pub use balance::{
+    run_adaptive, run_adaptive_traced, run_balanced_traced, run_config, run_config_traced,
+    BalancerSpec,
+};
 pub use baseline::run_baseline;
 pub use decomp::Decomp2d;
 pub use diffusion::{run_diffusion, run_diffusion_mode, DiffusionMode, DiffusionParams};

@@ -182,6 +182,9 @@ pub struct ParConfig {
     /// Hot-loop kernel every rank runs (default: binned, exact tier —
     /// bit-identical to the AoS loop it replaced).
     pub kernel: RankKernel,
+    /// Load-balancing strategy for [`crate::balance::run_config`]
+    /// dispatch (default: static, i.e. the baseline).
+    pub balancer: crate::balance::BalancerSpec,
 }
 
 impl ParConfig {
@@ -190,11 +193,17 @@ impl ParConfig {
             setup,
             steps,
             kernel: RankKernel::default(),
+            balancer: crate::balance::BalancerSpec::default(),
         }
     }
 
     pub fn with_kernel(mut self, kernel: RankKernel) -> ParConfig {
         self.kernel = kernel;
+        self
+    }
+
+    pub fn with_balancer(mut self, balancer: crate::balance::BalancerSpec) -> ParConfig {
+        self.balancer = balancer;
         self
     }
 }

@@ -306,6 +306,7 @@ pub struct NdjsonCheck {
     pub runs: usize,
     pub steps: usize,
     pub cuts: usize,
+    pub switches: usize,
     /// The (single) summary record, when present.
     pub summary: Option<Json>,
 }
@@ -319,6 +320,7 @@ pub fn validate_ndjson(text: &str) -> Result<NdjsonCheck, String> {
         runs: 0,
         steps: 0,
         cuts: 0,
+        switches: 0,
         summary: None,
     };
     for (lineno, line) in text.lines().enumerate() {
@@ -334,6 +336,7 @@ pub fn validate_ndjson(text: &str) -> Result<NdjsonCheck, String> {
             "run" => check.runs += 1,
             "step" => check.steps += 1,
             "cuts" => check.cuts += 1,
+            "switch" => check.switches += 1,
             "summary" => {
                 if check.summary.is_some() {
                     return Err(format!("line {}: duplicate summary record", lineno + 1));
@@ -393,9 +396,11 @@ mod tests {
 
     #[test]
     fn validates_ndjson_shape() {
-        let good = "{\"type\":\"run\"}\n{\"type\":\"step\",\"step\":1}\n{\"type\":\"summary\"}\n";
+        let good = "{\"type\":\"run\"}\n{\"type\":\"step\",\"step\":1}\n\
+                    {\"type\":\"switch\",\"step\":1}\n{\"type\":\"summary\"}\n";
         let check = validate_ndjson(good).unwrap();
         assert_eq!((check.runs, check.steps, check.cuts), (1, 1, 0));
+        assert_eq!(check.switches, 1);
         assert!(check.summary.is_some());
 
         assert!(validate_ndjson("{\"step\":1}\n").is_err(), "missing type");

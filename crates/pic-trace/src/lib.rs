@@ -29,6 +29,6 @@ pub mod tracer;
 pub use json::{validate_ndjson, Json, NdjsonCheck, ParseError};
 pub use serial::trace_simulation;
 pub use tracer::{
-    Counter, CutRecord, Phase, StepRecord, TraceReport, TraceSummary, Tracer, COUNTER_COUNT,
-    PHASE_COUNT, SCHEMA_VERSION,
+    Counter, CutRecord, Phase, StepRecord, SwitchRecord, TraceReport, TraceSummary, Tracer,
+    COUNTER_COUNT, PHASE_COUNT, SCHEMA_VERSION,
 };

@@ -25,6 +25,7 @@ pub fn trace_simulation(sim: &mut Simulation, steps: u32, tracer: &mut Tracer) {
             sim.particle_count() as u64,
             steps as u64,
             &sim.kernel_desc(),
+            "none",
         );
     }
     let mut hist: Vec<u64> = Vec::new();

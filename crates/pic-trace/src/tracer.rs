@@ -19,6 +19,7 @@
 //!   Phase times and counters cover the window since the previous step
 //!   record (per-step values when `every == 1`).
 //! * `{"type":"cuts", ...}` — one per cut-movement decision, unsampled.
+//! * `{"type":"switch", ...}` — one per adaptive strategy switch, unsampled.
 //! * `{"type":"summary", ...}` — once, from [`Tracer::finish`].
 //!
 //! Non-finite floats have no JSON representation and are emitted as
@@ -194,6 +195,18 @@ pub struct StepRecord {
     pub stats: Option<BalanceStats>,
 }
 
+/// One adaptive strategy switch (the in-memory twin of a `"switch"` line).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchRecord {
+    pub step: u64,
+    /// Name of the strategy that was active before the switch.
+    pub from: String,
+    /// Name of the strategy now in effect.
+    pub to: String,
+    /// The windowed imbalance signal that triggered the switch.
+    pub imbalance: f64,
+}
+
 /// One cut-movement decision (the in-memory twin of a `"cuts"` line).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CutRecord {
@@ -232,6 +245,10 @@ pub struct TraceSummary {
     pub max_gini: f64,
     /// Global particle count at the last `end_step`.
     pub final_particles: u64,
+    /// Balancer identity from the run header (`"none"` if never set).
+    pub balancer: String,
+    /// Number of adaptive strategy switches recorded.
+    pub switches: u64,
 }
 
 /// Everything an enabled tracer captured, returned by [`Tracer::finish`].
@@ -240,6 +257,7 @@ pub struct TraceReport {
     pub summary: TraceSummary,
     pub steps: Vec<StepRecord>,
     pub cuts: Vec<CutRecord>,
+    pub switches: Vec<SwitchRecord>,
     /// The full ndjson stream, byte-identical to what the writer received.
     pub ndjson: String,
 }
@@ -250,6 +268,8 @@ struct Inner {
     ndjson: String,
     steps: Vec<StepRecord>,
     cuts: Vec<CutRecord>,
+    switches: Vec<SwitchRecord>,
+    balancer: String,
     // Current-window scratch, reset whenever a step record is emitted.
     cur_step: u64,
     pend_phase_ns: [u64; PHASE_COUNT],
@@ -311,6 +331,8 @@ impl Tracer {
                 ndjson: String::new(),
                 steps: Vec::new(),
                 cuts: Vec::new(),
+                switches: Vec::new(),
+                balancer: String::from("none"),
                 cur_step: 0,
                 pend_phase_ns: [0; PHASE_COUNT],
                 pend_counters: [0; COUNTER_COUNT],
@@ -360,7 +382,10 @@ impl Tracer {
     /// (`Simulation::kernel_desc`-style `"<backend>/<tier>"`, or
     /// `"none"`), recorded so a trace always states which force kernel —
     /// and in particular which precision contract, exact or fast —
-    /// produced it.
+    /// produced it. `balancer` is the load-balancing strategy in effect
+    /// (`"none"`, `"static"`, `"diffusion"`, `"vp-refine"`, `"adaptive"`,
+    /// ...), recorded here and in the summary so downstream tables can
+    /// attribute results to the strategy that produced them.
     pub fn emit_run_header(
         &mut self,
         impl_name: &str,
@@ -368,17 +393,20 @@ impl Tracer {
         particles: u64,
         steps: u64,
         simd: &str,
+        balancer: &str,
     ) {
         if let Some(i) = &mut self.inner {
+            i.balancer = balancer.to_string();
             let mut line = String::with_capacity(128);
             let _ = write!(
                 line,
                 "{{\"type\":\"run\",\"schema\":{SCHEMA_VERSION},\"impl\":{},\
                  \"ranks\":{ranks},\"particles\":{particles},\"steps\":{steps},\
-                 \"every\":{},\"simd\":{}}}",
+                 \"every\":{},\"simd\":{},\"balancer\":{}}}",
                 json_str(impl_name),
                 i.every,
-                json_str(simd)
+                json_str(simd),
+                json_str(balancer)
             );
             i.emit(&line);
         }
@@ -468,6 +496,32 @@ impl Tracer {
         }
     }
 
+    /// Record one adaptive strategy switch; emits a `"switch"` line
+    /// immediately (switches are rare and never sampled away).
+    pub fn record_switch(&mut self, from: &str, to: &str, imbalance: f64) {
+        if let Some(i) = &mut self.inner {
+            let rec = SwitchRecord {
+                step: i.cur_step,
+                from: from.to_string(),
+                to: to.to_string(),
+                imbalance,
+            };
+            let mut line = String::with_capacity(96);
+            let _ = write!(
+                line,
+                "{{\"type\":\"switch\",\"step\":{},\"from\":{},\"to\":{}",
+                rec.step,
+                json_str(from),
+                json_str(to)
+            );
+            line.push_str(",\"imbalance\":");
+            push_f64(&mut line, imbalance);
+            line.push('}');
+            i.emit(&line);
+            i.switches.push(rec);
+        }
+    }
+
     /// Close the current step. Emits a step record when `step % every ==
     /// 0`; the record's phase times and counters cover the window since
     /// the previous record.
@@ -510,6 +564,8 @@ impl Tracer {
             },
             max_gini: i.gini_max,
             final_particles: i.last_particles,
+            balancer: i.balancer.clone(),
+            switches: i.switches.len() as u64,
         };
         let mut line = String::with_capacity(256);
         let _ = write!(
@@ -529,7 +585,13 @@ impl Tracer {
         push_f64(&mut line, summary.mean_imbalance);
         line.push_str(",\"max_gini\":");
         push_f64(&mut line, summary.max_gini);
-        let _ = write!(line, ",\"final_particles\":{}}}", summary.final_particles);
+        let _ = write!(line, ",\"final_particles\":{}", summary.final_particles);
+        let _ = write!(
+            line,
+            ",\"balancer\":{},\"switches\":{}}}",
+            json_str(&summary.balancer),
+            summary.switches
+        );
         i.emit(&line);
         if let Some(w) = &mut i.writer {
             let _ = w.flush();
@@ -538,6 +600,7 @@ impl Tracer {
             summary,
             steps: std::mem::take(&mut i.steps),
             cuts: std::mem::take(&mut i.cuts),
+            switches: std::mem::take(&mut i.switches),
             ndjson: std::mem::take(&mut i.ndjson),
         })
     }
@@ -715,6 +778,7 @@ mod tests {
         t.add(Counter::Rehomed, 5);
         t.record_loads(&[1.0, 2.0]);
         t.record_cuts('x', &[0, 4], &[10, 2], &[0, 3]);
+        t.record_switch("static", "diffusion", 1.5);
         t.end_step(100);
         assert!(t.finish().is_none());
     }
@@ -722,7 +786,7 @@ mod tests {
     #[test]
     fn emits_valid_ndjson_stream() {
         let mut t = Tracer::in_memory(1);
-        t.emit_run_header("test", 4, 1000, 2, "avx2/exact");
+        t.emit_run_header("test", 4, 1000, 2, "avx2/exact", "adaptive");
         for s in 1..=2u64 {
             t.begin_step(s);
             t.phase_start(Phase::Advance);
@@ -731,14 +795,24 @@ mod tests {
             t.record_loads(&[4.0, 2.0, 1.0, 1.0]);
             t.end_step(1000);
         }
+        t.record_switch("static", "diffusion", 1.75);
         t.record_cuts('x', &[0, 8, 16], &[30, 10], &[0, 6, 16]);
         let report = t.finish().unwrap();
 
         let check = validate_ndjson(&report.ndjson).unwrap();
         assert_eq!((check.runs, check.steps, check.cuts), (1, 2, 1));
+        assert_eq!(check.switches, 1);
         let summary = check.summary.expect("summary record");
         assert_eq!(summary.get("steps").unwrap().as_u64(), Some(2));
         assert_eq!(summary.get("rehomed").unwrap().as_u64(), Some(6));
+        assert_eq!(summary.get("balancer").unwrap().as_str(), Some("adaptive"));
+        assert_eq!(summary.get("switches").unwrap().as_u64(), Some(1));
+        assert_eq!(report.summary.balancer, "adaptive");
+        assert_eq!(report.summary.switches, 1);
+        assert_eq!(report.switches.len(), 1);
+        assert_eq!(report.switches[0].from, "static");
+        assert_eq!(report.switches[0].to, "diffusion");
+        assert_eq!(report.switches[0].imbalance, 1.75);
         // loads [4,2,1,1]: mean 2, imbalance 2.0 every step.
         assert_eq!(summary.get("max_imbalance").unwrap().as_f64(), Some(2.0));
         assert_eq!(summary.get("mean_imbalance").unwrap().as_f64(), Some(2.0));
@@ -804,11 +878,12 @@ mod tests {
     #[test]
     fn run_header_escapes_strings() {
         let mut t = Tracer::in_memory(1);
-        t.emit_run_header("im\"pl\n", 1, 0, 0, "sca\"lar");
+        t.emit_run_header("im\"pl\n", 1, 0, 0, "sca\"lar", "ad\"aptive");
         let report = t.finish().unwrap();
         let v = Json::parse(report.ndjson.lines().next().unwrap()).unwrap();
         assert_eq!(v.get("impl").unwrap().as_str(), Some("im\"pl\n"));
         assert_eq!(v.get("simd").unwrap().as_str(), Some("sca\"lar"));
+        assert_eq!(v.get("balancer").unwrap().as_str(), Some("ad\"aptive"));
         assert_eq!(v.get("schema").unwrap().as_u64(), Some(SCHEMA_VERSION));
     }
 
@@ -830,7 +905,7 @@ mod tests {
 
         let sink = Sink(Arc::new(Mutex::new(Vec::new())));
         let mut t = Tracer::to_writer(Box::new(sink.clone()), 1);
-        t.emit_run_header("w", 1, 10, 1, "none");
+        t.emit_run_header("w", 1, 10, 1, "none", "none");
         t.begin_step(1);
         t.end_step(10);
         let report = t.finish().unwrap();

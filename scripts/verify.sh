@@ -48,6 +48,26 @@ head -1 "$trace_file" | grep -q '"simd":"[a-z0-9]*/fast"'
 cargo run --release -q -p pic-bench --bin trace_check -- "$trace_file"
 rm -f "$trace_file"
 
+echo "==> traced adaptive smoke run (online strategy switching)"
+# Sustained geometric skew must drive the adaptive balancer through at
+# least one deterministic strategy switch; the header/summary must carry
+# the balancer identity, the stream must validate (trace_check also
+# cross-checks the summary's switch count against the records), and the
+# forced-scalar path must pass the same run.
+trace_file="$(mktemp /tmp/pic-trace-adaptive.XXXXXX.ndjson)"
+out="$(./target/release/pic --balancer adaptive --ranks 4 --grid 32 \
+    --particles 2000 --steps 60 --m 1 --dist geometric:0.9 --lb-interval 5 \
+    --trace "$trace_file" --trace-every 2)"
+echo "$out" | grep -q "verification          : PASS"
+head -1 "$trace_file" | grep -q '"balancer":"adaptive"'
+switches="$(grep -c '"type":"switch"' "$trace_file")"
+test "$switches" -ge 1
+cargo run --release -q -p pic-bench --bin trace_check -- "$trace_file"
+rm -f "$trace_file"
+PIC_NO_SIMD=1 ./target/release/pic --balancer adaptive --ranks 4 --grid 32 \
+    --particles 2000 --steps 60 --m 1 --dist geometric:0.9 --lb-interval 5 \
+    --quiet | grep -qx PASS
+
 echo "==> overlap-mode equivalence pass (overlapped sparse vs dense oracle)"
 # The overlapped sparse exchange (the default) must be bit-identical to
 # the dense synchronous oracle. The proptests pin this in-process; this

@@ -13,9 +13,10 @@
 
 use pic_prk::ampi::balancer::Balancer;
 use pic_prk::ampi::model::AmpiParams;
-use pic_prk::ampi::runtime::run_ampi_traced;
+use pic_prk::ampi::runtime::{run_ampi_adaptive_traced, run_ampi_traced};
 use pic_prk::comm::world::run_threads;
 use pic_prk::core::init::SkewAxis;
+use pic_prk::par::balance::run_adaptive_traced;
 use pic_prk::par::baseline::run_baseline_traced;
 use pic_prk::par::diffusion::{run_diffusion_mode_traced, DiffusionMode, DiffusionParams};
 use pic_prk::par::runner::{ExchangeMode, ParConfig, ParOutcome, RankKernel, WireFormat};
@@ -57,8 +58,23 @@ Workload:
   --remove S,X0,X1,Y0,Y1,N   remove up to N particles at step S
 
 Implementation:
-  --impl NAME         serial | baseline | diffusion | ampi (default serial)
+  --impl NAME         serial | baseline | diffusion | ampi | adaptive
+                      (default serial)
   --ranks P           thread-ranks for the parallel implementations (default 4)
+
+Load balancing:
+  --balancer B        baseline | static | diffusion | ampi | adaptive |
+                      refine | greedy | none
+                      selects the balancing strategy; without --impl it
+                      also picks the implementation that hosts it
+                      (baseline/static -> mpi-2d, diffusion -> mpi-2d-LB,
+                      ampi/refine/greedy/none -> the AMPI runtime,
+                      adaptive -> the online-switching cut balancer).
+                      With --impl ampi the historical values
+                      refine | greedy | none pick the VP strategy
+                      (default refine) and adaptive switches VP
+                      strategies online; with other --impl values the
+                      implementation wins as before.
 
 Kernel selection (all implementations):
   --sweep MODE        {sweep_modes} :
@@ -103,7 +119,7 @@ Single-process engine (--impl serial):
                       scalar kernel on every tier (the fast tier then runs
                       the exact scalar kernel, bit-identical to soa-binned)
 
-Diffusion balancer (--impl diffusion):
+Diffusion / adaptive balancer (--impl diffusion | adaptive):
   --lb-interval F     steps between LB invocations (default {diff_interval})
   --tau T             count-difference threshold (default {diff_tau})
   --border W          border width in cells (default {diff_border})
@@ -112,7 +128,7 @@ Diffusion balancer (--impl diffusion):
 AMPI runtime (--impl ampi):
   --d D               over-decomposition degree (default 4)
   --lb-interval F     steps between LB invocations (default {ampi_interval})
-  --balancer B        refine | greedy | none (default refine)
+  --balancer B        refine | greedy | none | adaptive (default refine)
 
 Telemetry:
   --trace FILE        write ndjson load-balance telemetry to FILE
@@ -266,7 +282,23 @@ fn main() {
         setup = setup.with_event(parse_event(spec, false));
     }
 
-    let implementation = args.value("--impl").unwrap_or("serial").to_string();
+    // Implementation resolution: an explicit --impl always wins (the
+    // historical contract — --balancer then only refines the strategy
+    // inside it). Without --impl, --balancer picks the implementation
+    // hosting the requested strategy, so `pic --balancer adaptive` is a
+    // complete invocation.
+    let balancer_flag = args.value("--balancer");
+    let implementation = match args.value("--impl") {
+        Some(i) => i.to_string(),
+        None => match balancer_flag {
+            None => "serial".to_string(),
+            Some("baseline") | Some("static") => "baseline".to_string(),
+            Some("diffusion") => "diffusion".to_string(),
+            Some("adaptive") => "adaptive".to_string(),
+            Some("ampi") | Some("refine") | Some("greedy") | Some("none") => "ampi".to_string(),
+            Some(other) => bail(&format!("bad balancer: {other}")),
+        },
+    };
     let ranks: usize = args.parse("--ranks", 4);
 
     // Telemetry: the file is opened up front (so a bad path fails before
@@ -374,7 +406,7 @@ fn main() {
                 .swap_remove(0),
             )
         }
-        "diffusion" => {
+        "diffusion" | "adaptive" => {
             let params = DiffusionParams {
                 interval: args.parse("--lb-interval", DiffusionParams::default().interval),
                 tau: args.parse("--tau", DiffusionParams::default().tau),
@@ -386,11 +418,18 @@ fn main() {
                 "2phase" => DiffusionMode::TwoPhase,
                 other => bail(&format!("bad mode: {other}")),
             };
+            // `--impl diffusion --balancer adaptive` upgrades to the
+            // online-switching balancer over the same cut machinery.
+            let adaptive = implementation == "adaptive" || balancer_flag == Some("adaptive");
             let cfg = ParConfig::new(setup, steps).with_kernel(rank_kernel);
             Some(
                 run_threads(ranks, |comm| {
                     let mut tracer = rank0_tracer(comm.rank());
-                    let out = run_diffusion_mode_traced(&comm, &cfg, params, mode, &mut tracer);
+                    let out = if adaptive {
+                        run_adaptive_traced(&comm, &cfg, params, mode, &mut tracer)
+                    } else {
+                        run_diffusion_mode_traced(&comm, &cfg, params, mode, &mut tracer)
+                    };
                     tracer.finish();
                     out
                 })
@@ -398,27 +437,41 @@ fn main() {
             )
         }
         "ampi" => {
-            let balancer = match args.value("--balancer").unwrap_or("refine") {
-                "refine" => Balancer::paper_default(),
-                "greedy" => Balancer::Greedy,
-                "none" => Balancer::None,
-                other => bail(&format!("bad balancer: {other}")),
-            };
-            let params = AmpiParams {
-                d: args.parse("--d", 4),
-                interval: args.parse("--lb-interval", AMPI_LB_INTERVAL_DEFAULT),
-                balancer,
-            };
+            let d: usize = args.parse("--d", 4);
+            let interval: u32 = args.parse("--lb-interval", AMPI_LB_INTERVAL_DEFAULT);
             let cfg = ParConfig::new(setup, steps).with_kernel(rank_kernel);
-            Some(
-                run_threads(ranks, |comm| {
-                    let mut tracer = rank0_tracer(comm.rank());
-                    let out = run_ampi_traced(&comm, &cfg, &params, &mut tracer);
-                    tracer.finish();
-                    out
-                })
-                .swap_remove(0),
-            )
+            if balancer_flag == Some("adaptive") {
+                Some(
+                    run_threads(ranks, |comm| {
+                        let mut tracer = rank0_tracer(comm.rank());
+                        let out = run_ampi_adaptive_traced(&comm, &cfg, d, interval, &mut tracer);
+                        tracer.finish();
+                        out
+                    })
+                    .swap_remove(0),
+                )
+            } else {
+                let balancer = match balancer_flag.unwrap_or("refine") {
+                    "refine" | "ampi" => Balancer::paper_default(),
+                    "greedy" => Balancer::Greedy,
+                    "none" => Balancer::None,
+                    other => bail(&format!("bad balancer: {other}")),
+                };
+                let params = AmpiParams {
+                    d,
+                    interval,
+                    balancer,
+                };
+                Some(
+                    run_threads(ranks, |comm| {
+                        let mut tracer = rank0_tracer(comm.rank());
+                        let out = run_ampi_traced(&comm, &cfg, &params, &mut tracer);
+                        tracer.finish();
+                        out
+                    })
+                    .swap_remove(0),
+                )
+            }
         }
         other => bail(&format!("unknown implementation: {other}")),
     };
